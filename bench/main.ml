@@ -1,0 +1,211 @@
+(* Benchmark and figure-regeneration harness.
+
+   Running this executable:
+   1. regenerates the data series behind every figure of the paper
+      (Fig. 6(a), 6(b), 7(a), 7(b)), the section-5 classification table
+      and the A1-A4 ablations, printing each as an aligned table; then
+   2. runs one Bechamel micro-benchmark per experiment kernel, so the
+      cost of the analysis and of the simulator are tracked. *)
+
+open Bechamel
+open Toolkit
+
+(* --- Part 1: regenerate every figure ------------------------------------ *)
+
+(* Figure-quality settings that complete in a couple of minutes; the
+   analysis columns are exact regardless. *)
+let fig6_config =
+  { Experiments.Fig6a.default_config with trials = 3; pairs_per_trial = 1_500 }
+
+let ablation_bits = 12
+
+let regenerate_figures () =
+  Fmt.pr "==== Figure regeneration ====@.@.";
+  Fmt.pr "%a@." Experiments.Series.pp (Experiments.Fig6a.run fig6_config);
+  Fmt.pr "%a@." Experiments.Series.pp (Experiments.Fig6b.run fig6_config);
+  Fmt.pr "%a@." Experiments.Series.pp
+    (Experiments.Fig7a.run Experiments.Fig7a.default_config);
+  Fmt.pr "%a@." Experiments.Series.pp
+    (Experiments.Fig7b.run Experiments.Fig7b.default_config);
+  Fmt.pr "%a@." Experiments.Classification.pp (Experiments.Classification.run ());
+  let chain_rows =
+    Experiments.Validation.chain_vs_closed ~hs:[ 1; 4; 8; 12 ] ~qs:[ 0.1; 0.3; 0.5 ] ()
+  in
+  Fmt.pr "# V1 summary: max |closed-form - chain| = %.3e over %d cases@.@."
+    (Experiments.Validation.max_chain_error chain_rows)
+    (List.length chain_rows);
+  Fmt.pr "%a@." Experiments.Series.pp
+    (Experiments.Connectivity.run
+       { Experiments.Connectivity.default_config with bits = ablation_bits }
+       Rcm.Geometry.Tree);
+  Fmt.pr "%a@." Experiments.Series.pp
+    (Experiments.Symphony_knobs.run Experiments.Symphony_knobs.default_config);
+  Fmt.pr "%a@." Experiments.Series.pp
+    (Experiments.Suffix_ablation.run
+       { Experiments.Suffix_ablation.default_config with bits = ablation_bits });
+  Fmt.pr "%a@." Experiments.Series.pp
+    (Experiments.Finger_ablation.run
+       { Experiments.Finger_ablation.default_config with bits = ablation_bits });
+  let replication_config =
+    { Experiments.Replication_sweep.default_config with bits = ablation_bits }
+  in
+  Fmt.pr "%a@." Experiments.Series.pp (Experiments.Replication_sweep.xor_series replication_config);
+  Fmt.pr "%a@." Experiments.Series.pp (Experiments.Replication_sweep.tree_series replication_config);
+  Fmt.pr "%a@." Experiments.Series.pp (Experiments.Replication_sweep.ring_series replication_config);
+  List.iter
+    (fun g ->
+      Fmt.pr "%a@." Experiments.Series.pp
+        (Experiments.Sparse_occupancy.run Experiments.Sparse_occupancy.default_config g))
+    [ Rcm.Geometry.Tree; Rcm.Geometry.Xor; Rcm.Geometry.Ring; Rcm.Geometry.default_symphony ];
+  Fmt.pr "%a@." Experiments.Series.pp
+    (Experiments.Latency.run_all { Experiments.Latency.default_config with bits = ablation_bits });
+  Fmt.pr "%a@." Experiments.Churn_bridge.pp_rows
+    (Experiments.Churn_bridge.run Experiments.Churn_bridge.default_config);
+  Fmt.pr "%a@." Experiments.Series.pp
+    (Experiments.Correlated_failures.run_all Experiments.Correlated_failures.default_config);
+  Fmt.pr "%a@." Experiments.Critical_q.pp_rows (Experiments.Critical_q.run ());
+  let base_config = { Experiments.Base_sweep.default_config with bits = ablation_bits } in
+  Fmt.pr "%a@." Experiments.Series.pp (Experiments.Base_sweep.tree_series base_config);
+  Fmt.pr "%a@." Experiments.Series.pp (Experiments.Base_sweep.xor_series base_config);
+  Fmt.pr "%a@." Experiments.Series.pp
+    (Experiments.Dimension_sweep.run Experiments.Dimension_sweep.default_config);
+  Fmt.pr "%a@." Experiments.Series.pp
+    (Experiments.Symphony_deployment.run Experiments.Symphony_deployment.default_config);
+  Fmt.pr "%a@." Experiments.Thresholds.pp_rows (Experiments.Thresholds.run ());
+  Fmt.pr "%a@." Experiments.Series.pp
+    (Experiments.Hop_distribution.run Experiments.Hop_distribution.default_config
+       Rcm.Geometry.Hypercube)
+
+(* --- Part 2: Bechamel micro-benchmarks ----------------------------------- *)
+
+(* One Test.make per experiment: the analysis kernel that produces each
+   figure's columns, and the simulation kernel behind the Fig. 6
+   points. *)
+
+let bench_fig6a_analysis =
+  Test.make ~name:"fig6a/analysis-column"
+    (Staged.stage (fun () ->
+         List.iter
+           (fun g -> ignore (Rcm.Model.failed_paths_percent g ~d:16 ~q:0.3))
+           Experiments.Fig6a.geometries))
+
+let bench_fig6b_analysis =
+  Test.make ~name:"fig6b/ring-analysis-point"
+    (Staged.stage (fun () ->
+         ignore (Rcm.Model.failed_paths_percent Rcm.Geometry.Ring ~d:16 ~q:0.3)))
+
+let bench_fig7a_asymptotic =
+  Test.make ~name:"fig7a/all-geometries-d100"
+    (Staged.stage (fun () ->
+         List.iter
+           (fun g -> ignore (Rcm.Model.failed_paths_percent g ~d:100 ~q:0.3))
+           Rcm.Geometry.all_default))
+
+let bench_fig7b_sweep =
+  Test.make ~name:"fig7b/xor-size-sweep"
+    (Staged.stage (fun () ->
+         List.iter
+           (fun d -> ignore (Rcm.Model.routability Rcm.Geometry.Xor ~d ~q:0.1))
+           Experiments.Grid.fig7b_d))
+
+let bench_classification =
+  Test.make ~name:"classification/table"
+    (Staged.stage (fun () -> ignore (Experiments.Classification.run ())))
+
+let bench_markov_validation =
+  Test.make ~name:"validation/xor-chain-h12"
+    (Staged.stage (fun () ->
+         ignore
+           (Markov.Routing_chains.success_probability
+              (Markov.Routing_chains.xor ~h:12 ~q:0.3))))
+
+let simulation_trial geometry =
+  let bits = 12 in
+  Staged.stage (fun () ->
+      let rng = Prng.Splitmix.create ~seed:99 in
+      let table = Overlay.Table.build ~rng ~bits geometry in
+      let alive = Overlay.Failure.sample ~rng ~q:0.2 (Overlay.Table.node_count table) in
+      let pool = Overlay.Failure.survivors alive in
+      let delivered = ref 0 in
+      for _ = 1 to 200 do
+        let src, dst = Stats.Sampler.ordered_pair rng pool in
+        if Routing.Outcome.is_delivered (Routing.Router.route table ~rng ~alive ~src ~dst)
+        then incr delivered
+      done;
+      !delivered)
+
+let bench_simulation geometry =
+  Test.make
+    ~name:(Printf.sprintf "fig6-sim/%s-trial-d12" (Rcm.Geometry.name geometry))
+    (simulation_trial geometry)
+
+let bench_percolation =
+  Test.make ~name:"a1/percolation-trial-d12"
+    (Staged.stage (fun () ->
+         ignore
+           (Sim.Percolation.run ~trials:1 ~pairs:200 ~seed:3 ~bits:12 ~q:0.2
+              Rcm.Geometry.Ring)))
+
+let bench_replication_analysis =
+  Test.make ~name:"a5/replicated-xor-analysis-d16"
+    (Staged.stage (fun () -> ignore (Rcm.Replication.routability_xor ~d:16 ~q:0.3 ~k:8)))
+
+let bench_sparse_build =
+  Test.make ~name:"e6/sparse-chord-build-1k-in-2^16"
+    (Staged.stage (fun () ->
+         ignore
+           (Overlay.Sparse.build
+              ~rng:(Prng.Splitmix.create ~seed:4)
+              ~bits:16 ~nodes:1024 Rcm.Geometry.Ring)))
+
+let bench_latency_prediction =
+  Test.make ~name:"e7/hops-prediction-ring-d12"
+    (Staged.stage (fun () ->
+         ignore (Experiments.Latency.predicted_hops Rcm.Geometry.Ring ~d:12 ~q:0.2)))
+
+let bench_churn =
+  Test.make ~name:"e8/churn-run-d8"
+    (Staged.stage (fun () ->
+         ignore
+           (Sim.Churn.run
+              (Sim.Churn.config ~bits:8 ~warmup:10.0 ~measurements:2
+                 ~pairs_per_measurement:200 Rcm.Geometry.Xor))))
+
+let all_tests =
+  Test.make_grouped ~name:"dht_rcm"
+    [
+      bench_fig6a_analysis;
+      bench_fig6b_analysis;
+      bench_fig7a_asymptotic;
+      bench_fig7b_sweep;
+      bench_classification;
+      bench_markov_validation;
+      bench_simulation Rcm.Geometry.Tree;
+      bench_simulation Rcm.Geometry.Hypercube;
+      bench_simulation Rcm.Geometry.Xor;
+      bench_simulation Rcm.Geometry.Ring;
+      bench_simulation Rcm.Geometry.default_symphony;
+      bench_percolation;
+      bench_replication_analysis;
+      bench_sparse_build;
+      bench_latency_prediction;
+      bench_churn;
+    ]
+
+let run_benchmarks () =
+  Fmt.pr "==== Micro-benchmarks (Bechamel, monotonic clock) ====@.@.";
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  let raw = Benchmark.all cfg instances all_tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.iter (fun (name, ols) ->
+         match Analyze.OLS.estimates ols with
+         | Some [ ns_per_run ] -> Fmt.pr "%-45s %14.1f ns/run@." name ns_per_run
+         | Some _ | None -> Fmt.pr "%-45s (no estimate)@." name)
+
+let () =
+  regenerate_figures ();
+  run_benchmarks ()

@@ -1,0 +1,389 @@
+(* dhtlab: command-line front end for the RCM analysis, the DHT
+   simulator, and the figure-regeneration experiments. *)
+
+open Cmdliner
+
+(* --- Shared argument definitions ------------------------------------------ *)
+
+let geometry_conv =
+  let parse s = Result.map_error (fun e -> `Msg e) (Rcm.Geometry.of_string s) in
+  Arg.conv (parse, Rcm.Geometry.pp)
+
+let geometry_arg =
+  let doc = "Routing geometry: tree, hypercube, xor, ring or symphony (system names work too)." in
+  Arg.(value & opt (some geometry_conv) None & info [ "g"; "geometry" ] ~docv:"GEOMETRY" ~doc)
+
+let bits_arg ~default =
+  let doc = "Identifier length d; the network has N = 2^d nodes." in
+  Arg.(value & opt int default & info [ "d"; "bits" ] ~docv:"BITS" ~doc)
+
+let q_arg =
+  let doc = "Uniform node failure probability." in
+  Arg.(value & opt (some float) None & info [ "q" ] ~docv:"PROB" ~doc)
+
+let trials_arg =
+  let doc = "Independent overlay/failure trials." in
+  Arg.(value & opt int 3 & info [ "trials" ] ~docv:"N" ~doc)
+
+let pairs_arg =
+  let doc = "Routed source/destination pairs per trial." in
+  Arg.(value & opt int 2_000 & info [ "pairs" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "PRNG seed (all outputs are deterministic in the seed)." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let csv_arg =
+  let doc = "Emit CSV instead of an aligned table." in
+  Arg.(value & flag & info [ "csv" ] ~doc)
+
+let quick_arg =
+  let doc = "Use the small/quick experiment configuration (d = 10, fewer samples)." in
+  Arg.(value & flag & info [ "quick" ] ~doc)
+
+let plot_arg =
+  let doc = "Render an ASCII plot after the table." in
+  Arg.(value & flag & info [ "plot" ] ~doc)
+
+let default_q_grid = Experiments.Grid.fig6_q
+
+let geometries_of_opt = function
+  | Some g -> [ g ]
+  | None -> Rcm.Geometry.all_default
+
+let print_series ~csv series =
+  if csv then print_string (Experiments.Series.to_csv series)
+  else Fmt.pr "%a@." Experiments.Series.pp series
+
+(* --- analyze ----------------------------------------------------------------- *)
+
+let analyze geometry bits q csv full =
+  let geometries = geometries_of_opt geometry in
+  if full then
+    List.iter (fun g -> Fmt.pr "%a@." Experiments.Report.pp (Experiments.Report.build ~bits g)) geometries
+  else begin
+    let qs = match q with Some q -> [ q ] | None -> default_q_grid in
+    let series =
+      Experiments.Series.tabulate
+        ~title:(Printf.sprintf "Analytical routability, N=2^%d" bits)
+        ~x_label:"q" ~x:qs
+        (List.map
+           (fun g -> (Rcm.Geometry.name g, fun q -> Rcm.Model.routability g ~d:bits ~q))
+           geometries)
+    in
+    print_series ~csv series
+  end
+
+let analyze_cmd =
+  let doc = "Analytical RCM routability of one or all geometries." in
+  let full =
+    Arg.(value & flag
+         & info [ "full" ]
+             ~doc:"Print a full design brief per geometry (classification, envelope, hops).")
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc)
+    Term.(const analyze $ geometry_arg $ bits_arg ~default:16 $ q_arg $ csv_arg $ full)
+
+(* --- simulate ----------------------------------------------------------------- *)
+
+let simulate geometry bits q trials pairs seed =
+  let geometries = geometries_of_opt geometry in
+  let qs = match q with Some q -> [ q ] | None -> default_q_grid in
+  List.iter
+    (fun g ->
+      List.iter
+        (fun q ->
+          let result =
+            Sim.Estimate.run
+              (Sim.Estimate.config ~trials ~pairs_per_trial:pairs ~seed ~bits ~q g)
+          in
+          let analysis = Rcm.Model.routability g ~d:bits ~q in
+          Fmt.pr "%a  (analysis: %.4f)@." Sim.Estimate.pp_result result analysis)
+        qs)
+    geometries
+
+let simulate_cmd =
+  let doc = "Monte-Carlo routability under the static-resilience failure model." in
+  Cmd.v
+    (Cmd.info "simulate" ~doc)
+    Term.(
+      const simulate $ geometry_arg $ bits_arg ~default:12 $ q_arg $ trials_arg $ pairs_arg
+      $ seed_arg)
+
+(* --- figure ------------------------------------------------------------------- *)
+
+let figure_names =
+  [
+    "f6a"; "f6b"; "f7a"; "f7b"; "sym-knobs"; "suffix"; "fingers"; "rep-xor"; "rep-tree";
+    "rep-ring"; "sparse"; "hops"; "blocks"; "base-tree"; "base-xor"; "dims"; "sym-bidir";
+  ]
+
+let figure_series name quick =
+  let fig6_config =
+    if quick then Experiments.Fig6a.quick_config else Experiments.Fig6a.default_config
+  in
+  match name with
+    | "f6a" -> Experiments.Fig6a.run fig6_config
+    | "f6b" -> Experiments.Fig6b.run fig6_config
+    | "f7a" -> Experiments.Fig7a.run Experiments.Fig7a.default_config
+    | "f7b" -> Experiments.Fig7b.run Experiments.Fig7b.default_config
+    | "sym-knobs" ->
+        Experiments.Symphony_knobs.run
+          (if quick then { Experiments.Symphony_knobs.default_config with bits = 10 }
+           else Experiments.Symphony_knobs.default_config)
+    | "suffix" ->
+        Experiments.Suffix_ablation.run
+          (if quick then { Experiments.Suffix_ablation.default_config with bits = 10 }
+           else Experiments.Suffix_ablation.default_config)
+    | "fingers" ->
+        Experiments.Finger_ablation.run
+          (if quick then { Experiments.Finger_ablation.default_config with bits = 10 }
+           else Experiments.Finger_ablation.default_config)
+    | "rep-xor" | "rep-tree" | "rep-ring" as which ->
+        let cfg =
+          if quick then { Experiments.Replication_sweep.default_config with bits = 10 }
+          else Experiments.Replication_sweep.default_config
+        in
+        (match which with
+        | "rep-xor" -> Experiments.Replication_sweep.xor_series cfg
+        | "rep-tree" -> Experiments.Replication_sweep.tree_series cfg
+        | _ -> Experiments.Replication_sweep.ring_series cfg)
+    | "sparse" ->
+        let cfg =
+          if quick then
+            { Experiments.Sparse_occupancy.default_config with
+              nodes = 256; bits_list = [ 8; 10; 12 ] }
+          else Experiments.Sparse_occupancy.default_config
+        in
+        Experiments.Sparse_occupancy.run cfg Rcm.Geometry.Xor
+    | "hops" ->
+        Experiments.Latency.run_all
+          (if quick then { Experiments.Latency.default_config with bits = 10 }
+           else Experiments.Latency.default_config)
+    | "blocks" ->
+        Experiments.Correlated_failures.run_all
+          (if quick then { Experiments.Correlated_failures.default_config with bits = 10 }
+           else Experiments.Correlated_failures.default_config)
+    | "base-tree" | "base-xor" as which ->
+        let cfg =
+          if quick then { Experiments.Base_sweep.default_config with bits = 10; groups = [ 1; 2 ] }
+          else Experiments.Base_sweep.default_config
+        in
+        if which = "base-tree" then Experiments.Base_sweep.tree_series cfg
+        else Experiments.Base_sweep.xor_series cfg
+    | "dims" ->
+        Experiments.Dimension_sweep.run
+          (if quick then
+             { Experiments.Dimension_sweep.default_config with
+               configurations = [ (2, 32); (5, 4); (10, 2) ] }
+           else Experiments.Dimension_sweep.default_config)
+    | "sym-bidir" ->
+        Experiments.Symphony_deployment.run
+          (if quick then { Experiments.Symphony_deployment.default_config with bits = 10 }
+           else Experiments.Symphony_deployment.default_config)
+  | other ->
+      Fmt.failwith "unknown figure %S (expected one of %s)" other
+        (String.concat ", " figure_names)
+
+let figure name quick csv plot =
+  let series = figure_series name quick in
+  print_series ~csv series;
+  if plot then Experiments.Ascii_plot.print series
+
+let figure_cmd =
+  let doc = "Regenerate a paper figure (f6a, f6b, f7a, f7b) or ablation (sym-knobs, suffix, fingers)." in
+  let figure_name =
+    Arg.(required & pos 0 (some (enum (List.map (fun n -> (n, n)) figure_names))) None
+         & info [] ~docv:"FIGURE" ~doc:"Figure id.")
+  in
+  Cmd.v (Cmd.info "figure" ~doc)
+    Term.(const figure $ figure_name $ quick_arg $ csv_arg $ plot_arg)
+
+(* --- export ----------------------------------------------------------------- *)
+
+let export dir quick =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let written =
+    List.map
+      (fun name ->
+        let series = figure_series name quick in
+        let path = Filename.concat dir (name ^ ".csv") in
+        let oc = open_out path in
+        output_string oc (Experiments.Series.to_csv series);
+        close_out oc;
+        Fmt.pr "wrote %s@." path;
+        (name, series))
+      figure_names
+  in
+  (* A gnuplot driver that renders every exported CSV. *)
+  let gp = Filename.concat dir "plots.gp" in
+  let oc = open_out gp in
+  output_string oc "set datafile separator ','\nset key outside\nset grid\n";
+  List.iter
+    (fun (name, series) ->
+      let columns = List.length series.Experiments.Series.columns in
+      Printf.fprintf oc "\nset title %S\nset xlabel %S\nplot " series.Experiments.Series.title
+        series.Experiments.Series.x_label;
+      for c = 2 to columns + 1 do
+        Printf.fprintf oc "%s'%s.csv' using 1:%d with linespoints title columnheader(%d)"
+          (if c > 2 then ", " else "")
+          name c c
+      done;
+      output_string oc "\npause -1 'press enter'\n")
+    written;
+  close_out oc;
+  Fmt.pr "wrote %s@." gp
+
+let export_cmd =
+  let doc = "Export every figure as CSV plus a gnuplot script." in
+  let dir =
+    Arg.(value & opt string "results" & info [ "o"; "out" ] ~docv:"DIR" ~doc:"Output directory.")
+  in
+  Cmd.v (Cmd.info "export" ~doc) Term.(const export $ dir $ quick_arg)
+
+(* --- scalability ----------------------------------------------------------------- *)
+
+let scalability q =
+  let q = Option.value ~default:0.1 q in
+  let report = Experiments.Classification.run ~q () in
+  Fmt.pr "%a@." Experiments.Classification.pp report;
+  Fmt.pr "%a@." Experiments.Critical_q.pp_rows (Experiments.Critical_q.run ());
+  Fmt.pr "%a@." Experiments.Thresholds.pp_rows (Experiments.Thresholds.run ());
+  if not (Experiments.Classification.all_agree report) then exit 1
+
+let scalability_cmd =
+  let doc = "Scalability classification of all geometries (section 5 of the paper)." in
+  Cmd.v (Cmd.info "scalability" ~doc) Term.(const scalability $ q_arg)
+
+(* --- validate ----------------------------------------------------------------- *)
+
+let validate with_sim bits trials pairs seed =
+  let chain_rows = Experiments.Validation.chain_vs_closed () in
+  Fmt.pr "%a@." Experiments.Validation.pp_chain_rows chain_rows;
+  let ok_chains = Experiments.Validation.max_chain_error chain_rows < 1e-10 in
+  if not ok_chains then Fmt.pr "V1 FAILED: chain error above tolerance@.";
+  let ok_sim =
+    if not with_sim then true
+    else begin
+      let rows =
+        Experiments.Validation.sim_vs_analysis ~bits ~trials ~pairs_per_trial:pairs ~seed ()
+      in
+      Fmt.pr "%a@." Experiments.Validation.pp_sim_rows rows;
+      Experiments.Validation.sim_violations rows = []
+    end
+  in
+  if not (ok_chains && ok_sim) then exit 1
+
+let validate_cmd =
+  let doc = "Validate closed forms against exact Markov chains (V1) and simulation (V2)." in
+  let with_sim =
+    Arg.(value & flag & info [ "sim" ] ~doc:"Also run the simulation cross-check (V2).")
+  in
+  Cmd.v
+    (Cmd.info "validate" ~doc)
+    Term.(const validate $ with_sim $ bits_arg ~default:12 $ trials_arg $ pairs_arg $ seed_arg)
+
+(* --- percolation ----------------------------------------------------------------- *)
+
+let percolation geometry bits trials pairs seed csv =
+  let cfg =
+    { Experiments.Connectivity.default_config with bits; trials; pairs; seed }
+  in
+  List.iter
+    (fun g -> print_series ~csv (Experiments.Connectivity.run cfg g))
+    (geometries_of_opt geometry)
+
+let percolation_cmd =
+  let doc = "Pair-connectivity vs routability on identical failed overlays (experiment A1)." in
+  Cmd.v
+    (Cmd.info "percolation" ~doc)
+    Term.(
+      const percolation $ geometry_arg $ bits_arg ~default:12 $ trials_arg $ pairs_arg
+      $ seed_arg $ csv_arg)
+
+(* --- churn ----------------------------------------------------------------- *)
+
+let churn geometry bits downtime repair pairs seed =
+  let geometries =
+    match geometry with
+    | Some (Rcm.Geometry.Tree | Rcm.Geometry.Hypercube) ->
+        Fmt.epr "churn supports xor, ring and symphony only@.";
+        exit 2
+    | Some g -> [ g ]
+    | None -> Experiments.Churn_bridge.geometries
+  in
+  let cfg =
+    {
+      Experiments.Churn_bridge.bits;
+      mean_downtimes = [ downtime ];
+      repair_intervals = [ repair ];
+      pairs;
+      seed;
+    }
+  in
+  Fmt.pr "%a@." Experiments.Churn_bridge.pp_rows (Experiments.Churn_bridge.run ~geometries cfg)
+
+let churn_cmd =
+  let doc = "Event-driven churn simulation and its static-resilience bridge (experiment E8)." in
+  let downtime =
+    Arg.(value & opt float 2.0
+         & info [ "downtime" ] ~docv:"TIME" ~doc:"Mean node downtime (mean uptime is 8).")
+  in
+  let repair =
+    Arg.(value & opt float 1.0
+         & info [ "repair" ] ~docv:"TIME" ~doc:"Routing-table repair interval.")
+  in
+  Cmd.v
+    (Cmd.info "churn" ~doc)
+    Term.(const churn $ geometry_arg $ bits_arg ~default:10 $ downtime $ repair $ pairs_arg $ seed_arg)
+
+(* --- route ----------------------------------------------------------------- *)
+
+let route geometry bits q src dst seed =
+  let geometry = Option.value ~default:Rcm.Geometry.Ring geometry in
+  let rng = Prng.Splitmix.create ~seed in
+  let table = Overlay.Table.build ~rng ~bits geometry in
+  let q = Option.value ~default:0.0 q in
+  let alive = Overlay.Failure.sample ~rng ~q (Overlay.Table.node_count table) in
+  alive.(src) <- true;
+  alive.(dst) <- true;
+  let outcome, path = Routing.Router.route_with_path table ~rng ~alive ~src ~dst in
+  Fmt.pr "%a -> %a under %a with q=%.2f: %a@."
+    (Idspace.Id.pp ~bits) src (Idspace.Id.pp ~bits) dst Rcm.Geometry.pp geometry q
+    Routing.Outcome.pp outcome;
+  List.iteri
+    (fun i v -> Fmt.pr "  hop %2d: %a (%d)@." i (Idspace.Id.pp ~bits) v v)
+    path
+
+let route_cmd =
+  let doc = "Route a single message over a failed overlay and print the path." in
+  let src =
+    Arg.(required & pos 0 (some int) None & info [] ~docv:"SRC" ~doc:"Source node id.")
+  in
+  let dst =
+    Arg.(required & pos 1 (some int) None & info [] ~docv:"DST" ~doc:"Destination node id.")
+  in
+  Cmd.v
+    (Cmd.info "route" ~doc)
+    Term.(const route $ geometry_arg $ bits_arg ~default:8 $ q_arg $ src $ dst $ seed_arg)
+
+(* --- main ----------------------------------------------------------------- *)
+
+let main_cmd =
+  let doc = "Scalability and performance analysis of DHT routing systems (RCM)." in
+  let info = Cmd.info "dhtlab" ~version:"1.0.0" ~doc in
+  Cmd.group info
+    [
+      analyze_cmd;
+      simulate_cmd;
+      figure_cmd;
+      scalability_cmd;
+      validate_cmd;
+      percolation_cmd;
+      churn_cmd;
+      route_cmd;
+      export_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,69 @@
+(* Screening a *proposed* DHT design with the RCM framework — the use
+   case the paper's conclusion advertises: "researchers involved in P2P
+   system design can use the method to assess the performance of
+   proposed architectures".
+
+   Two candidate designs are described purely by their RCM ingredients
+   (distance distribution n(h) and per-phase failure probability Q(m))
+   and screened without writing a simulator:
+
+   1. Koorde-style de Bruijn routing: constant degree 2 — node x links
+      to 2x and 2x+1 (mod N). Routing shifts in the destination's bits
+      one per hop, so each hop has exactly ONE useful neighbour:
+      Q(m) = q, like the tree. Verdict: unscalable — constant-degree
+      de Bruijn DHTs buy their optimal diameter at the cost of static
+      resilience.
+
+   2. A "fattened de Bruijn": degree 2k, with k independent candidate
+      links per shift (the de Bruijn analogue of k-buckets):
+      Q(m) = q^k — constant in m, so STILL unscalable by Theorem 1,
+      yet with a far larger usable envelope at finite sizes.
+
+   Run with:  dune exec examples/custom_geometry.exe *)
+
+let log_2 = log 2.0
+
+(* De Bruijn shift routing resolves one destination bit per hop; after
+   h hops the reachable ids share d - h fixed bits, so n(h) = 2^(h-1)
+   fresh ids appear at distance h — the ring distribution. *)
+let koorde_spec ~k =
+  {
+    Rcm.Spec.geometry = Rcm.Geometry.Tree (* nearest built-in label; unused by the engine *);
+    max_phase = (fun ~d -> d);
+    log_population = (fun ~d:_ ~h -> float_of_int (h - 1) *. log_2);
+    phase_failure = (fun ~d:_ ~q ~m:_ -> Numerics.Prob.pow q k);
+  }
+
+let () =
+  Fmt.pr "Screening proposed constant-degree designs with the RCM engine@.@.";
+  List.iter
+    (fun k ->
+      let spec = koorde_spec ~k in
+      let name = if k = 1 then "Koorde (degree 2)" else Printf.sprintf "fattened de Bruijn (k=%d)" k in
+      Fmt.pr "%s:@." name;
+      List.iter
+        (fun q ->
+          Fmt.pr "  q=%.2f: routability at N=2^16: %.4f, at N=2^30: %.4f — %a@." q
+            (Rcm.Engine.routability spec ~d:16 ~q)
+            (Rcm.Engine.routability spec ~d:30 ~q)
+            Rcm.Scalability.pp_verdict
+            (Rcm.Scalability.classify_spec spec ~q))
+        [ 0.05; 0.2 ];
+      Fmt.pr "@.")
+    [ 1; 2; 4 ];
+
+  Fmt.pr "Comparison: Kademlia (XOR) at the same sizes:@.";
+  List.iter
+    (fun q ->
+      Fmt.pr "  q=%.2f: N=2^16: %.4f, N=2^30: %.4f — %a@." q
+        (Rcm.Model.routability Rcm.Geometry.Xor ~d:16 ~q)
+        (Rcm.Model.routability Rcm.Geometry.Xor ~d:30 ~q)
+        Rcm.Scalability.pp_verdict
+        (Rcm.Scalability.classify Rcm.Geometry.Xor ~q))
+    [ 0.05; 0.2 ];
+
+  Fmt.pr
+    "@.Every constant-per-phase Q(m) diverges (Theorem 1), so constant-degree de Bruijn@.\
+     designs are unscalable no matter how much per-shift replication is added; their@.\
+     optimal O(log N) diameter at degree 2 is paid for in static resilience. Logarithmic@.\
+     tables (XOR/ring/hypercube) keep Q(m) summable and scale.@."

@@ -1,0 +1,63 @@
+(* The paper's motivating scenario (section 1): the Kademlia-based
+   eDonkey network reached millions of transient nodes. This example
+   evaluates XOR routing at that scale, contrasts it with the
+   geometries that would NOT have survived, and reproduces the
+   million-node routability picture with analysis (simulation at 2^21
+   would take minutes; the analysis is exact in milliseconds).
+
+   Run with:  dune exec examples/edonkey_scale.exe *)
+
+(* ~2 million nodes. *)
+let bits = 21
+
+(* P2P session churn: clients are transient; a static-resilience
+   snapshot between repair rounds sees a substantial fraction of stale
+   routing entries. *)
+let failure_levels = [ 0.05; 0.10; 0.20; 0.30; 0.50 ]
+
+let () =
+  Fmt.pr "eDonkey-scale evaluation: N = 2^%d (~%.1f million nodes)@.@." bits
+    (Float.pow 2.0 (float_of_int bits) /. 1e6);
+
+  Fmt.pr "Routability of XOR (Kademlia) vs alternatives:@.";
+  Fmt.pr "%-12s" "geometry";
+  List.iter (fun q -> Fmt.pr " %9s" (Printf.sprintf "q=%.2f" q)) failure_levels;
+  Fmt.pr "@.";
+  List.iter
+    (fun g ->
+      Fmt.pr "%-12s" (Rcm.Geometry.name g);
+      List.iter (fun q -> Fmt.pr " %9.4f" (Rcm.Model.routability g ~d:bits ~q)) failure_levels;
+      Fmt.pr "@.")
+    Rcm.Geometry.all_default;
+
+  (* Expected lookup reach: how many of the ~2M nodes a surviving peer
+     can still resolve at each failure level. *)
+  Fmt.pr "@.Expected reachable peers from one surviving Kademlia node:@.";
+  List.iter
+    (fun q ->
+      let reach = Rcm.Model.expected_reachable Rcm.Geometry.Xor ~d:bits ~q in
+      let alive = ((1.0 -. q) *. Float.pow 2.0 (float_of_int bits)) -. 1.0 in
+      Fmt.pr "  q=%.2f: %.2fM of %.2fM surviving peers (%.2f%%)@." q (reach /. 1e6)
+        (alive /. 1e6)
+        (100.0 *. reach /. alive))
+    failure_levels;
+
+  (* Growth stress test: does the picture hold as eDonkey grows 1000x?
+     (Definition 2: only the scalable geometries keep a nonzero limit.) *)
+  Fmt.pr "@.Routability at q = 0.20 as the network grows:@.";
+  Fmt.pr "%-12s" "geometry";
+  List.iter (fun d -> Fmt.pr " %9s" (Printf.sprintf "2^%d" d)) [ 21; 24; 27; 30; 34 ];
+  Fmt.pr "@.";
+  List.iter
+    (fun g ->
+      Fmt.pr "%-12s" (Rcm.Geometry.name g);
+      List.iter
+        (fun d -> Fmt.pr " %9.4f" (Rcm.Model.routability g ~d ~q:0.20))
+        [ 21; 24; 27; 30; 34 ];
+      Fmt.pr "@.")
+    Rcm.Geometry.all_default;
+
+  Fmt.pr
+    "@.The XOR geometry loses almost nothing as the system grows — consistent with@.\
+     eDonkey scaling to millions of nodes — while tree and basic Symphony would@.\
+     have collapsed at this scale.@."

@@ -1,0 +1,118 @@
+(* A replicated key-value store on top of Kademlia routing, showing how
+   a downstream application uses the library — and how RCM predicts
+   application-level availability.
+
+   Keys hash to identifiers; a value is stored on the R nodes closest
+   to the key in XOR distance (the owner and its nearest siblings). A
+   GET succeeds if the client can route to at least one replica holding
+   the value. RCM predicts GET availability as 1 - (1 - r)^R with r the
+   per-path routability, assuming independent paths.
+
+   Run with:  dune exec examples/kv_store.exe *)
+
+let bits = 12
+
+let replication = 3
+
+let geometry = Rcm.Geometry.Xor
+
+(* FNV-1a (offset basis truncated to OCaml's 63-bit int), folded to the
+   identifier width. *)
+let hash_key key =
+  let h = ref 0x3bf29ce484222325 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x100000001b3)
+    key;
+  !h land ((1 lsl bits) - 1)
+
+(* Two replica placements:
+   - [`Siblings]: the R closest ids in XOR distance (key_id lxor 0, 1,
+     2, ...) — Kademlia's natural choice, but all replicas share the
+     route prefix, so their paths fail together;
+   - [`Scattered]: independent hashes of (key, i) — replicas land at
+     unrelated prefixes, de-correlating the paths. *)
+let replica_owners ~placement key key_id =
+  match placement with
+  | `Siblings -> List.init replication (fun i -> key_id lxor i)
+  | `Scattered -> List.init replication (fun i -> hash_key (Printf.sprintf "%s#%d" key i))
+
+type node_store = (string, string) Hashtbl.t
+
+let put table ~alive ~rng stores ~placement ~client key value =
+  let key_id = hash_key key in
+  List.fold_left
+    (fun stored owner ->
+      if alive.(owner) then
+        match Routing.Router.route table ~rng ~alive ~src:client ~dst:owner with
+        | Routing.Outcome.Delivered _ ->
+            Hashtbl.replace stores.(owner) key value;
+            stored + 1
+        | Routing.Outcome.Dropped _ -> stored
+      else stored)
+    0
+    (replica_owners ~placement key key_id)
+
+let get table ~alive ~rng stores ~placement ~client key =
+  let key_id = hash_key key in
+  List.find_map
+    (fun owner ->
+      if not alive.(owner) then None
+      else
+        match Routing.Router.route table ~rng ~alive ~src:client ~dst:owner with
+        | Routing.Outcome.Delivered _ -> Hashtbl.find_opt stores.(owner) key
+        | Routing.Outcome.Dropped _ -> None)
+    (replica_owners ~placement key key_id)
+
+let () =
+  let rng = Prng.Splitmix.create ~seed:2718 in
+  let table = Overlay.Table.build ~rng ~bits geometry in
+  let n = Overlay.Table.node_count table in
+  Fmt.pr "Replicated KV store over %a, N = %d nodes, R = %d replicas@.@." Rcm.Geometry.pp
+    geometry n replication;
+
+  (* GET availability at one failure level for one placement. *)
+  let availability ~placement q =
+    let stores = Array.init n (fun _ -> (Hashtbl.create 4 : node_store)) in
+    let alive_before = Overlay.Failure.none n in
+    let keys = List.init 400 (Printf.sprintf "key-%d") in
+    List.iter
+      (fun key ->
+        let client = Prng.Splitmix.int rng n in
+        ignore
+          (put table ~alive:alive_before ~rng stores ~placement ~client key
+             ("value of " ^ key)))
+      keys;
+    let alive = Overlay.Failure.sample ~rng ~q n in
+    let pool = Overlay.Failure.survivors alive in
+    let succeeded = ref 0 in
+    List.iter
+      (fun key ->
+        let client = pool.(Prng.Splitmix.int rng (Array.length pool)) in
+        match get table ~alive ~rng stores ~placement ~client key with
+        | Some _ -> incr succeeded
+        | None -> ())
+      keys;
+    float_of_int !succeeded /. float_of_int (List.length keys)
+  in
+  Fmt.pr "%6s %12s %12s %14s@." "q" "siblings" "scattered" "RCM predicted";
+  List.iter
+    (fun q ->
+      let r = Rcm.Model.routability geometry ~d:bits ~q in
+      (* One replica path succeeds when the replica is alive (1-q) and
+         reachable (r, measured over alive pairs); R independent paths
+         give the prediction below. *)
+      let predicted = 1.0 -. ((1.0 -. ((1.0 -. q) *. r)) ** float_of_int replication) in
+      Fmt.pr "%6.2f %12.3f %12.3f %14.3f@." q
+        (availability ~placement:`Siblings q)
+        (availability ~placement:`Scattered q)
+        predicted)
+    [ 0.0; 0.1; 0.2; 0.3; 0.4; 0.5 ];
+  Fmt.pr
+    "@.Any of the R replica paths suffices, so GET availability exceeds single-path@.\
+     routability. Sibling replicas (Kademlia's closest-nodes rule) share their route@.\
+     prefix, so their paths fail together and availability falls short of the@.\
+     independent-paths prediction; scattering replicas across the identifier space@.\
+     de-correlates the paths and closes most of the gap — a design lesson the RCM@.\
+     analysis makes quantitative.@."

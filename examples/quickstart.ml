@@ -1,0 +1,38 @@
+(* Quickstart: analyse and simulate one DHT geometry under failures.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+let () =
+  let geometry = Rcm.Geometry.Xor in
+  let bits = 12 in
+  let q = 0.2 in
+
+  (* 1. Analytical routability via the reachable component method. *)
+  let routability = Rcm.Model.routability geometry ~d:bits ~q in
+  Fmt.pr "RCM analysis of %a with N = 2^%d and failure probability q = %.2f@."
+    Rcm.Geometry.pp geometry bits q;
+  Fmt.pr "  expected reachable component: %.1f of %d nodes@."
+    (Rcm.Model.expected_reachable geometry ~d:bits ~q)
+    ((1 lsl bits) - 1);
+  Fmt.pr "  routability r(N, q) = %.4f (%.2f%% of surviving paths fail)@." routability
+    (100.0 *. (1.0 -. routability));
+
+  (* 2. The probability of routing h phases: p(h, q) = prod (1 - Q(m)). *)
+  Fmt.pr "  p(h,q) by distance:";
+  List.iter
+    (fun h ->
+      Fmt.pr " p(%d)=%.3f" h (Rcm.Model.success_probability geometry ~d:bits ~q ~h))
+    [ 1; 4; 8; 12 ];
+  Fmt.pr "@.";
+
+  (* 3. Cross-check with a Monte-Carlo simulation of the real protocol:
+     build the overlay, fail nodes i.i.d., route sampled pairs. *)
+  let result =
+    Sim.Estimate.run
+      (Sim.Estimate.config ~trials:3 ~pairs_per_trial:2_000 ~seed:7 ~bits ~q geometry)
+  in
+  Fmt.pr "Simulation: %a@." Sim.Estimate.pp_result result;
+
+  (* 4. Is the geometry scalable (Definition 2)? *)
+  Fmt.pr "Scalability: %a@." Rcm.Scalability.pp_verdict
+    (Rcm.Scalability.classify geometry ~q)

@@ -1,0 +1,87 @@
+type config = {
+  bits : int;
+  groups : int list;
+  qs : float list;
+  trials : int;
+  pairs : int;
+  seed : int;
+}
+
+(* A7: base-b digits at fixed N = 2^16: b = 2 (the paper's binary
+   setting), b = 4 and b = 16 (Pastry's default). Higher bases shorten
+   routes, which buys the tree geometry a lot of static resilience —
+   at the cost of (b-1)·D routing entries. *)
+let default_config =
+  { bits = 16; groups = [ 1; 2; 4 ]; qs = Grid.fig6_q; trials = 3; pairs = 1_500; seed = 111 }
+
+let simulate cfg ~mode ~group q =
+  let style =
+    match mode with
+    | `Tree -> Overlay.Digit_table.Preserve_suffix
+    | `Xor -> Overlay.Digit_table.Randomize_suffix
+  in
+  let rng = Prng.Splitmix.create ~seed:cfg.seed in
+  let delivered = ref 0 in
+  let attempted = ref 0 in
+  for _ = 1 to cfg.trials do
+    let trial_rng = Prng.Splitmix.split rng in
+    let table = Overlay.Digit_table.build ~rng:trial_rng ~bits:cfg.bits ~group style in
+    let alive =
+      Overlay.Failure.sample ~rng:trial_rng ~q (Overlay.Digit_table.node_count table)
+    in
+    let pool = Overlay.Failure.survivors alive in
+    if Array.length pool >= 2 then
+      for _ = 1 to cfg.pairs do
+        let src, dst = Stats.Sampler.ordered_pair trial_rng pool in
+        incr attempted;
+        if Routing.Outcome.is_delivered (Routing.Digit_router.route ~mode table ~alive ~src ~dst)
+        then incr delivered
+      done
+  done;
+  if !attempted = 0 then 0.0 else float_of_int !delivered /. float_of_int !attempted
+
+let label ~group suffix = Printf.sprintf "b=%d(%s)" (Idspace.Digit.base ~group) suffix
+
+let tree_series cfg =
+  Series.tabulate
+    ~title:
+      (Printf.sprintf "A7 (tree): base-b Plaxton routability, N=2^%d — analysis vs simulation"
+         cfg.bits)
+    ~x_label:"q" ~x:cfg.qs
+    (List.concat_map
+       (fun group ->
+         [
+           (label ~group "ana", fun q -> Rcm.Digits.tree_routability ~d:cfg.bits ~q ~group);
+           (label ~group "sim", simulate cfg ~mode:`Tree ~group);
+         ])
+       cfg.groups)
+
+let xor_series cfg =
+  Series.tabulate
+    ~title:
+      (Printf.sprintf "A7 (xor): base-b Kademlia routability, N=2^%d — analysis vs simulation"
+         cfg.bits)
+    ~x_label:"q" ~x:cfg.qs
+    (List.concat_map
+       (fun group ->
+         [
+           (label ~group "ana", fun q -> Rcm.Digits.xor_routability ~d:cfg.bits ~q ~group);
+           (label ~group "sim", simulate cfg ~mode:`Xor ~group);
+         ])
+       cfg.groups)
+
+(* Shorter routes help: analytical routability is monotone in the digit
+   width at every grid point (for the tree, where p = (1-q)^h). *)
+let tree_monotone_in_base cfg =
+  let rec pairs = function
+    | a :: (b :: _ as rest) -> (a, b) :: pairs rest
+    | [ _ ] | [] -> []
+  in
+  List.for_all
+    (fun (small, large) ->
+      List.for_all
+        (fun q ->
+          Rcm.Digits.tree_routability ~d:cfg.bits ~q ~group:large
+          >= Rcm.Digits.tree_routability ~d:cfg.bits ~q ~group:small -. 1e-9)
+        cfg.qs)
+    (pairs cfg.groups)

@@ -1,0 +1,45 @@
+(** Experiment E8 — bridging static resilience to churn.
+
+    The paper's static model assumes a frozen failure pattern; its
+    introduction argues this approximates the window between fault
+    detection (fast) and table repair (slow), and leaves the dynamic
+    case under study. This experiment runs the event-driven churn
+    simulator across churn intensities and repair periods and checks
+    how well the static routability evaluated at the *measured*
+    stale-entry fraction predicts the routability measured under
+    churn. *)
+
+type config = {
+  bits : int;
+  mean_downtimes : float list;
+  repair_intervals : float list;
+  pairs : int;
+  seed : int;
+}
+
+val default_config : config
+
+type row = {
+  geometry : Rcm.Geometry.t;
+  mean_downtime : float;
+  repair_interval : float;
+  report : Sim.Churn.report;
+  static_sim : float;
+      (** routability of a static snapshot at q = measured stale
+          fraction *)
+}
+
+val geometries : Rcm.Geometry.t list
+(** Default sweep: xor, ring, symphony. *)
+
+val run : ?geometries:Rcm.Geometry.t list -> config -> row list
+
+val prediction_error : row -> float
+(** |measured routability - static *analysis* at q = stale fraction|. *)
+
+val bridge_error : row -> float
+(** |measured routability - static *simulation* at q = stale fraction|:
+    the pure static-to-churn mapping error, free of model
+    idealisations. *)
+
+val pp_rows : Format.formatter -> row list -> unit

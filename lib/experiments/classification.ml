@@ -1,0 +1,42 @@
+type row = {
+  geometry : Rcm.Geometry.t;
+  paper : [ `Scalable | `Unscalable ];
+  numeric : Rcm.Scalability.verdict;
+  asymptotic_success : float;
+  agrees : bool;
+}
+
+type report = { q : float; d : int; rows : row list }
+
+(* Section 5's classification table, recomputed numerically at a
+   reference failure probability. *)
+let run ?(q = 0.1) ?(d = 100) () =
+  let rows =
+    List.map
+      (fun geometry ->
+        let numeric = Rcm.Scalability.classify ~d geometry ~q in
+        {
+          geometry;
+          paper = Rcm.Scalability.paper_classification geometry;
+          numeric;
+          asymptotic_success = Rcm.Scalability.asymptotic_success ~d geometry ~q;
+          agrees = Rcm.Scalability.agrees_with_paper ~d geometry ~q;
+        })
+      Rcm.Geometry.all_default
+  in
+  { q; d; rows }
+
+let all_agree report = List.for_all (fun r -> r.agrees) report.rows
+
+let pp ppf report =
+  Fmt.pf ppf "# Scalability classification (q=%.2f, reference d=%d)@." report.q report.d;
+  Fmt.pf ppf "%-12s %-12s %-40s %-14s %s@." "geometry" "paper" "numeric verdict" "lim p(h,q)"
+    "agrees";
+  List.iter
+    (fun r ->
+      Fmt.pf ppf "%-12s %-12s %-40s %-14.6g %b@."
+        (Rcm.Geometry.name r.geometry)
+        (match r.paper with `Scalable -> "scalable" | `Unscalable -> "unscalable")
+        (Fmt.str "%a" Rcm.Scalability.pp_verdict r.numeric)
+        r.asymptotic_success r.agrees)
+    report.rows

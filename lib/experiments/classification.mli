@@ -1,0 +1,19 @@
+(** Experiment T1 — the implicit classification table of section 5:
+    which geometries are scalable (sum Q(m) converges) and which are
+    not, checked numerically against the paper's symbolic verdicts. *)
+
+type row = {
+  geometry : Rcm.Geometry.t;
+  paper : [ `Scalable | `Unscalable ];
+  numeric : Rcm.Scalability.verdict;
+  asymptotic_success : float;  (** lim p(h,q) at the reference q *)
+  agrees : bool;
+}
+
+type report = { q : float; d : int; rows : row list }
+
+val run : ?q:float -> ?d:int -> unit -> report
+
+val all_agree : report -> bool
+
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,68 @@
+type config = { bits : int; qs : float list; trials : int; pairs : int; seed : int }
+
+let default_config =
+  { bits = 12; qs = Grid.fig6_q; trials = 3; pairs = 2_000; seed = 4242 }
+
+(* A1: for each geometry and failure level, measure pair-connectivity
+   (percolation ceiling) and routability on the same failed overlays.
+   The gap is the quantity the paper's introduction argues percolation
+   theory cannot see. *)
+let run_geometry cfg geometry =
+  Series.tabulate
+    ~title:
+      (Printf.sprintf "A1 connectivity vs routability: %s, N=2^%d"
+         (Rcm.Geometry.name geometry) cfg.bits)
+    ~x_label:"q" ~x:cfg.qs
+    [
+      ( "connectivity",
+        fun q ->
+          (Sim.Percolation.run ~trials:cfg.trials ~pairs:cfg.pairs ~seed:cfg.seed
+             ~bits:cfg.bits ~q geometry)
+            .Sim.Percolation.mean_pair_connectivity );
+      ( "routability",
+        fun q ->
+          (Sim.Percolation.run ~trials:cfg.trials ~pairs:cfg.pairs ~seed:cfg.seed
+             ~bits:cfg.bits ~q geometry)
+            .Sim.Percolation.mean_routability );
+    ]
+
+(* Single-pass variant: one Percolation.run per grid point, yielding
+   both columns (used by the CLI and bench; run_geometry recomputes per
+   column and is kept for its simpler interface in tests). *)
+let run cfg geometry =
+  let reports =
+    List.map
+      (fun q ->
+        Sim.Percolation.run ~trials:cfg.trials ~pairs:cfg.pairs ~seed:cfg.seed
+          ~bits:cfg.bits ~q geometry)
+      cfg.qs
+  in
+  Series.create
+    ~title:
+      (Printf.sprintf "A1 connectivity vs routability: %s, N=2^%d"
+         (Rcm.Geometry.name geometry) cfg.bits)
+    ~x_label:"q"
+    ~x:(Array.of_list cfg.qs)
+    [
+      Series.column ~label:"connectivity"
+        (Array.of_list (List.map (fun r -> r.Sim.Percolation.mean_pair_connectivity) reports));
+      Series.column ~label:"giant"
+        (Array.of_list (List.map (fun r -> r.Sim.Percolation.mean_giant_fraction) reports));
+      Series.column ~label:"routability"
+        (Array.of_list (List.map (fun r -> r.Sim.Percolation.mean_routability) reports));
+      Series.column ~label:"gap"
+        (Array.of_list (List.map Sim.Percolation.routing_gap reports));
+    ]
+
+(* Routability can exceed connectivity only through Monte-Carlo noise. *)
+let gap_violations ?(slack = 0.02) series =
+  match (Series.find_column series "connectivity", Series.find_column series "routability") with
+  | Some c, Some r ->
+      let out = ref [] in
+      Array.iteri
+        (fun i q ->
+          if r.Series.values.(i) > c.Series.values.(i) +. slack then
+            out := (q, c.Series.values.(i), r.Series.values.(i)) :: !out)
+        series.Series.x;
+      List.rev !out
+  | None, _ | _, None -> invalid_arg "Connectivity.gap_violations: not an A1 series"

@@ -1,0 +1,22 @@
+(** Experiment A1 — reachability versus raw connectivity.
+
+    Section 1: "because of how messages get routed ... all pairs
+    belonging to the same connected component need not be reachable".
+    This ablation measures both quantities on identical failed overlays,
+    exhibiting the gap (largest for tree and Symphony). *)
+
+type config = { bits : int; qs : float list; trials : int; pairs : int; seed : int }
+
+val default_config : config
+
+val run : config -> Rcm.Geometry.t -> Series.t
+(** Columns: pair-connectivity, giant-component fraction, routability,
+    and their gap, over the q grid. *)
+
+val run_geometry : config -> Rcm.Geometry.t -> Series.t
+(** Two-column (connectivity, routability) variant. *)
+
+val gap_violations : ?slack:float -> Series.t -> (float * float * float) list
+(** Grid points where routability exceeds connectivity by more than
+    [slack] — empty on a correct build (routing cannot beat
+    connectivity). *)

@@ -1,0 +1,55 @@
+(* T2: the operating-envelope table implied by the paper's figures —
+   the largest failure probability each geometry sustains while keeping
+   routability above a target, at deployment scale (d = 16) and in the
+   asymptotic stand-in (d = 100). Routability is monotone decreasing in
+   q (a property-tested invariant), so bisection applies. *)
+
+type row = { geometry : Rcm.Geometry.t; d : int; target : float; q_critical : float option }
+
+let bisection_steps = 40
+
+let critical_q geometry ~d ~target =
+  if target <= 0.0 || target >= 1.0 then invalid_arg "Critical_q: target outside (0,1)";
+  let meets q = Rcm.Model.routability geometry ~d ~q >= target in
+  if not (meets 1e-6) then None
+  else if meets (1.0 -. 1e-9) then Some 1.0
+  else begin
+    let rec bisect lo hi i =
+      if i = 0 then lo
+      else begin
+        let mid = (lo +. hi) /. 2.0 in
+        if meets mid then bisect mid hi (i - 1) else bisect lo mid (i - 1)
+      end
+    in
+    Some (bisect 1e-6 1.0 bisection_steps)
+  end
+
+let default_ds = [ 16; 100 ]
+
+let default_targets = [ 0.9; 0.5 ]
+
+let run ?(ds = default_ds) ?(targets = default_targets) () =
+  List.concat_map
+    (fun geometry ->
+      List.concat_map
+        (fun d ->
+          List.map
+            (fun target -> { geometry; d; target; q_critical = critical_q geometry ~d ~target })
+            targets)
+        ds)
+    Rcm.Geometry.all_default
+
+let pp_rows ppf rows =
+  Fmt.pf ppf "# T2: largest failure probability sustaining a routability target@.";
+  Fmt.pf ppf "%-12s %6s %8s %12s@." "geometry" "d" "target" "critical q";
+  List.iter
+    (fun row ->
+      let value =
+        match row.q_critical with
+        | None -> "< 1e-6"
+        | Some q when q >= 1.0 -> ">= 1"
+        | Some q -> Printf.sprintf "%.4f" q
+      in
+      Fmt.pf ppf "%-12s %6d %8.2f %12s@." (Rcm.Geometry.name row.geometry) row.d row.target
+        value)
+    rows

@@ -1,0 +1,80 @@
+type config = {
+  configurations : (int * int) list;  (** (dim, side) with side^dim = N *)
+  qs : float list;
+  trials : int;
+  pairs : int;
+  seed : int;
+}
+
+(* A8: CAN's design knob. All configurations have N = 2^12 zones; the
+   paper's hypercube is (12, 2). Lower dimensions mean longer paths
+   with fewer alternatives per hop, hence worse static resilience —
+   matching Gummadi et al.'s observation that geometry, not just
+   degree, drives resilience. *)
+let default_config =
+  {
+    configurations = [ (2, 64); (3, 16); (4, 8); (6, 4); (12, 2) ];
+    qs = [ 0.0; 0.1; 0.2; 0.3; 0.4; 0.5 ];
+    trials = 3;
+    pairs = 1_500;
+    seed = 121;
+  }
+
+let simulate cfg ~dim ~side q =
+  let rng = Prng.Splitmix.create ~seed:cfg.seed in
+  let table = Overlay.Torus.build ~dim ~side in
+  let delivered = ref 0 in
+  let attempted = ref 0 in
+  for _ = 1 to cfg.trials do
+    let trial_rng = Prng.Splitmix.split rng in
+    let alive = Overlay.Failure.sample ~rng:trial_rng ~q (Overlay.Torus.node_count table) in
+    let pool = Overlay.Failure.survivors alive in
+    if Array.length pool >= 2 then
+      for _ = 1 to cfg.pairs do
+        let src, dst = Stats.Sampler.ordered_pair trial_rng pool in
+        incr attempted;
+        if
+          Routing.Outcome.is_delivered
+            (Routing.Torus_router.route table ~rng:trial_rng ~alive ~src ~dst)
+        then incr delivered
+      done
+  done;
+  if !attempted = 0 then 0.0 else float_of_int !delivered /. float_of_int !attempted
+
+let label ~dim ~side suffix = Printf.sprintf "%dx%d(%s)" dim side suffix
+
+let run cfg =
+  Series.tabulate
+    ~title:"A8: CAN dimension sweep at fixed N — routability (sim) with RCM sandwich bounds"
+    ~x_label:"q" ~x:cfg.qs
+    (List.concat_map
+       (fun (dim, side) ->
+         [
+           (label ~dim ~side "lo", fun q -> Rcm.Torus_bounds.routability_lower ~dim ~side ~q);
+           (label ~dim ~side "sim", simulate cfg ~dim ~side);
+           (label ~dim ~side "up", fun q -> Rcm.Torus_bounds.routability_upper ~dim ~side ~q);
+         ])
+       cfg.configurations)
+
+(* The sandwich must hold: lo <= sim <= up at every point (up to
+   Monte-Carlo noise). *)
+let sandwich_violations ?(slack = 0.02) series ~configurations =
+  let out = ref [] in
+  List.iter
+    (fun (dim, side) ->
+      match
+        ( Series.find_column series (label ~dim ~side "lo"),
+          Series.find_column series (label ~dim ~side "sim"),
+          Series.find_column series (label ~dim ~side "up") )
+      with
+      | Some lo, Some sim, Some up ->
+          Array.iteri
+            (fun i q ->
+              if sim.Series.values.(i) < lo.Series.values.(i) -. slack then
+                out := (q, label ~dim ~side "lo") :: !out;
+              if sim.Series.values.(i) > up.Series.values.(i) +. slack then
+                out := (q, label ~dim ~side "up") :: !out)
+            series.Series.x
+      | _, _, _ -> ())
+    configurations;
+  List.rev !out

@@ -1,0 +1,59 @@
+type config = {
+  bits : int;
+  qs : float list;
+  trials : int;
+  pairs_per_trial : int;
+  seed : int;
+}
+
+(* The paper's setting: N = 2^16 nodes, failure probability swept to
+   0.5, simulation percentages estimated over sampled pairs. *)
+let default_config =
+  { bits = 16; qs = Grid.fig6_q; trials = 3; pairs_per_trial = 2_000; seed = 1006 }
+
+let quick_config =
+  { bits = 10; qs = Grid.fig6_q; trials = 2; pairs_per_trial = 500; seed = 1006 }
+
+(* Fig. 6(a) compares tree, hypercube and XOR; ring is split out into
+   Fig. 6(b) because its analysis is only a bound. *)
+let geometries = [ Rcm.Geometry.Tree; Rcm.Geometry.Hypercube; Rcm.Geometry.Xor ]
+
+let analysis_column cfg geometry =
+  ( Rcm.Geometry.name geometry ^ "(ana)",
+    fun q -> Rcm.Model.failed_paths_percent geometry ~d:cfg.bits ~q )
+
+let simulation_column cfg geometry =
+  ( Rcm.Geometry.name geometry ^ "(sim)",
+    fun q ->
+      let sim =
+        Sim.Estimate.run
+          (Sim.Estimate.config ~trials:cfg.trials ~pairs_per_trial:cfg.pairs_per_trial
+             ~seed:cfg.seed ~bits:cfg.bits ~q geometry)
+      in
+      Sim.Estimate.failed_percent sim )
+
+let analysis cfg =
+  Series.tabulate
+    ~title:
+      (Printf.sprintf "Fig 6(a) analysis: %% failed paths, N=2^%d (tree/hypercube/xor)"
+         cfg.bits)
+    ~x_label:"q" ~x:cfg.qs
+    (List.map (analysis_column cfg) geometries)
+
+let simulation cfg =
+  Series.tabulate
+    ~title:
+      (Printf.sprintf "Fig 6(a) simulation: %% failed paths, N=2^%d (tree/hypercube/xor)"
+         cfg.bits)
+    ~x_label:"q" ~x:cfg.qs
+    (List.map (simulation_column cfg) geometries)
+
+let run cfg =
+  Series.tabulate
+    ~title:
+      (Printf.sprintf "Fig 6(a): %% failed paths vs q, N=2^%d — analysis vs simulation"
+         cfg.bits)
+    ~x_label:"q" ~x:cfg.qs
+    (List.concat_map
+       (fun g -> [ analysis_column cfg g; simulation_column cfg g ])
+       geometries)

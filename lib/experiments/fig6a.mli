@@ -1,0 +1,38 @@
+(** Experiment F6A — Fig. 6(a): percentage of failed paths versus node
+    failure probability at N = 2^16, analysis against simulation, for
+    the tree, hypercube and XOR geometries.
+
+    The paper plots Gummadi et al.'s simulation points against the RCM
+    curves; here both sides are regenerated (the simulator replaces the
+    borrowed data, see DESIGN.md). *)
+
+type config = {
+  bits : int;
+  qs : float list;
+  trials : int;
+  pairs_per_trial : int;
+  seed : int;
+}
+
+val default_config : config
+(** The paper's setting (bits = 16). *)
+
+val quick_config : config
+(** A smaller instance (bits = 10) for tests and smoke runs. *)
+
+val geometries : Rcm.Geometry.t list
+
+val analysis_column : config -> Rcm.Geometry.t -> string * (float -> float)
+(** One analytical failed-percent column (shared with {!Fig6b}). *)
+
+val simulation_column : config -> Rcm.Geometry.t -> string * (float -> float)
+(** One simulated failed-percent column (shared with {!Fig6b}). *)
+
+val analysis : config -> Series.t
+(** Analytical failed-path percentages only. *)
+
+val simulation : config -> Series.t
+(** Monte-Carlo failed-path percentages only. *)
+
+val run : config -> Series.t
+(** Interleaved analysis and simulation columns — the full figure. *)

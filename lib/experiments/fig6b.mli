@@ -1,0 +1,22 @@
+(** Experiment F6B — Fig. 6(b): ring (Chord) percentage of failed paths
+    versus q at N = 2^16; the analytical curve is an upper bound on the
+    failed percentage (section 4.3.3). *)
+
+type config = Fig6a.config = {
+  bits : int;
+  qs : float list;
+  trials : int;
+  pairs_per_trial : int;
+  seed : int;
+}
+
+val default_config : config
+val quick_config : config
+
+val run : config -> Series.t
+
+val bound_violations : ?slack:float -> Series.t -> (float * float * float) list
+(** Grid points where the simulated failed percentage exceeds the
+    analytical upper bound by more than [slack] percentage points
+    (Monte-Carlo allowance). Empty on a correct run.
+    @raise Invalid_argument on a series that is not a Fig. 6(b) table. *)

@@ -1,0 +1,33 @@
+type config = { bits : int; qs : float list }
+
+(* The paper evaluates the analytical expressions at N = 2^100 as a
+   stand-in for the infinite-size limit. *)
+let default_config = { bits = 100; qs = Grid.fig7a_q }
+
+let geometries = Rcm.Geometry.all_default
+
+let run cfg =
+  Series.tabulate
+    ~title:
+      (Printf.sprintf "Fig 7(a): asymptotic %% failed paths vs q at N=2^%d (all geometries)"
+         cfg.bits)
+    ~x_label:"q" ~x:cfg.qs
+    (List.map
+       (fun g ->
+         (Rcm.Geometry.name g, fun q -> Rcm.Model.failed_paths_percent g ~d:cfg.bits ~q))
+       geometries)
+
+(* The qualitative claims the paper reads off this figure. *)
+let step_function_like series ~label =
+  match Series.find_column series label with
+  | None -> false
+  | Some c ->
+      (* Near 0 failed paths at q = 0 and >= 99% for every q >= 0.1. *)
+      let ok = ref true in
+      Array.iteri
+        (fun i q ->
+          let v = c.Series.values.(i) in
+          if q = 0.0 then ok := !ok && v < 1e-6
+          else if q >= 0.1 then ok := !ok && v > 99.0)
+        series.Series.x;
+      !ok

@@ -1,0 +1,16 @@
+(** Experiment F7A — Fig. 7(a): percentage of failed paths versus q in
+    the asymptotic limit, evaluated (as in the paper) at N = 2^100 for
+    all five geometries. Tree and Symphony become step functions; the
+    three scalable geometries barely move from their N = 2^16 curves. *)
+
+type config = { bits : int; qs : float list }
+
+val default_config : config
+val geometries : Rcm.Geometry.t list
+
+val run : config -> Series.t
+
+val step_function_like : Series.t -> label:string -> bool
+(** True when the named column is ~0% failed at q = 0 and above 99% for
+    every q >= 0.1 — the paper's description of the tree and Symphony
+    asymptotic curves. *)

@@ -1,0 +1,36 @@
+type config = { q : float; ds : int list }
+
+(* Routability versus system size at fixed failure probability: the
+   paper's scalability picture, q = 0.1 out to N ~ 10^12. *)
+let default_config = { q = 0.1; ds = Grid.fig7b_d }
+
+let geometries = Rcm.Geometry.all_default
+
+let run cfg =
+  Series.tabulate
+    ~title:(Printf.sprintf "Fig 7(b): routability vs system size (d = log2 N) at q=%.2f" cfg.q)
+    ~x_label:"d" ~x:(List.map float_of_int cfg.ds)
+    (List.map
+       (fun g ->
+         ( Rcm.Geometry.name g,
+           fun d -> Rcm.Model.routability g ~d:(int_of_float d) ~q:cfg.q ))
+       geometries)
+
+(* Tree decays like ((2-q)/2)^d — slow at q = 0.1 (~0.14 at d = 40) —
+   so the default final ceiling is loose; what matters is the monotone
+   decay toward zero, in contrast with the scalable geometries' flat
+   curves. *)
+let monotonically_decaying ?(final_below = 0.3) series ~label =
+  match Series.find_column series label with
+  | None -> false
+  | Some c ->
+      let ok = ref true in
+      Array.iteri
+        (fun i v -> if i > 0 then ok := !ok && v <= c.Series.values.(i - 1) +. 1e-12)
+        c.Series.values;
+      !ok && c.Series.values.(Array.length c.Series.values - 1) < final_below
+
+let stays_routable series ~label ~floor =
+  match Series.find_column series label with
+  | None -> false
+  | Some c -> Array.for_all (fun v -> v >= floor) c.Series.values

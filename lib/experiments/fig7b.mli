@@ -1,0 +1,19 @@
+(** Experiment F7B — Fig. 7(b): routability versus system size at fixed
+    q = 0.1 for all five geometries. Tree and Symphony decay
+    monotonically toward zero; hypercube, XOR and ring stay highly
+    routable out to billions of nodes. *)
+
+type config = { q : float; ds : int list }
+
+val default_config : config
+val geometries : Rcm.Geometry.t list
+
+val run : config -> Series.t
+
+val monotonically_decaying : ?final_below:float -> Series.t -> label:string -> bool
+(** True when the column never increases with d and ends below
+    [final_below] (default 0.3) — the unscalable signature. *)
+
+val stays_routable : Series.t -> label:string -> floor:float -> bool
+(** True when the column never drops below [floor] — the scalable
+    signature. *)

@@ -1,0 +1,20 @@
+let floats ~lo ~hi ~steps =
+  if steps < 1 then invalid_arg "Grid.floats: need at least one step"
+  else if hi < lo then invalid_arg "Grid.floats: empty range"
+  else if steps = 1 then [ lo ]
+  else
+    List.init steps (fun i ->
+        lo +. ((hi -. lo) *. float_of_int i /. float_of_int (steps - 1)))
+
+let ints ~lo ~hi = if hi < lo then [] else List.init (hi - lo + 1) (fun i -> lo + i)
+
+(* The q-axis used by Fig. 6: failure probabilities 0 .. 0.5 in steps
+   of 0.05. *)
+let fig6_q = floats ~lo:0.0 ~hi:0.5 ~steps:11
+
+(* Fig. 7(a) extends the failure axis to 0.7. *)
+let fig7a_q = floats ~lo:0.0 ~hi:0.7 ~steps:15
+
+(* Fig. 7(b) sweeps system size at q = 0.1 from tiny rings to ~10^12
+   nodes. *)
+let fig7b_d = ints ~lo:3 ~hi:40

@@ -1,0 +1,66 @@
+type config = { bits : int; qs : float list; trials : int; pairs : int; seed : int }
+
+let default_config =
+  { bits = 12; qs = Grid.fig6_q; trials = 3; pairs = 1_500; seed = 131 }
+
+(* A9: the paper analyses Symphony's *basic* unidirectional geometry;
+   the deployed protocol is bidirectional (links usable from both
+   endpoints, near neighbours on both sides). The comparison is run at
+   matched k_n and k_s — the bidirectional node then has about twice
+   the usable degree, which is precisely the deployment's point. *)
+
+let simulate_unidirectional cfg ~k_n ~k_s q =
+  Stats.Binomial_ci.point
+    (Table_sim.routability
+       ~build:(fun rng ->
+         Overlay.Table.build ~rng ~bits:cfg.bits (Rcm.Geometry.Symphony { k_n; k_s }))
+       ~q ~trials:cfg.trials ~pairs:cfg.pairs ~seed:cfg.seed)
+
+let simulate_bidirectional cfg ~k_n ~k_s q =
+  let rng = Prng.Splitmix.create ~seed:cfg.seed in
+  let delivered = ref 0 in
+  let attempted = ref 0 in
+  for _ = 1 to cfg.trials do
+    let trial_rng = Prng.Splitmix.split rng in
+    let table =
+      Overlay.Table.build_symphony_bidirectional ~rng:trial_rng ~bits:cfg.bits ~k_n ~k_s ()
+    in
+    let alive = Overlay.Failure.sample ~rng:trial_rng ~q (Overlay.Table.node_count table) in
+    let pool = Overlay.Failure.survivors alive in
+    if Array.length pool >= 2 then
+      for _ = 1 to cfg.pairs do
+        let src, dst = Stats.Sampler.ordered_pair trial_rng pool in
+        incr attempted;
+        if
+          Routing.Outcome.is_delivered
+            (Routing.Bidirectional_ring.route table ~alive ~src ~dst)
+        then incr delivered
+      done
+  done;
+  if !attempted = 0 then 0.0 else float_of_int !delivered /. float_of_int !attempted
+
+let run ?(k_n = 1) ?(k_s = 1) cfg =
+  Series.tabulate
+    ~title:
+      (Printf.sprintf
+         "A9: Symphony basic geometry vs deployed protocol, N=2^%d, k_n=%d, k_s=%d"
+         cfg.bits k_n k_s)
+    ~x_label:"q" ~x:cfg.qs
+    [
+      ( "analysis(uni)",
+        fun q -> Rcm.Model.routability (Rcm.Geometry.Symphony { k_n; k_s }) ~d:cfg.bits ~q );
+      ("sim(uni)", simulate_unidirectional cfg ~k_n ~k_s);
+      ("sim(bidir)", simulate_bidirectional cfg ~k_n ~k_s);
+    ]
+
+(* Bidirectional links can only help (twice the usable degree and two
+   approach directions). *)
+let bidirectional_wins ?(slack = 0.03) series =
+  match (Series.find_column series "sim(uni)", Series.find_column series "sim(bidir)") with
+  | Some uni, Some bidir ->
+      let ok = ref true in
+      Array.iteri
+        (fun i _ -> if bidir.Series.values.(i) < uni.Series.values.(i) -. slack then ok := false)
+        series.Series.x;
+      !ok
+  | None, _ | _, None -> invalid_arg "Symphony_deployment.bidirectional_wins: not an A9 series"

@@ -1,0 +1,20 @@
+(** Experiment A9 — Symphony: basic geometry versus deployed protocol.
+
+    The paper deliberately analyses basic geometries; Symphony as
+    shipped uses bidirectional links (incoming shortcuts included) and
+    routes toward the destination from either side. This ablation
+    quantifies the gap at matched (k_n, k_s). *)
+
+type config = { bits : int; qs : float list; trials : int; pairs : int; seed : int }
+
+val default_config : config
+
+val simulate_unidirectional : config -> k_n:int -> k_s:int -> float -> float
+val simulate_bidirectional : config -> k_n:int -> k_s:int -> float -> float
+
+val run : ?k_n:int -> ?k_s:int -> config -> Series.t
+(** Columns: analysis(uni), sim(uni), sim(bidir). *)
+
+val bidirectional_wins : ?slack:float -> Series.t -> bool
+(** True when the deployed protocol's routability dominates the basic
+    geometry's at every grid point (up to noise). *)

@@ -1,0 +1,40 @@
+(* A10: Definition 2 restricts scalability claims to q < 1 - p_c, the
+   connectivity (percolation) regime. This experiment locates both
+   collapse points per geometry at a fixed size: the failure level
+   where *routing* drops to 50% (analytical critical q) and the level
+   where *connectivity* does (simulated giant-component threshold).
+   Routing always collapses first — the margin is what the reachable
+   component method measures and percolation theory cannot. *)
+
+type row = {
+  geometry : Rcm.Geometry.t;
+  routing_collapse : float option;  (** analytical q with r = 0.5 *)
+  connectivity_collapse : float;  (** simulated giant-component threshold *)
+}
+
+let run ?(bits = 12) ?(trials = 3) ?(seed = 77) () =
+  List.map
+    (fun geometry ->
+      {
+        geometry;
+        routing_collapse = Critical_q.critical_q geometry ~d:bits ~target:0.5;
+        connectivity_collapse = Sim.Percolation.giant_threshold ~trials ~seed ~bits geometry;
+      })
+    Rcm.Geometry.all_default
+
+let margin row =
+  match row.routing_collapse with
+  | None -> row.connectivity_collapse
+  | Some routing -> row.connectivity_collapse -. routing
+
+let pp_rows ppf rows =
+  Fmt.pf ppf "# A10: routing collapse vs connectivity collapse (r/giant = 0.5)@.";
+  Fmt.pf ppf "%-12s %14s %16s %10s@." "geometry" "routing q*" "connectivity q*" "margin";
+  List.iter
+    (fun row ->
+      let routing =
+        match row.routing_collapse with None -> "< 1e-6" | Some q -> Printf.sprintf "%.4f" q
+      in
+      Fmt.pf ppf "%-12s %14s %16.4f %10.4f@." (Rcm.Geometry.name row.geometry) routing
+        row.connectivity_collapse (margin row))
+    rows

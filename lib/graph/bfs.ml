@@ -1,0 +1,30 @@
+let unreachable = -1
+
+let distances ?alive graph ~source =
+  let n = Digraph.node_count graph in
+  if source < 0 || source >= n then invalid_arg "Bfs.distances: source outside graph";
+  let is_alive v = match alive with None -> true | Some a -> a.(v) in
+  let dist = Array.make n unreachable in
+  if not (is_alive source) then dist
+  else begin
+    let queue = Queue.create () in
+    dist.(source) <- 0;
+    Queue.add source queue;
+    while not (Queue.is_empty queue) do
+      let v = Queue.pop queue in
+      Digraph.iter_successors graph v (fun u ->
+          if is_alive u && dist.(u) = unreachable then begin
+            dist.(u) <- dist.(v) + 1;
+            Queue.add u queue
+          end)
+    done;
+    dist
+  end
+
+let reachable_count ?alive graph ~source =
+  let dist = distances ?alive graph ~source in
+  Array.fold_left (fun acc d -> if d > 0 then acc + 1 else acc) 0 dist
+
+let eccentricity ?alive graph ~source =
+  let dist = distances ?alive graph ~source in
+  Array.fold_left (fun acc d -> if d > acc then d else acc) 0 dist

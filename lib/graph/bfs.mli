@@ -1,0 +1,16 @@
+(** Breadth-first search over a digraph, optionally restricted to alive
+    nodes. *)
+
+val unreachable : int
+(** Distance value (-1) marking unreachable nodes. *)
+
+val distances : ?alive:bool array -> Digraph.t -> source:int -> int array
+(** Hop distances from [source]; [unreachable] where no path exists. A
+    dead source reaches nothing.
+    @raise Invalid_argument if [source] is outside the graph. *)
+
+val reachable_count : ?alive:bool array -> Digraph.t -> source:int -> int
+(** Number of nodes reachable from [source], excluding itself. *)
+
+val eccentricity : ?alive:bool array -> Digraph.t -> source:int -> int
+(** Largest finite distance from [source]. *)

@@ -1,0 +1,48 @@
+type report = {
+  alive_nodes : int;
+  component_count : int;
+  largest : int;
+  giant_fraction : float;
+  pair_connectivity : float;
+}
+
+(* Fraction of ordered alive pairs lying in the same component:
+   sum_c s_c (s_c - 1) / (a (a - 1)). This is the information-theoretic
+   ceiling on routability — the paper's point that the reachable
+   component is a subset of the connected component means measured
+   routability can never exceed it. *)
+let analyze ?alive graph =
+  let n = Digraph.node_count graph in
+  let is_alive v = match alive with None -> true | Some a -> a.(v) in
+  let alive_nodes = ref 0 in
+  for v = 0 to n - 1 do
+    if is_alive v then incr alive_nodes
+  done;
+  let uf = Digraph.undirected_components ?alive graph in
+  let sizes = Hashtbl.create 64 in
+  for v = 0 to n - 1 do
+    if is_alive v then begin
+      let r = Union_find.find uf v in
+      Hashtbl.replace sizes r (1 + Option.value ~default:0 (Hashtbl.find_opt sizes r))
+    end
+  done;
+  let component_count = Hashtbl.length sizes in
+  let largest = Hashtbl.fold (fun _ s acc -> max s acc) sizes 0 in
+  let a = float_of_int !alive_nodes in
+  let connected_pairs =
+    Hashtbl.fold (fun _ s acc -> acc +. (float_of_int s *. float_of_int (s - 1))) sizes 0.0
+  in
+  let pair_connectivity =
+    if !alive_nodes < 2 then 0.0 else connected_pairs /. (a *. (a -. 1.0))
+  in
+  {
+    alive_nodes = !alive_nodes;
+    component_count;
+    largest;
+    giant_fraction = (if !alive_nodes = 0 then 0.0 else float_of_int largest /. a);
+    pair_connectivity;
+  }
+
+let pp ppf r =
+  Fmt.pf ppf "alive=%d components=%d largest=%d giant=%.4f pair-connectivity=%.4f"
+    r.alive_nodes r.component_count r.largest r.giant_fraction r.pair_connectivity

@@ -1,0 +1,18 @@
+(** Connected-component analysis of (possibly failed) overlays.
+
+    Used by the percolation experiment (A1) to contrast routability with
+    raw connectivity: a pair can be connected yet unroutable, so
+    [pair_connectivity] upper-bounds any geometry's routability. *)
+
+type report = {
+  alive_nodes : int;
+  component_count : int;  (** components among alive nodes *)
+  largest : int;  (** size of the largest component *)
+  giant_fraction : float;  (** largest / alive *)
+  pair_connectivity : float;
+      (** fraction of ordered alive pairs in the same component *)
+}
+
+val analyze : ?alive:bool array -> Digraph.t -> report
+
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,27 @@
+(** Immutable directed graph in compressed-sparse-row form.
+
+    DHT overlays at N = 2^16 with ~16 out-edges per node are stored as
+    one flat edge array to keep routing cache-friendly. *)
+
+type t
+
+val of_adjacency : int array array -> t
+(** [of_adjacency adj] where [adj.(v)] lists the out-neighbours of [v]. *)
+
+val of_edges : nodes:int -> (int * int) list -> t
+(** @raise Invalid_argument on endpoints outside [0, nodes). *)
+
+val node_count : t -> int
+val edge_count : t -> int
+val out_degree : t -> int -> int
+
+val iter_successors : t -> int -> (int -> unit) -> unit
+val fold_successors : t -> int -> init:'a -> f:('a -> int -> 'a) -> 'a
+val successors : t -> int -> int array
+(** Fresh array of out-neighbours (allocates; prefer the iterators in
+    hot paths). *)
+
+val undirected_components : ?alive:bool array -> t -> Union_find.t
+(** Connected components of the underlying undirected graph, optionally
+    restricted to nodes whose [alive] entry is true (dead nodes stay as
+    singletons). *)

@@ -1,0 +1,48 @@
+(* Base-2^group digit views of identifiers: digit 1 is the most
+   significant group of bits, matching the bit convention in {!Id}. *)
+
+let check ~bits ~group =
+  if group < 1 then invalid_arg "Digit: group must be >= 1";
+  if bits mod group <> 0 then invalid_arg "Digit: group must divide bits"
+
+let count ~bits ~group =
+  check ~bits ~group;
+  bits / group
+
+let base ~group = 1 lsl group
+
+let shift ~bits ~group level =
+  let levels = count ~bits ~group in
+  if level < 1 || level > levels then invalid_arg "Digit: level outside 1..digits"
+  else bits - (level * group)
+
+let get ~bits ~group id level =
+  (id lsr shift ~bits ~group level) land (base ~group - 1)
+
+let set ~bits ~group id level value =
+  if value < 0 || value >= base ~group then invalid_arg "Digit.set: value outside base"
+  else begin
+    let s = shift ~bits ~group level in
+    let cleared = id land lnot ((base ~group - 1) lsl s) in
+    cleared lor (value lsl s)
+  end
+
+let highest_differing ~bits ~group a b =
+  match Id.highest_differing_bit ~bits a b with
+  | None -> None
+  | Some bit -> Some (((bit - 1) / group) + 1)
+
+let distance ~bits ~group a b =
+  let levels = count ~bits ~group in
+  let rec scan level acc =
+    if level > levels then acc
+    else
+      scan (level + 1)
+        (if get ~bits ~group a level <> get ~bits ~group b level then acc + 1 else acc)
+  in
+  scan 1 0
+
+let common_prefix ~bits ~group a b =
+  match highest_differing ~bits ~group a b with
+  | None -> count ~bits ~group
+  | Some level -> level - 1

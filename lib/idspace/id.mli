@@ -1,0 +1,43 @@
+(** Distance metrics and bit manipulation on d-bit identifiers.
+
+    Bits are numbered 1..bits from the most significant end, matching the
+    paper's "correct identifier bits from left to right" convention. *)
+
+val xor_distance : int -> int -> int
+(** The Kademlia metric: numeric value of the XOR of the ids. *)
+
+val hamming_distance : int -> int -> int
+(** The hypercube (CAN) metric: number of differing bits. *)
+
+val ring_distance : bits:int -> int -> int -> int
+(** [ring_distance ~bits a b] is the clockwise distance from [a] to [b]
+    on the 2^bits ring (the Chord/Symphony metric; asymmetric). *)
+
+val floor_log2 : int -> int
+(** @raise Invalid_argument on non-positive arguments. *)
+
+val phases_of_distance : int -> int
+(** Number of routing phases needed to cover a given distance: h such
+    that the distance lies in [2^(h-1), 2^h); 0 at distance 0. *)
+
+val bit_mask : bits:int -> int -> int
+(** [bit_mask ~bits i] selects bit [i] (1-based from the MSB).
+    @raise Invalid_argument if outside 1..bits. *)
+
+val get_bit : bits:int -> int -> int -> bool
+val flip_bit : bits:int -> int -> int -> int
+
+val highest_differing_bit : bits:int -> int -> int -> int option
+(** [highest_differing_bit ~bits a b] is the most significant (smallest
+    index) bit where [a] and [b] differ, or [None] when equal. *)
+
+val common_prefix_length : bits:int -> int -> int -> int
+
+val with_suffix : bits:int -> int -> prefix_len:int -> suffix:int -> int
+(** [with_suffix ~bits id ~prefix_len ~suffix] keeps the first
+    [prefix_len] bits of [id] and replaces the rest with the low bits of
+    [suffix]. *)
+
+val to_binary_string : bits:int -> int -> string
+
+val pp : bits:int -> Format.formatter -> int -> unit

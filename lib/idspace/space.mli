@@ -1,0 +1,30 @@
+(** A fully-populated binary identifier space of 2^bits node ids.
+
+    The paper analyses DHTs whose identifier space is fully populated
+    (section 4.1, assumption 1): node ids are exactly the integers
+    0 .. 2^bits - 1. *)
+
+type t
+
+val max_bits : int
+(** Largest supported [bits] for concrete (simulated) spaces. *)
+
+val create : bits:int -> t
+(** @raise Invalid_argument unless [1 <= bits <= max_bits]. *)
+
+val bits : t -> int
+val size : t -> int
+
+val mask : t -> int
+(** [mask t] is [size t - 1], i.e. all-ones over the id width. *)
+
+val contains : t -> int -> bool
+
+val check : t -> int -> unit
+(** @raise Invalid_argument if the id lies outside the space. *)
+
+val random_id : t -> Prng.Splitmix.t -> int
+
+val fold_ids : t -> init:'a -> f:('a -> int -> 'a) -> 'a
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,65 @@
+(** Absorbing discrete-time Markov chains.
+
+    The paper derives every per-phase failure probability Q(m) by
+    inspecting a routing Markov chain (Figs. 4, 5(b), 8). This module
+    represents such chains explicitly and solves them exactly, so the
+    closed forms can be machine-checked rather than trusted. *)
+
+type t
+
+val create : num_states:int -> start:int -> edges:(int * int * float) list -> t
+(** [create ~num_states ~start ~edges] builds a chain from
+    [(src, dst, probability)] triples. Zero-probability edges are
+    dropped; states without out-edges are absorbing.
+    @raise Invalid_argument on malformed input. *)
+
+val num_states : t -> int
+val start : t -> int
+val out_edges : t -> int -> (int * float) array
+val is_absorbing : t -> int -> bool
+
+val out_probability : t -> int -> float
+(** Sum of outgoing probabilities of a state. *)
+
+val validate : ?tolerance:float -> t -> (unit, string) result
+(** Checks that every non-absorbing state's out-probability is 1. *)
+
+exception Cyclic
+
+val topological_order : t -> int list
+(** States reachable from the start in topological order.
+    @raise Cyclic if the reachable subgraph has a cycle. *)
+
+val visit_probabilities : t -> float array
+(** [visit_probabilities t].(s) is the probability that the chain,
+    started at [start t], ever visits [s] — the paper's G(start, s).
+    Exact single-pass computation; requires a DAG.
+    @raise Cyclic on cyclic chains. *)
+
+val absorption_probability : t -> into:int -> float
+(** Probability of being absorbed in the given absorbing state (DAG
+    solver). @raise Invalid_argument if [into] is not absorbing. *)
+
+val expected_steps : t -> float
+(** Expected number of transitions before absorption (DAG solver). *)
+
+val reach_probabilities : t -> target:int -> float array
+(** [reach_probabilities t ~target].(s) is the probability that a walk
+    started at [s] ever reaches [target] (DAG solver). *)
+
+val expected_steps_given : t -> into:int -> float
+(** [expected_steps_given t ~into] is the expected number of
+    transitions conditional on being absorbed in [into] — e.g. the hop
+    count of successful routes. [nan] when absorption in [into] has
+    probability 0. @raise Invalid_argument if [into] is not absorbing. *)
+
+val absorption_time_distribution : ?max_steps:int -> t -> into:int -> float array
+(** Entry t is P(absorbed in [into] after exactly t steps), by forward
+    propagation; exact on acyclic chains once [max_steps] (default:
+    the state count) covers the longest path. Sums to the absorption
+    probability. @raise Invalid_argument if [into] is not absorbing. *)
+
+val absorption_probability_iterative :
+  ?tolerance:float -> ?max_sweeps:int -> t -> into:int -> float
+(** Gauss-Seidel solver; also handles cyclic chains.
+    @raise Failure when the sweep budget is exhausted. *)

@@ -1,0 +1,16 @@
+let default_rtol = 1e-9
+
+let default_atol = 1e-12
+
+let equal ?(rtol = default_rtol) ?(atol = default_atol) a b =
+  if Float.is_nan a || Float.is_nan b then false
+  else if a = b then true
+  else Float.abs (a -. b) <= atol +. (rtol *. Float.max (Float.abs a) (Float.abs b))
+
+let relative_error ~expected actual =
+  if expected = 0.0 then Float.abs actual
+  else Float.abs (actual -. expected) /. Float.abs expected
+
+let testable ?(rtol = default_rtol) ?(atol = default_atol) () =
+  let pp ppf x = Fmt.pf ppf "%.17g" x in
+  (pp, equal ~rtol ~atol)

@@ -1,0 +1,20 @@
+(** Approximate floating-point comparison, shared by tests and the
+    validation experiments. *)
+
+val default_rtol : float
+val default_atol : float
+
+val equal : ?rtol:float -> ?atol:float -> float -> float -> bool
+(** [equal a b] holds when |a - b| <= atol + rtol * max(|a|, |b|).
+    [nan] is equal to nothing. *)
+
+val relative_error : expected:float -> float -> float
+(** [relative_error ~expected actual] is |actual - expected| / |expected|
+    (absolute error when [expected = 0]). *)
+
+val testable :
+  ?rtol:float ->
+  ?atol:float ->
+  unit ->
+  (Format.formatter -> float -> unit) * (float -> float -> bool)
+(** Printer and equality suitable for building an Alcotest testable. *)

@@ -1,0 +1,49 @@
+(** Arithmetic on non-negative reals represented by their natural log.
+
+    The RCM routability of a geometry at N = 2^100 involves binomial
+    coefficients near 1e29 multiplied by tiny success probabilities and
+    divided by a 1e30 denominator; doing this in the log domain keeps
+    every intermediate exactly representable. A value [x : t] represents
+    the real e^x, with [neg_infinity] representing 0. *)
+
+type t = private float
+
+val zero : t
+val one : t
+
+val of_float : float -> t
+(** [of_float x] represents [x]. @raise Invalid_argument if [x < 0]. *)
+
+val of_log : float -> t
+(** [of_log l] is the value whose natural log is [l] (unchecked). *)
+
+val to_float : t -> float
+(** [to_float x] is the represented real; underflows to [0.] or overflows
+    to [infinity] when outside float range. *)
+
+val to_log : t -> float
+
+val is_zero : t -> bool
+
+val mul : t -> t -> t
+val div : t -> t -> t
+
+val add : t -> t -> t
+(** Overflow-safe log-sum-exp of two values. *)
+
+val sub : t -> t -> t
+(** [sub a b] is a - b in the represented domain.
+    @raise Invalid_argument if [b > a]. *)
+
+val compare : t -> t -> int
+
+val sum : t array -> t
+(** Compensated log-sum-exp over an array. *)
+
+val sum_fn : lo:int -> hi:int -> (int -> t) -> t
+(** [sum_fn ~lo ~hi f] sums [f i] for [i] in [lo..hi]; [zero] when empty. *)
+
+val pow : t -> float -> t
+(** [pow x k] is x^k. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,23 @@
+(** Static-resilience failure injection: every node fails independently
+    with probability q, and routing tables are not repaired (section 1,
+    footnote 1). *)
+
+val sample : ?rng:Prng.Splitmix.t -> q:float -> int -> bool array
+(** [sample ~q n] is an alive-mask of [n] nodes; entry [v] is false with
+    probability [q], independently. *)
+
+val alive_count : bool array -> int
+
+val survivors : bool array -> int array
+(** Ids of alive nodes, ascending. *)
+
+val none : int -> bool array
+(** A mask with every node alive. *)
+
+val kill : bool array -> int array -> unit
+(** Marks the given ids dead (targeted-failure experiments). *)
+
+val sample_block : ?rng:Prng.Splitmix.t -> fraction:float -> int -> bool array
+(** [sample_block ~fraction n] kills round(fraction * n) *contiguous*
+    ids starting at a random offset (wrapping) — a correlated outage,
+    in contrast to {!sample}'s independent failures. *)

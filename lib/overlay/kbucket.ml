@@ -1,0 +1,54 @@
+type t = {
+  space : Idspace.Space.t;
+  k : int;
+  buckets : int array array array;
+}
+
+let space t = t.space
+
+let bits t = Idspace.Space.bits t.space
+
+let node_count t = Idspace.Space.size t.space
+
+let k t = t.k
+
+let bucket t v level =
+  if level < 1 || level > bits t then invalid_arg "Kbucket.bucket: level outside 1..bits"
+  else t.buckets.(v).(level - 1)
+
+(* All candidates for the level bucket of v share v's first level-1
+   bits and differ on bit [level]; there are 2^(bits-level) of them.
+   When the candidate set is small we enumerate it; otherwise we draw
+   distinct random suffixes by rejection (k << candidates). *)
+let sample_bucket space rng ~k v ~level =
+  let bits = Idspace.Space.bits space in
+  let base = Idspace.Id.flip_bit ~bits v level in
+  let candidates = 1 lsl (bits - level) in
+  if candidates <= k then
+    Array.init candidates (fun suffix ->
+        Idspace.Id.with_suffix ~bits base ~prefix_len:level ~suffix)
+  else begin
+    let chosen = Hashtbl.create k in
+    let out = Array.make k 0 in
+    let filled = ref 0 in
+    while !filled < k do
+      let suffix = Prng.Splitmix.int rng candidates in
+      if not (Hashtbl.mem chosen suffix) then begin
+        Hashtbl.add chosen suffix ();
+        out.(!filled) <- Idspace.Id.with_suffix ~bits base ~prefix_len:level ~suffix;
+        incr filled
+      end
+    done;
+    out
+  end
+
+let build ?(rng = Prng.Splitmix.create ~seed:0xb0cce) ~bits ~k () =
+  if k < 1 then invalid_arg "Kbucket.build: k < 1";
+  let space = Idspace.Space.create ~bits in
+  let node v = Array.init bits (fun i -> sample_bucket space rng ~k v ~level:(i + 1)) in
+  { space; k; buckets = Array.init (Idspace.Space.size space) node }
+
+let rebuild_bucket t rng v ~level =
+  t.buckets.(v).(level - 1) <- sample_bucket t.space rng ~k:t.k v ~level
+
+let iter_contacts t v f = Array.iter (fun b -> Array.iter f b) t.buckets.(v)

@@ -1,0 +1,28 @@
+(** Kademlia-style k-bucket tables: the level-i bucket of node v holds
+    up to k distinct contacts matching v's first i-1 bits and differing
+    on bit i (fewer when the identifier space has fewer candidates —
+    deep buckets are inherently small).
+
+    Used by the replication experiments (A5) and the churn simulator;
+    the basic single-contact tables live in {!Table}. *)
+
+type t
+
+val build : ?rng:Prng.Splitmix.t -> bits:int -> k:int -> unit -> t
+(** @raise Invalid_argument when [k < 1]. *)
+
+val space : t -> Idspace.Space.t
+val bits : t -> int
+val node_count : t -> int
+val k : t -> int
+
+val bucket : t -> int -> int -> int array
+(** [bucket t v level] is the contacts of [v]'s bucket for bit [level]
+    (1-based from the MSB; not a copy).
+    @raise Invalid_argument when the level is outside 1..bits. *)
+
+val rebuild_bucket : t -> Prng.Splitmix.t -> int -> level:int -> unit
+(** Redraws one bucket — a routing-table repair action under churn. *)
+
+val iter_contacts : t -> int -> (int -> unit) -> unit
+(** Iterates over every contact of a node, all buckets. *)

@@ -1,0 +1,131 @@
+type t = {
+  bits : int;
+  geometry : Rcm.Geometry.t;
+  ids : int array;
+  contacts : int array array;
+}
+
+let missing = -1
+
+let bits t = t.bits
+
+let geometry t = t.geometry
+
+let node_count t = Array.length t.ids
+
+let id_of t index = t.ids.(index)
+
+let contacts t index = t.contacts.(index)
+
+let occupancy t = float_of_int (node_count t) /. Float.pow 2.0 (float_of_int t.bits)
+
+(* First index whose id is >= target; [node_count t] when none. *)
+let lower_bound t target =
+  let rec search lo hi =
+    if lo >= hi then lo
+    else begin
+      let mid = (lo + hi) / 2 in
+      if t.ids.(mid) >= target then search lo mid else search (mid + 1) hi
+    end
+  in
+  search 0 (Array.length t.ids)
+
+(* Index of the first node clockwise from [target] (inclusive),
+   wrapping past the top of the ring. *)
+let successor_index t target =
+  let i = lower_bound t target in
+  if i = Array.length t.ids then 0 else i
+
+let index_of_id t id =
+  let i = successor_index t id in
+  if t.ids.(i) = id then Some i else None
+
+(* Range of node indexes whose ids share the given [prefix_len]-bit
+   prefix of [pattern]: ids are sorted, so it is one contiguous run. *)
+let prefix_range t ~pattern ~prefix_len =
+  if prefix_len = 0 then (0, Array.length t.ids)
+  else begin
+    let width = t.bits - prefix_len in
+    let lo_id = pattern land lnot ((1 lsl width) - 1) in
+    let hi_id = lo_id + (1 lsl width) in
+    (lower_bound t lo_id, lower_bound t hi_id)
+  end
+
+let sample_ids rng ~bits ~count =
+  let size = 1 lsl bits in
+  if count < 2 || count > size then
+    invalid_arg "Sparse.sample_ids: node count outside 2..2^bits";
+  if 2 * count >= size then begin
+    (* Dense regime: shuffle the whole space and take a prefix. *)
+    let all = Array.init size Fun.id in
+    Prng.Splitmix.shuffle_in_place rng all;
+    let chosen = Array.sub all 0 count in
+    Array.sort compare chosen;
+    chosen
+  end
+  else begin
+    let seen = Hashtbl.create (2 * count) in
+    let chosen = Array.make count 0 in
+    let filled = ref 0 in
+    while !filled < count do
+      let id = Prng.Splitmix.int rng size in
+      if not (Hashtbl.mem seen id) then begin
+        Hashtbl.add seen id ();
+        chosen.(!filled) <- id;
+        incr filled
+      end
+    done;
+    Array.sort compare chosen;
+    chosen
+  end
+
+(* Chord over a sparse ring: finger i of node v is the first occupied
+   id clockwise from id_v + 2^i (the standard sparse-Chord rule);
+   finger 0 is the successor. Self-pointing fingers (possible in tiny
+   rings) are kept and simply never useful. *)
+let build_ring_contacts t =
+  let n = Array.length t.ids in
+  let size = 1 lsl t.bits in
+  Array.init n (fun v ->
+      Array.init t.bits (fun i ->
+          let target = (t.ids.(v) + (1 lsl i)) land (size - 1) in
+          successor_index t target))
+
+(* Kademlia/Plaxton buckets over a sparse space: the level-i contact of
+   v is a uniformly random occupied id matching v's first i-1 bits and
+   differing on bit i, or [missing] when no such node exists. *)
+let build_prefix_contacts t rng =
+  let n = Array.length t.ids in
+  Array.init n (fun v ->
+      let id_v = t.ids.(v) in
+      Array.init t.bits (fun i ->
+          let level = i + 1 in
+          let pattern = Idspace.Id.flip_bit ~bits:t.bits id_v level in
+          let lo, hi = prefix_range t ~pattern ~prefix_len:level in
+          if hi <= lo then missing else lo + Prng.Splitmix.int rng (hi - lo)))
+
+(* Symphony over a sparse ring: positions live on the circle of the n
+   occupied nodes; near neighbours are the next k_n nodes and each
+   shortcut's position distance follows the harmonic law on n. *)
+let build_symphony_contacts t rng ~k_n ~k_s =
+  let n = Array.length t.ids in
+  if k_n + k_s >= n then invalid_arg "Sparse: symphony degree exceeds node count";
+  Array.init n (fun v ->
+      Array.init (k_n + k_s) (fun i ->
+          if i < k_n then (v + i + 1) mod n
+          else (v + Prng.Splitmix.harmonic_int rng ~n:(n - 1)) mod n))
+
+let build ?(rng = Prng.Splitmix.create ~seed:0x5ea5) ~bits ~nodes geometry =
+  if bits < 1 || bits > 30 then invalid_arg "Sparse.build: bits outside 1..30";
+  let ids = sample_ids rng ~bits ~count:nodes in
+  let t = { bits; geometry; ids; contacts = [||] } in
+  let contacts =
+    match geometry with
+    | Rcm.Geometry.Ring -> build_ring_contacts t
+    | Rcm.Geometry.Tree | Rcm.Geometry.Xor -> build_prefix_contacts t rng
+    | Rcm.Geometry.Symphony { k_n; k_s } -> build_symphony_contacts t rng ~k_n ~k_s
+    | Rcm.Geometry.Hypercube ->
+        invalid_arg
+          "Sparse.build: CAN's sparse form is a zone partition, not an id-subset overlay"
+  in
+  { t with contacts }

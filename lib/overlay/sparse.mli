@@ -1,0 +1,51 @@
+(** DHT overlays over *non-fully-populated* identifier spaces — the
+    extension the paper's section 6 leaves as future work.
+
+    [nodes] distinct identifiers are drawn uniformly from the 2^bits
+    space; nodes are addressed by their index in the sorted id array.
+    Constructions mirror the real sparse protocols: Chord fingers point
+    at the clockwise successor of id + 2^i; Kademlia/Plaxton buckets
+    draw a uniform occupied id from the matching prefix range (possibly
+    [missing] when the range is empty); Symphony works on the circle of
+    occupied positions. CAN is excluded: its sparse form is a
+    zone partition, not an id subset. *)
+
+type t
+
+val missing : int
+(** Sentinel (-1) for an empty bucket slot. *)
+
+val build :
+  ?rng:Prng.Splitmix.t -> bits:int -> nodes:int -> Rcm.Geometry.t -> t
+(** @raise Invalid_argument for [Hypercube], node counts outside
+    2..2^bits, or bits outside 1..30. *)
+
+val bits : t -> int
+val geometry : t -> Rcm.Geometry.t
+val node_count : t -> int
+
+val occupancy : t -> float
+(** nodes / 2^bits. *)
+
+val id_of : t -> int -> int
+(** The identifier of a node index. *)
+
+val index_of_id : t -> int -> int option
+
+val contacts : t -> int -> int array
+(** Contact *indexes* of a node (layout as in {!Table}: level-indexed
+    for tree/xor and ring fingers, near-then-shortcuts for symphony);
+    entries may be [missing] for tree/xor. Not a copy. *)
+
+val successor_index : t -> int -> int
+(** Index of the first node clockwise from an id (inclusive, with
+    wraparound). *)
+
+val lower_bound : t -> int -> int
+(** First index whose id is >= the target; [node_count] when none. *)
+
+val prefix_range : t -> pattern:int -> prefix_len:int -> int * int
+(** Half-open index range of nodes sharing the prefix of [pattern]. *)
+
+val sample_ids : Prng.Splitmix.t -> bits:int -> count:int -> int array
+(** [count] distinct sorted ids, uniform over the space. *)

@@ -1,0 +1,175 @@
+type t = {
+  space : Idspace.Space.t;
+  geometry : Rcm.Geometry.t;
+  neighbors : int array array;
+}
+
+let space t = t.space
+
+let geometry t = t.geometry
+
+let node_count t = Idspace.Space.size t.space
+
+let bits t = Idspace.Space.bits t.space
+
+let neighbors t v = t.neighbors.(v)
+
+let neighbor t v i = t.neighbors.(v).(i)
+
+let degree t v = Array.length t.neighbors.(v)
+
+let iter_neighbors t v f = Array.iter f t.neighbors.(v)
+
+(* Tree (Plaxton): the level-i neighbour of v matches v on bits 1..i-1,
+   differs on bit i, and — so that every successful hop corrects exactly
+   one differing bit, as the paper's n(h) = C(d,h), p = (1-q)^h model
+   requires — agrees with v on all lower-order bits. *)
+let build_tree space =
+  let bits = Idspace.Space.bits space in
+  let table v = Array.init bits (fun i -> Idspace.Id.flip_bit ~bits v (i + 1)) in
+  Array.init (Idspace.Space.size space) table
+
+(* Hypercube (CAN): identical topology to the tree table — the d nodes
+   at Hamming distance one — but routed greedily in any bit order. *)
+let build_hypercube = build_tree
+
+(* XOR (Kademlia): the level-i bucket contact matches v on bits 1..i-1,
+   differs on bit i, and has uniformly random lower-order bits — the
+   construction of section 3.3. *)
+let build_xor space rng =
+  let bits = Idspace.Space.bits space in
+  let table v =
+    Array.init bits (fun i ->
+        let level = i + 1 in
+        let flipped = Idspace.Id.flip_bit ~bits v level in
+        let suffix = Prng.Splitmix.int rng (Idspace.Space.size space) in
+        Idspace.Id.with_suffix ~bits flipped ~prefix_len:level ~suffix)
+  in
+  Array.init (Idspace.Space.size space) table
+
+(* Ring (Chord): finger i of node v points at clockwise distance exactly
+   2^i (classic Chord over a fully-populated ring; finger 0 is the
+   successor). With deterministic fingers a node at phase m always has m
+   usable fingers, matching the paper's q^m failure probability and
+   keeping the analysis a true lower bound on routability. *)
+let build_ring space =
+  let bits = Idspace.Space.bits space in
+  let size = Idspace.Space.size space in
+  let table v = Array.init bits (fun i -> (v + (1 lsl i)) land (size - 1)) in
+  Array.init size table
+
+(* Randomized Chord (ablation A4): finger i drawn uniformly from
+   clockwise distance [2^i, 2^(i+1)). Near the destination the top
+   finger can overshoot, so routability is slightly below the
+   deterministic variant. *)
+let build_ring_randomized space rng =
+  let bits = Idspace.Space.bits space in
+  let size = Idspace.Space.size space in
+  let table v =
+    Array.init bits (fun i ->
+        let lo = 1 lsl i in
+        let dist = lo + Prng.Splitmix.int rng lo in
+        (v + dist) land (size - 1))
+  in
+  Array.init size table
+
+(* Symphony: k_n clockwise near neighbours (successors) followed by k_s
+   shortcuts whose clockwise distance follows the harmonic ~1/x law. *)
+let build_symphony space rng ~k_n ~k_s =
+  let size = Idspace.Space.size space in
+  if k_n + k_s >= size then invalid_arg "Table.build_symphony: degree exceeds ring size";
+  let table v =
+    Array.init (k_n + k_s) (fun i ->
+        if i < k_n then (v + i + 1) land (size - 1)
+        else begin
+          let dist = Prng.Splitmix.harmonic_int rng ~n:(size - 1) in
+          (v + dist) land (size - 1)
+        end)
+  in
+  Array.init size table
+
+(* Wrap an externally managed neighbour matrix (no copy): the churn
+   simulator repairs rows in place and routes through the shared
+   table. *)
+let of_neighbors ~bits geometry neighbors =
+  let space = Idspace.Space.create ~bits in
+  if Array.length neighbors <> Idspace.Space.size space then
+    invalid_arg "Table.of_neighbors: row count differs from the space size";
+  Array.iter (fun row -> Array.iter (Idspace.Space.check space) row) neighbors;
+  { space; geometry; neighbors }
+
+(* Real Symphony links are bidirectional: a node routes over its own
+   near neighbours and shortcuts in both directions *and* over the
+   shortcuts that chose it as an endpoint. The paper's model (and
+   [build]) is the unidirectional basic geometry; this variant is the
+   deployed protocol, used by ablation A9. *)
+let build_symphony_bidirectional ?(rng = Prng.Splitmix.create ~seed:0x51de) ~bits ~k_n ~k_s
+    () =
+  let space = Idspace.Space.create ~bits in
+  let size = Idspace.Space.size space in
+  if (2 * k_n) + k_s >= size then
+    invalid_arg "Table.build_symphony_bidirectional: degree exceeds ring size";
+  if k_n < 0 || k_s < 1 then
+    invalid_arg "Table.build_symphony_bidirectional: need k_s >= 1, k_n >= 0";
+  let buckets = Array.make size [] in
+  let add a b =
+    if a <> b then begin
+      buckets.(a) <- b :: buckets.(a);
+      buckets.(b) <- a :: buckets.(b)
+    end
+  in
+  for v = 0 to size - 1 do
+    for j = 1 to k_n do
+      add v ((v + j) land (size - 1))
+    done;
+    for _ = 1 to k_s do
+      let dist = Prng.Splitmix.harmonic_int rng ~n:(size - 1) in
+      add v ((v + dist) land (size - 1))
+    done
+  done;
+  let neighbors =
+    Array.map (fun links -> Array.of_list (List.sort_uniq compare links)) buckets
+  in
+  { space; geometry = Rcm.Geometry.Symphony { k_n; k_s }; neighbors }
+
+let build ?(rng = Prng.Splitmix.create ~seed:0x5eed) ~bits geometry =
+  let space = Idspace.Space.create ~bits in
+  let neighbors =
+    match geometry with
+    | Rcm.Geometry.Tree -> build_tree space
+    | Rcm.Geometry.Hypercube -> build_hypercube space
+    | Rcm.Geometry.Xor -> build_xor space rng
+    | Rcm.Geometry.Ring -> build_ring space
+    | Rcm.Geometry.Symphony { k_n; k_s } -> build_symphony space rng ~k_n ~k_s
+  in
+  { space; geometry; neighbors }
+
+(* Chord with a successor list: the next [successors] nodes clockwise
+   (distances 1..successors), as in real Chord. Distances that are
+   powers of two duplicate existing fingers and add nothing; the greedy
+   router treats the rest as short fallback fingers. *)
+let build_ring_with_successors ~bits ~successors =
+  if successors < 0 then invalid_arg "Table.build_ring_with_successors: negative count";
+  if successors >= 1 lsl bits then
+    invalid_arg "Table.build_ring_with_successors: list longer than the ring";
+  let space = Idspace.Space.create ~bits in
+  let size = Idspace.Space.size space in
+  let table v =
+    Array.init (bits + successors) (fun i ->
+        if i < bits then (v + (1 lsl i)) land (size - 1)
+        else (v + (i - bits) + 1) land (size - 1))
+  in
+  { space; geometry = Rcm.Geometry.Ring; neighbors = Array.init size table }
+
+let build_randomized_ring ?(rng = Prng.Splitmix.create ~seed:0x5eed) ~bits () =
+  let space = Idspace.Space.create ~bits in
+  { space; geometry = Rcm.Geometry.Ring; neighbors = build_ring_randomized space rng }
+
+(* Ablation A3: Kademlia bucket contacts without suffix randomisation —
+   the level-i contact differs from the owner in bit i only. Under XOR
+   routing this realises the Markov chain of Fig. 5(b) exactly. *)
+let build_deterministic_xor ~bits =
+  let space = Idspace.Space.create ~bits in
+  { space; geometry = Rcm.Geometry.Xor; neighbors = build_tree space }
+
+let to_digraph t = Graph.Digraph.of_adjacency t.neighbors

@@ -1,0 +1,66 @@
+(** Concrete neighbour tables for the five DHT geometries over a
+    fully-populated 2^bits identifier space (the simulation counterpart
+    of the analytical model).
+
+    Neighbour-array layout per geometry:
+    - tree / hypercube / xor: index i holds the level-(i+1) neighbour
+      (the one differing on bit i+1, counting from the MSB);
+    - ring: index i holds finger i, at clockwise distance in
+      [2^i, 2^(i+1));
+    - symphony (k_n, k_s): indices 0..k_n-1 are the clockwise near
+      neighbours, the rest are harmonic-distance shortcuts. *)
+
+type t
+
+val build : ?rng:Prng.Splitmix.t -> bits:int -> Rcm.Geometry.t -> t
+(** Builds the overlay. Randomized constructions (xor bucket suffixes,
+    symphony shortcuts) draw from [rng]; ring fingers are the classic
+    deterministic Chord fingers at distance 2^i. *)
+
+val of_neighbors : bits:int -> Rcm.Geometry.t -> int array array -> t
+(** Wraps an externally managed neighbour matrix *without copying*:
+    later in-place mutation of the rows is visible to routing. Used by
+    the churn simulator, whose repair process rewrites rows.
+    @raise Invalid_argument on a wrong row count or out-of-space id. *)
+
+val build_ring_with_successors : bits:int -> successors:int -> t
+(** Chord fingers plus an extra [successors]-entry successor list
+    (clockwise distances 2 .. successors+1; distance 1 is already
+    finger 0). The greedy router uses them as fallback hops — the
+    "additional sequential neighbors" knob of the paper's
+    introduction. *)
+
+val build_randomized_ring : ?rng:Prng.Splitmix.t -> bits:int -> unit -> t
+(** Ablation variant: Chord fingers drawn uniformly from distance
+    [2^i, 2^(i+1)) — the randomized construction the analysis section
+    describes. Slightly less routable near the destination because the
+    top finger can overshoot. *)
+
+val build_symphony_bidirectional :
+  ?rng:Prng.Splitmix.t -> bits:int -> k_n:int -> k_s:int -> unit -> t
+(** The deployed Symphony: near neighbours on both sides and shortcuts
+    usable from either endpoint (links are undirected, so nodes also
+    route over incoming shortcuts). Mean degree 2(k_n + k_s). Route it
+    with {!Routing.Bidirectional_ring}, not the clockwise router. *)
+
+val build_deterministic_xor : bits:int -> t
+(** Ablation variant: Kademlia bucket contacts with preserved suffixes
+    (the level-i contact differs in bit i only). Realises the Fig. 5(b)
+    Markov chain exactly. *)
+
+val space : t -> Idspace.Space.t
+val geometry : t -> Rcm.Geometry.t
+val node_count : t -> int
+val bits : t -> int
+
+val neighbors : t -> int -> int array
+(** The neighbour array of a node (not a copy; do not mutate). *)
+
+val neighbor : t -> int -> int -> int
+(** [neighbor t v i] is entry [i] of [v]'s table. *)
+
+val degree : t -> int -> int
+val iter_neighbors : t -> int -> (int -> unit) -> unit
+
+val to_digraph : t -> Graph.Digraph.t
+(** The overlay as a directed graph (for connectivity analysis). *)

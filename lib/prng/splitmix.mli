@@ -1,0 +1,43 @@
+(** Deterministic SplitMix64 pseudo-random number generator.
+
+    Every simulation in this repository takes an explicit generator so
+    that experiment outputs are reproducible bit-for-bit across runs.
+    [split] derives an independent stream, which lets parallel trials
+    share a master seed without correlating. *)
+
+type t
+
+val create : seed:int -> t
+val of_int64 : int64 -> t
+
+val copy : t -> t
+(** [copy t] is an independent generator with the same state. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a statistically independent
+    generator. *)
+
+val next_int64 : t -> int64
+(** The raw 64-bit output stream. *)
+
+val float : t -> float
+(** [float t] is uniform on [0, 1) with 53 random bits. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform on [0, bound), unbiased.
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val int_in_range : t -> lo:int -> hi:int -> int
+(** Uniform on [lo, hi] inclusive. @raise Invalid_argument if empty. *)
+
+val bool : t -> bool
+
+val bernoulli : t -> p:float -> bool
+(** [bernoulli t ~p] is true with probability [p]. *)
+
+val shuffle_in_place : t -> 'a array -> unit
+(** Fisher-Yates shuffle. *)
+
+val harmonic_int : t -> n:int -> int
+(** [harmonic_int t ~n] draws from {1..n} with P(X = x) proportional to
+    ~1/x — the Symphony shortcut distance distribution. *)

@@ -1,0 +1,32 @@
+(** RCM over base-b identifier digits — the generalisation the paper
+    mentions in section 3 ("any other base besides 2 can be used").
+
+    A d-bit space read as D = d/group digits of width [group]
+    (base b = 2^group) keeps the population (sum_h n(h) = 2^d - 1) and
+    the per-phase failure structure, but shortens routes to at most D
+    phases at the cost of (b-1)·D routing-table entries per node —
+    Pastry's base parameter, analysable with the same engine. At
+    [group = 1] every function reduces to the binary modules. *)
+
+val digit_count : d:int -> group:int -> int
+(** D = d / group. @raise Invalid_argument unless [group] divides [d]. *)
+
+val base : group:int -> int
+(** b = 2^group. *)
+
+val log_population : group:int -> d:int -> h:int -> float
+(** log n(h) = log [C(D,h) (b-1)^h]. *)
+
+val tree_spec : group:int -> Spec.t
+(** Base-b Plaxton: Q(m) = q (the one digit-correcting contact must be
+    alive). *)
+
+val xor_spec : group:int -> Spec.t
+(** Base-b Kademlia: Q(m) as in Eq. 6 (one useful contact per differing
+    digit, base-independent). *)
+
+val tree_routability : d:int -> q:float -> group:int -> float
+val xor_routability : d:int -> q:float -> group:int -> float
+
+val table_entries : d:int -> group:int -> int
+(** Routing-table size (b-1)·D bought by the base. *)

@@ -1,0 +1,53 @@
+type t =
+  | Tree
+  | Hypercube
+  | Xor
+  | Ring
+  | Symphony of { k_n : int; k_s : int }
+
+let default_symphony = Symphony { k_n = 1; k_s = 1 }
+
+let all_default = [ Tree; Hypercube; Xor; Ring; default_symphony ]
+
+let name = function
+  | Tree -> "tree"
+  | Hypercube -> "hypercube"
+  | Xor -> "xor"
+  | Ring -> "ring"
+  | Symphony _ -> "symphony"
+
+let system = function
+  | Tree -> "Plaxton"
+  | Hypercube -> "CAN"
+  | Xor -> "Kademlia"
+  | Ring -> "Chord"
+  | Symphony _ -> "Symphony"
+
+let description g =
+  match g with
+  | Tree -> "tree (Plaxton): prefix routing, one neighbour per level"
+  | Hypercube -> "hypercube (CAN): greedy bit correction in any order"
+  | Xor -> "XOR (Kademlia): greedy XOR-metric routing with randomized buckets"
+  | Ring -> "ring (Chord): greedy clockwise finger routing"
+  | Symphony { k_n; k_s } ->
+      Printf.sprintf "small-world (Symphony): %d near neighbour(s), %d shortcut(s)" k_n k_s
+
+let of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "tree" | "plaxton" -> Ok Tree
+  | "hypercube" | "can" -> Ok Hypercube
+  | "xor" | "kademlia" -> Ok Xor
+  | "ring" | "chord" -> Ok Ring
+  | "symphony" | "small-world" | "smallworld" -> Ok default_symphony
+  | other -> Error (Printf.sprintf "unknown geometry %S" other)
+
+let equal a b =
+  match (a, b) with
+  | Tree, Tree | Hypercube, Hypercube | Xor, Xor | Ring, Ring -> true
+  | Symphony { k_n = n1; k_s = s1 }, Symphony { k_n = n2; k_s = s2 } -> n1 = n2 && s1 = s2
+  | (Tree | Hypercube | Xor | Ring | Symphony _), _ -> false
+
+let pp ppf g =
+  match g with
+  | Symphony { k_n; k_s } -> Fmt.pf ppf "symphony(k_n=%d,k_s=%d)" k_n k_s
+  | Tree | Hypercube | Xor | Ring -> Fmt.string ppf (name g)

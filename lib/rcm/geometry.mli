@@ -1,0 +1,32 @@
+(** The five DHT routing geometries analysed by the paper (section 3). *)
+
+type t =
+  | Tree  (** Plaxton prefix routing *)
+  | Hypercube  (** CAN, d-dimensional binary hypercube *)
+  | Xor  (** Kademlia *)
+  | Ring  (** Chord with randomized fingers *)
+  | Symphony of { k_n : int; k_s : int }
+      (** small-world ring with [k_n] near neighbours and [k_s]
+          shortcuts per node *)
+
+val default_symphony : t
+(** Symphony with k_n = k_s = 1, the configuration plotted in Fig. 7. *)
+
+val all_default : t list
+(** The five geometries with default parameters, in the paper's order. *)
+
+val name : t -> string
+(** Short lowercase geometry name ("tree", "hypercube", ...). *)
+
+val system : t -> string
+(** The representative system name (Plaxton, CAN, Kademlia, Chord,
+    Symphony). *)
+
+val description : t -> string
+
+val of_string : string -> (t, string) result
+(** Parses both geometry and system names, case-insensitively. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

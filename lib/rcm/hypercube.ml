@@ -1,0 +1,39 @@
+open Numerics
+
+let log_population ~d ~h =
+  Spec.check_d d;
+  if h < 1 || h > d then invalid_arg "Hypercube.log_population: h outside 1..d"
+  else Binomial.log_choose d h
+
+let phase_failure ~q ~m =
+  Spec.check_q q;
+  if m < 1 then invalid_arg "Hypercube.phase_failure: m < 1" else Prob.pow q m
+
+(* Eq. 2: p(h,q) = prod_{m=1..h} (1 - q^m), evaluated as
+   exp(sum log1p(-q^m)) for accuracy when the factors are all near 1. *)
+let success_probability ~q ~h =
+  Spec.check_q q;
+  if h < 0 then invalid_arg "Hypercube.success_probability: negative h"
+  else begin
+    let acc = Kahan.create () in
+    let rec loop m =
+      if m > h then exp (Kahan.total acc)
+      else begin
+        let qm = Prob.pow q m in
+        if qm >= 1.0 then 0.0
+        else begin
+          Kahan.add acc (Float.log1p (-.qm));
+          loop (m + 1)
+        end
+      end
+    in
+    loop 1
+  end
+
+let spec =
+  {
+    Spec.geometry = Geometry.Hypercube;
+    max_phase = (fun ~d -> d);
+    log_population = (fun ~d ~h -> log_population ~d ~h);
+    phase_failure = (fun ~d:_ ~q ~m -> phase_failure ~q ~m);
+  }

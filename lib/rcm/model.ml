@@ -1,0 +1,27 @@
+let spec_of_geometry = function
+  | Geometry.Tree -> Tree.spec
+  | Geometry.Hypercube -> Hypercube.spec
+  | Geometry.Xor -> Xor_routing.spec
+  | Geometry.Ring -> Ring.spec
+  | Geometry.Symphony { k_n; k_s } -> Symphony.spec ~k_n ~k_s
+
+let routability geometry ~d ~q = Engine.routability (spec_of_geometry geometry) ~d ~q
+
+let failed_paths_percent geometry ~d ~q =
+  Engine.failed_paths_percent (spec_of_geometry geometry) ~d ~q
+
+let success_probability geometry ~d ~q ~h =
+  Engine.success_probability (spec_of_geometry geometry) ~d ~q ~h
+
+let expected_reachable geometry ~d ~q =
+  Engine.expected_reachable (spec_of_geometry geometry) ~d ~q
+
+let phase_failure geometry ~d ~q ~m =
+  (spec_of_geometry geometry).Spec.phase_failure ~d ~q ~m
+
+(* The paper's comparison targets (section 4): for tree, hypercube, XOR
+   and Symphony the chain model is exact for the basic geometry, while
+   for ring it is a lower bound (suboptimal-hop progress is dropped). *)
+let analysis_kind = function
+  | Geometry.Ring -> `Lower_bound
+  | Geometry.Tree | Geometry.Hypercube | Geometry.Xor | Geometry.Symphony _ -> `Exact_model

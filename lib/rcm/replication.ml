@@ -1,0 +1,123 @@
+open Numerics
+
+(* Replication extends each routing-table slot to a bucket of up to k
+   independent contacts — Kademlia's k-buckets, Chord's successor
+   lists, Plaxton backup pointers: the "additional sequential
+   neighbors" the paper's introduction credits with buying fault
+   tolerance in real deployments. The identifier space caps bucket
+   sizes: the bucket correcting the leading bit of a phase-m target has
+   only 2^(m-1) candidate ids. *)
+
+let capacity ~k ~m =
+  if k < 1 then invalid_arg "Replication.capacity: k < 1"
+  else if m < 1 then invalid_arg "Replication.capacity: m < 1"
+  else if m - 1 >= 62 then k
+  else min k (1 lsl (m - 1))
+
+(* Replicated tree: the phase fails iff every contact of the one useful
+   bucket is dead. Q(m) = q^min(k, 2^(m-1)); at m = 1 the bucket is the
+   destination itself, so Q(1) = q for every k. *)
+let tree_phase_failure ~q ~k ~m =
+  Spec.check_q q;
+  Prob.pow q (capacity ~k ~m)
+
+(* Replicated XOR: the Fig. 5(b) chain with per-bucket capacities.
+   Within a phase-m target the useful buckets are the leading one
+   (capacity c0 = min(k, 2^(m-1))) and the m-1 lower ones with
+   capacities min(k, 2^(m-2)), ..., min(k, 1); suboptimal hops consume
+   the largest lower buckets first (the router's greedy preference).
+   Solved by backward recursion over the number of consumed buckets:
+   Q_j = fail_j + subopt_j * Q_(j+1). Reduces exactly to Eq. 6 at
+   k = 1. *)
+let xor_phase_failure ~q ~k ~m =
+  Spec.check_q q;
+  if m < 1 then invalid_arg "Replication.xor_phase_failure: m < 1";
+  let lead_dead = Prob.pow q (capacity ~k ~m) in
+  if lead_dead = 0.0 then 0.0
+  else begin
+    (* lower.(j) = death probability of the j-th lower bucket (0-based,
+       largest first): capacity min(k, 2^(m-2-j)). *)
+    let lower =
+      Array.init (m - 1) (fun j -> Prob.pow q (capacity ~k ~m:(m - 1 - j)))
+    in
+    (* remaining_dead.(j) = probability that lower buckets j..m-2 are
+       all dead. *)
+    let remaining_dead = Array.make m 1.0 in
+    for j = m - 2 downto 0 do
+      remaining_dead.(j) <- remaining_dead.(j + 1) *. lower.(j)
+    done;
+    let rec backward j =
+      if j >= m - 1 then lead_dead
+      else begin
+        let fail = lead_dead *. remaining_dead.(j) in
+        let suboptimal = lead_dead *. (1.0 -. remaining_dead.(j)) in
+        fail +. (suboptimal *. backward (j + 1))
+      end
+    in
+    Prob.clamp (backward 0)
+  end
+
+(* A successor list holds the next r nodes clockwise (distances 1..r);
+   the power-of-two distances among them duplicate existing fingers, so
+   only r - (floor(log2 r) + 1) entries add fallback options. *)
+let effective_successors r =
+  if r < 0 then invalid_arg "Replication.effective_successors: negative count"
+  else if r = 0 then 0
+  else begin
+    let rec log2 v acc = if v <= 1 then acc else log2 (v lsr 1) (acc + 1) in
+    r - (log2 r 0 + 1)
+  end
+
+(* Chord with an r-entry successor list: within a phase the walk fails
+   only when all m useful fingers AND every non-duplicate successor are
+   dead, so the chain's failure exponent grows by effective_successors r;
+   at m = 1 the destination itself must be alive regardless of r. *)
+let ring_phase_failure ~q ~successors ~m =
+  Spec.check_q q;
+  if m < 1 then invalid_arg "Replication.ring_phase_failure: m < 1";
+  let extras = effective_successors successors in
+  if m = 1 then q
+  else begin
+    let all_dead = Prob.pow q (m + extras) in
+    if all_dead = 0.0 then 0.0
+    else begin
+      let s = q *. Prob.at_least_one_of ~q ~count:(m + extras - 1) in
+      let hops = Float.pow 2.0 (float_of_int (m - 1)) in
+      Prob.clamp (all_dead *. Prob.geometric_sum s hops)
+    end
+  end
+
+let check_k k = if k < 1 then invalid_arg "Replication: bucket size k must be >= 1"
+
+let tree_spec ~k =
+  check_k k;
+  {
+    Spec.geometry = Geometry.Tree;
+    max_phase = (fun ~d -> d);
+    log_population = (fun ~d ~h -> Tree.log_population ~d ~h);
+    phase_failure = (fun ~d:_ ~q ~m -> tree_phase_failure ~q ~k ~m);
+  }
+
+let xor_spec ~k =
+  check_k k;
+  {
+    Spec.geometry = Geometry.Xor;
+    max_phase = (fun ~d -> d);
+    log_population = (fun ~d ~h -> Xor_routing.log_population ~d ~h);
+    phase_failure = (fun ~d:_ ~q ~m -> xor_phase_failure ~q ~k ~m);
+  }
+
+let ring_spec ~successors =
+  if successors < 0 then invalid_arg "Replication.ring_spec: negative successors";
+  {
+    Spec.geometry = Geometry.Ring;
+    max_phase = (fun ~d -> d);
+    log_population = (fun ~d ~h -> Ring.log_population ~d ~h);
+    phase_failure = (fun ~d:_ ~q ~m -> ring_phase_failure ~q ~successors ~m);
+  }
+
+let routability_tree ~d ~q ~k = Engine.routability (tree_spec ~k) ~d ~q
+
+let routability_xor ~d ~q ~k = Engine.routability (xor_spec ~k) ~d ~q
+
+let routability_ring ~d ~q ~successors = Engine.routability (ring_spec ~successors) ~d ~q

@@ -1,0 +1,39 @@
+(** RCM extended with replicated routing-table slots.
+
+    The paper analyses *basic* geometries (one contact per slot) and
+    notes that real deployments regain fault tolerance through
+    "additional sequential neighbors" — Kademlia's k-buckets, Chord's
+    successor lists, Plaxton backup pointers. This module plugs those
+    knobs into the generic RCM engine: each slot holds up to [k]
+    independent contacts (capped by the number of candidate identifiers
+    the slot can draw from), and the per-phase failure probabilities
+    generalise accordingly. At k = 1 every expression reduces exactly to
+    the paper's. *)
+
+val capacity : k:int -> m:int -> int
+(** min(k, 2^(m-1)): contacts available to the bucket that corrects the
+    leading bit of a phase-m target. *)
+
+val tree_phase_failure : q:float -> k:int -> m:int -> float
+(** Q(m) = q^capacity — the single useful bucket must die entirely. *)
+
+val xor_phase_failure : q:float -> k:int -> m:int -> float
+(** The Fig. 5(b) chain with per-bucket capacities, solved by backward
+    recursion. Equals Eq. 6 at [k = 1]. *)
+
+val effective_successors : int -> int
+(** Number of entries of an r-node successor list (clockwise distances
+    1..r) that do not duplicate a finger: r - (floor(log2 r) + 1). *)
+
+val ring_phase_failure : q:float -> successors:int -> m:int -> float
+(** Section 4.3.3's Q with an [successors]-entry successor list: the
+    failure exponent grows from m to m + effective_successors
+    (the destination itself must still be alive at m = 1). *)
+
+val tree_spec : k:int -> Spec.t
+val xor_spec : k:int -> Spec.t
+val ring_spec : successors:int -> Spec.t
+
+val routability_tree : d:int -> q:float -> k:int -> float
+val routability_xor : d:int -> q:float -> k:int -> float
+val routability_ring : d:int -> q:float -> successors:int -> float

@@ -1,0 +1,53 @@
+open Numerics
+
+let log_2 = log 2.0
+
+let log_population ~d ~h =
+  Spec.check_d d;
+  if h < 1 || h > d then invalid_arg "Ring.log_population: h outside 1..d"
+  else float_of_int (h - 1) *. log_2
+
+(* Section 4.3.3:
+   Q(m) = q^m (1 - s^(2^(m-1))) / (1 - s)  with  s = q (1 - q^(m-1)).
+   The chain allows up to 2^(m-1) suboptimal hops per phase, each of
+   which keeps the full set of finger choices alive, so this Q (and the
+   resulting p) is a lower bound on ring routability. *)
+let phase_failure ~q ~m =
+  Spec.check_q q;
+  if m < 1 then invalid_arg "Ring.phase_failure: m < 1"
+  else begin
+    let qm = Prob.pow q m in
+    if qm = 0.0 then 0.0
+    else begin
+      let s = q *. Prob.at_least_one_of ~q ~count:(m - 1) in
+      let hops = Float.pow 2.0 (float_of_int (m - 1)) in
+      Prob.clamp (qm *. Prob.geometric_sum s hops)
+    end
+  end
+
+let success_probability ~q ~h =
+  Spec.check_q q;
+  if h < 0 then invalid_arg "Ring.success_probability: negative h"
+  else begin
+    let acc = Kahan.create () in
+    let rec loop m =
+      if m > h then exp (Kahan.total acc)
+      else begin
+        let qm = phase_failure ~q ~m in
+        if qm >= 1.0 then 0.0
+        else begin
+          Kahan.add acc (Float.log1p (-.qm));
+          loop (m + 1)
+        end
+      end
+    in
+    loop 1
+  end
+
+let spec =
+  {
+    Spec.geometry = Geometry.Ring;
+    max_phase = (fun ~d -> d);
+    log_population = (fun ~d ~h -> log_population ~d ~h);
+    phase_failure = (fun ~d:_ ~q ~m -> phase_failure ~q ~m);
+  }

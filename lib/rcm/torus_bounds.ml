@@ -1,0 +1,92 @@
+open Numerics
+
+(* RCM sandwich bounds for CAN on a dim-dimensional torus of side s
+   (N = s^dim; the paper's hypercube analysis is the exact s = 2 case).
+
+   Greedy routing offers one candidate per unfinished dimension, so at
+   a point with remaining distance r the number of options u satisfies
+   1 <= u <= min(dim, r): every trajectory's success probability lies
+   between prod (1 - q) (tree-like pessimism) and
+   prod_i (1 - q^min(dim, h-i)) (all dimensions stay unfinished as long
+   as possible). At s = 2 remaining distance equals unfinished
+   dimensions, the two ends of the sandwich meet the exact hypercube
+   product, and the upper bound *is* Eq. 2. *)
+
+let check ~dim ~side =
+  if dim < 1 then invalid_arg "Torus_bounds: dim < 1";
+  if side < 2 then invalid_arg "Torus_bounds: side < 2"
+
+let max_distance ~dim ~side =
+  check ~dim ~side;
+  dim * (side / 2)
+
+(* n(h): nodes at torus L1 distance h, by convolving the per-dimension
+   circular-distance counts (1 at r = 0; 2 for 0 < r < s/2; 1 at
+   r = s/2 when s is even). *)
+let population ~dim ~side =
+  check ~dim ~side;
+  let half = side / 2 in
+  let single r =
+    if r = 0 then 1.0
+    else if 2 * r < side then 2.0
+    else if 2 * r = side then 1.0
+    else 0.0
+  in
+  let max_dist = max_distance ~dim ~side in
+  let counts = ref (Array.make (max_dist + 1) 0.0) in
+  !counts.(0) <- 1.0;
+  for _ = 1 to dim do
+    let next = Array.make (max_dist + 1) 0.0 in
+    Array.iteri
+      (fun total count ->
+        if count > 0.0 then
+          for r = 0 to half do
+            if total + r <= max_dist then
+              next.(total + r) <- next.(total + r) +. (count *. single r)
+          done)
+      !counts;
+    counts := next
+  done;
+  !counts
+
+let network_size ~dim ~side =
+  Kahan.sum_array (population ~dim ~side)
+
+let success_lower ~q ~h =
+  Spec.check_q q;
+  Prob.pow (1.0 -. q) h
+
+let success_upper ~dim ~q ~h =
+  Spec.check_q q;
+  if h < 0 then invalid_arg "Torus_bounds.success_upper: negative h"
+  else begin
+    let acc = Kahan.create () in
+    let rec loop i =
+      if i >= h then exp (Kahan.total acc)
+      else begin
+        let options = min dim (h - i) in
+        let dead = Prob.pow q options in
+        if dead >= 1.0 then 0.0
+        else begin
+          Kahan.add acc (Float.log1p (-.dead));
+          loop (i + 1)
+        end
+      end
+    in
+    loop 0
+  end
+
+let routability_bound ~dim ~side ~q ~p =
+  check ~dim ~side;
+  Spec.check_q q;
+  let n = population ~dim ~side in
+  let reachable = Kahan.create () in
+  Array.iteri (fun h count -> if h >= 1 then Kahan.add reachable (count *. p h)) n;
+  let peers = ((1.0 -. q) *. network_size ~dim ~side) -. 1.0 in
+  if peers <= 0.0 then 0.0 else Prob.clamp (Kahan.total reachable /. peers)
+
+let routability_lower ~dim ~side ~q =
+  routability_bound ~dim ~side ~q ~p:(fun h -> success_lower ~q ~h)
+
+let routability_upper ~dim ~side ~q =
+  routability_bound ~dim ~side ~q ~p:(fun h -> success_upper ~dim ~q ~h)

@@ -1,0 +1,27 @@
+(** RCM sandwich bounds for CAN on a general dim-dimensional torus
+    (N = side^dim).
+
+    The exact Markov chain depends on the order dimensions finish, so
+    instead of one Q(m) the analysis brackets routing success between
+    the tree-like lower bound (one option per hop) and the
+    all-dimensions-available upper bound; at side = 2 the upper bound
+    coincides with Eq. 2 (the paper's hypercube) and is exact. *)
+
+val max_distance : dim:int -> side:int -> int
+(** Torus diameter dim·(side/2). *)
+
+val population : dim:int -> side:int -> float array
+(** n(h) indexed by distance h (index 0 is the node itself); computed
+    by per-dimension convolution and summing to N. *)
+
+val network_size : dim:int -> side:int -> float
+
+val success_lower : q:float -> h:int -> float
+(** (1-q)^h: at least one useful neighbour per hop. *)
+
+val success_upper : dim:int -> q:float -> h:int -> float
+(** prod_i (1 - q^min(dim, h-i)): at most min(dim, remaining) useful
+    neighbours. *)
+
+val routability_lower : dim:int -> side:int -> q:float -> float
+val routability_upper : dim:int -> side:int -> q:float -> float

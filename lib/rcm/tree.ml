@@ -1,0 +1,40 @@
+open Numerics
+
+let log_population ~d ~h =
+  Spec.check_d d;
+  if h < 1 || h > d then invalid_arg "Tree.log_population: h outside 1..d"
+  else Binomial.log_choose d h
+
+let phase_failure ~q ~m:_ =
+  Spec.check_q q;
+  q
+
+let success_probability ~q ~h =
+  Spec.check_q q;
+  if h < 0 then invalid_arg "Tree.success_probability: negative h"
+  else Prob.pow (1.0 -. q) h
+
+(* r = ((2-q)^d - 1) / ((1-q) 2^d - 1): the numerator is
+   sum_h C(d,h) (1-q)^h by the binomial theorem. Evaluated in log space
+   so d = 100 (and beyond) stays exact. *)
+let routability ~d ~q =
+  Spec.check_d d;
+  Spec.check_q q;
+  if q = 1.0 then 0.0
+  else begin
+    let log_numerator = Logspace.sub (Logspace.of_log (float_of_int d *. log (2.0 -. q))) Logspace.one in
+    let log_alive = Logspace.of_log (log (1.0 -. q) +. (float_of_int d *. log 2.0)) in
+    if Logspace.compare log_alive Logspace.one <= 0 then 0.0
+    else begin
+      let log_denominator = Logspace.sub log_alive Logspace.one in
+      Prob.clamp (Logspace.to_float (Logspace.div log_numerator log_denominator))
+    end
+  end
+
+let spec =
+  {
+    Spec.geometry = Geometry.Tree;
+    max_phase = (fun ~d -> d);
+    log_population = (fun ~d ~h -> log_population ~d ~h);
+    phase_failure = (fun ~d:_ ~q ~m -> phase_failure ~q ~m);
+  }

@@ -1,0 +1,32 @@
+(* Greedy routing over undirected ring overlays (deployed Symphony):
+   forward to the alive neighbour minimising the *circular* distance
+   |cur - dst| (either way around). Distance strictly decreases, so the
+   walk terminates; no backtracking. *)
+
+let circular_distance ~bits a b =
+  let forward = Idspace.Id.ring_distance ~bits a b in
+  min forward ((1 lsl bits) - forward)
+
+let route ?(on_hop = ignore) table ~alive ~src ~dst =
+  let bits = Overlay.Table.bits table in
+  let rec step cur hops remaining =
+    if remaining = 0 then Outcome.Delivered { hops }
+    else begin
+      let best = ref (-1) in
+      let best_remaining = ref remaining in
+      Overlay.Table.iter_neighbors table cur (fun candidate ->
+          if alive.(candidate) then begin
+            let after = circular_distance ~bits candidate dst in
+            if after < !best_remaining then begin
+              best := candidate;
+              best_remaining := after
+            end
+          end);
+      if !best < 0 then Outcome.Dropped { hops; stuck_at = cur }
+      else begin
+        on_hop !best;
+        step !best (hops + 1) !best_remaining
+      end
+    end
+  in
+  step src 0 (circular_distance ~bits src dst)

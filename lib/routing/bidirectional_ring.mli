@@ -1,0 +1,14 @@
+(** Greedy bidirectional ring routing (deployed Symphony, ablation A9):
+    each hop minimises the circular distance to the destination over
+    all alive neighbours, approaching from either side. *)
+
+val circular_distance : bits:int -> int -> int -> int
+(** min of the two ways around the ring. *)
+
+val route :
+  ?on_hop:(int -> unit) ->
+  Overlay.Table.t ->
+  alive:bool array ->
+  src:int ->
+  dst:int ->
+  Outcome.t

@@ -1,0 +1,42 @@
+(* Routing over k-bucket tables (replication experiments).
+
+   [`Xor] mode is Kademlia with k-buckets: prefer the bucket correcting
+   the highest-order differing bit; if every contact there is dead, fall
+   back to the bucket of the next differing bit, and so on. [`Tree] mode
+   is Plaxton with backup pointers: only the leading bucket may be used
+   and the message is dropped when all its contacts are dead. *)
+
+let first_alive ~alive contacts =
+  let n = Array.length contacts in
+  let rec scan i = if i >= n then None else if alive.(contacts.(i)) then Some contacts.(i) else scan (i + 1) in
+  scan 0
+
+let route ?(on_hop = ignore) ~mode table ~alive ~src ~dst =
+  let bits = Overlay.Kbucket.bits table in
+  let rec step cur hops =
+    if cur = dst then Outcome.Delivered { hops }
+    else begin
+      let diff = Idspace.Id.xor_distance cur dst in
+      let leading = bits - Idspace.Id.floor_log2 diff in
+      let next =
+        match mode with
+        | `Tree -> first_alive ~alive (Overlay.Kbucket.bucket table cur leading)
+        | `Xor ->
+            let rec try_level level =
+              if level > bits then None
+              else if Idspace.Id.get_bit ~bits diff level then
+                match first_alive ~alive (Overlay.Kbucket.bucket table cur level) with
+                | Some _ as found -> found
+                | None -> try_level (level + 1)
+              else try_level (level + 1)
+            in
+            try_level leading
+      in
+      match next with
+      | None -> Outcome.Dropped { hops; stuck_at = cur }
+      | Some next ->
+          on_hop next;
+          step next (hops + 1)
+    end
+  in
+  step src 0

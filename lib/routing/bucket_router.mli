@@ -1,0 +1,15 @@
+(** Routing over {!Overlay.Kbucket} tables.
+
+    [`Xor] is Kademlia with k contacts per bucket (greedy XOR with
+    lower-bucket fallback); [`Tree] is Plaxton with backup pointers
+    (leading bucket only). Both reduce to their {!Table} counterparts
+    at k = 1. *)
+
+val route :
+  ?on_hop:(int -> unit) ->
+  mode:[ `Tree | `Xor ] ->
+  Overlay.Kbucket.t ->
+  alive:bool array ->
+  src:int ->
+  dst:int ->
+  Outcome.t

@@ -1,0 +1,44 @@
+(* Routing over base-b digit tables. [`Tree] must correct the leading
+   differing digit (base-b Plaxton); [`Xor] may fall back to any lower
+   differing digit, which still strictly shrinks the differing-digit
+   mask (base-b Kademlia). *)
+
+let route ?(on_hop = ignore) ~mode table ~alive ~src ~dst =
+  let bits = Overlay.Digit_table.bits table in
+  let group = Overlay.Digit_table.group table in
+  let levels = Overlay.Digit_table.levels table in
+  let rec step cur hops =
+    if cur = dst then Outcome.Delivered { hops }
+    else begin
+      match Idspace.Digit.highest_differing ~bits ~group cur dst with
+      | None -> Outcome.Delivered { hops }
+      | Some leading ->
+          let usable level =
+            let digit = Idspace.Digit.get ~bits ~group dst level in
+            if digit = Idspace.Digit.get ~bits ~group cur level then None
+            else begin
+              let contact = Overlay.Digit_table.neighbor table cur ~level ~digit in
+              if alive.(contact) then Some contact else None
+            end
+          in
+          let next =
+            match mode with
+            | `Tree -> usable leading
+            | `Xor ->
+                let rec try_level level =
+                  if level > levels then None
+                  else
+                    match usable level with
+                    | Some _ as found -> found
+                    | None -> try_level (level + 1)
+                in
+                try_level leading
+          in
+          (match next with
+          | None -> Outcome.Dropped { hops; stuck_at = cur }
+          | Some next ->
+              on_hop next;
+              step next (hops + 1))
+    end
+  in
+  step src 0

@@ -1,0 +1,15 @@
+(** Routing over {!Overlay.Digit_table} (base-b geometries).
+
+    [`Tree]: strict leading-digit correction (base-b Plaxton);
+    [`Xor]: fall back to lower differing digits when the leading
+    contact is dead (base-b Kademlia). Both reduce to the binary
+    routers at group = 1. *)
+
+val route :
+  ?on_hop:(int -> unit) ->
+  mode:[ `Tree | `Xor ] ->
+  Overlay.Digit_table.t ->
+  alive:bool array ->
+  src:int ->
+  dst:int ->
+  Outcome.t

@@ -1,0 +1,28 @@
+(* Greedy clockwise routing shared by ring (Chord fingers, section 3.4)
+   and Symphony (near neighbours + shortcuts, section 3.5): forward to
+   the alive neighbour that minimises the remaining clockwise distance
+   without overshooting the destination. Remaining distance strictly
+   decreases, so the walk terminates. *)
+let route ?(on_hop = ignore) table ~alive ~src ~dst =
+  let bits = Overlay.Table.bits table in
+  let rec step cur hops remaining =
+    if remaining = 0 then Outcome.Delivered { hops }
+    else begin
+      let best = ref (-1) in
+      let best_remaining = ref remaining in
+      Overlay.Table.iter_neighbors table cur (fun candidate ->
+          if alive.(candidate) then begin
+            let after = Idspace.Id.ring_distance ~bits candidate dst in
+            if after < !best_remaining then begin
+              best := candidate;
+              best_remaining := after
+            end
+          end);
+      if !best < 0 then Outcome.Dropped { hops; stuck_at = cur }
+      else begin
+        on_hop !best;
+        step !best (hops + 1) !best_remaining
+      end
+    end
+  in
+  step src 0 (Idspace.Id.ring_distance ~bits src dst)

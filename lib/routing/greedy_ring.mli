@@ -1,0 +1,12 @@
+(** Greedy clockwise routing over any ring-structured table — Chord
+    fingers (section 3.4) and Symphony near neighbours plus shortcuts
+    (section 3.5). A hop is taken to the alive neighbour minimising the
+    remaining clockwise distance, never overshooting. *)
+
+val route :
+  ?on_hop:(int -> unit) ->
+  Overlay.Table.t ->
+  alive:bool array ->
+  src:int ->
+  dst:int ->
+  Outcome.t

@@ -1,0 +1,33 @@
+(* Section 3.2: any alive neighbour that corrects a differing bit makes
+   one unit of progress in Hamming distance; the choice among them is
+   uniform (reservoir selection over the set bits of cur XOR dst). *)
+let route ?(on_hop = ignore) table ~rng ~alive ~src ~dst =
+  let rec step cur hops =
+    if cur = dst then Outcome.Delivered { hops }
+    else begin
+      let diff = Idspace.Id.xor_distance cur dst in
+      let chosen = ref (-1) in
+      let seen = ref 0 in
+      let bit = ref diff in
+      while !bit <> 0 do
+        let low = !bit land - !bit in
+        let level_index =
+          (* The neighbour flipping this bit sits at table index
+             bits - 1 - log2(low); recover it via floor_log2. *)
+          Overlay.Table.bits table - 1 - Idspace.Id.floor_log2 low
+        in
+        let candidate = Overlay.Table.neighbor table cur level_index in
+        if alive.(candidate) then begin
+          incr seen;
+          if Prng.Splitmix.int rng !seen = 0 then chosen := candidate
+        end;
+        bit := !bit land (!bit - 1)
+      done;
+      if !chosen < 0 then Outcome.Dropped { hops; stuck_at = cur }
+      else begin
+        on_hop !chosen;
+        step !chosen (hops + 1)
+      end
+    end
+  in
+  step src 0

@@ -1,0 +1,12 @@
+(** CAN hypercube routing under failures (section 3.2): greedy bit
+    correction in any order, choosing uniformly among alive useful
+    neighbours. Delivered paths take exactly Hamming-distance hops. *)
+
+val route :
+  ?on_hop:(int -> unit) ->
+  Overlay.Table.t ->
+  rng:Prng.Splitmix.t ->
+  alive:bool array ->
+  src:int ->
+  dst:int ->
+  Outcome.t

@@ -1,0 +1,18 @@
+type t =
+  | Delivered of { hops : int }
+  | Dropped of { hops : int; stuck_at : int }
+
+let is_delivered = function Delivered _ -> true | Dropped _ -> false
+
+let hops = function Delivered { hops } | Dropped { hops; _ } -> hops
+
+let equal a b =
+  match (a, b) with
+  | Delivered { hops = h1 }, Delivered { hops = h2 } -> h1 = h2
+  | Dropped { hops = h1; stuck_at = s1 }, Dropped { hops = h2; stuck_at = s2 } ->
+      h1 = h2 && s1 = s2
+  | (Delivered _ | Dropped _), _ -> false
+
+let pp ppf = function
+  | Delivered { hops } -> Fmt.pf ppf "delivered in %d hops" hops
+  | Dropped { hops; stuck_at } -> Fmt.pf ppf "dropped after %d hops at node %d" hops stuck_at

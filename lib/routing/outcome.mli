@@ -1,0 +1,13 @@
+(** Result of routing one message over a (possibly failed) overlay. *)
+
+type t =
+  | Delivered of { hops : int }
+  | Dropped of { hops : int; stuck_at : int }
+      (** The message holder [stuck_at] had no alive neighbour making
+          progress; no back-tracking is allowed (section 4.1), so the
+          message is lost. *)
+
+val is_delivered : t -> bool
+val hops : t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

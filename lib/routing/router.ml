@@ -1,0 +1,15 @@
+let route ?on_hop table ~rng ~alive ~src ~dst =
+  let space = Overlay.Table.space table in
+  Idspace.Space.check space src;
+  Idspace.Space.check space dst;
+  match Overlay.Table.geometry table with
+  | Rcm.Geometry.Tree -> Tree_router.route ?on_hop table ~alive ~src ~dst
+  | Rcm.Geometry.Hypercube -> Hypercube_router.route ?on_hop table ~rng ~alive ~src ~dst
+  | Rcm.Geometry.Xor -> Xor_router.route ?on_hop table ~alive ~src ~dst
+  | Rcm.Geometry.Ring | Rcm.Geometry.Symphony _ ->
+      Greedy_ring.route ?on_hop table ~alive ~src ~dst
+
+let route_with_path table ~rng ~alive ~src ~dst =
+  let visited = ref [ src ] in
+  let outcome = route ~on_hop:(fun v -> visited := v :: !visited) table ~rng ~alive ~src ~dst in
+  (outcome, List.rev !visited)

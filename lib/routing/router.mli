@@ -1,0 +1,23 @@
+(** Geometry dispatch: route a message over any overlay under the
+    paper's rules (greedy per-geometry forwarding, no back-tracking). *)
+
+val route :
+  ?on_hop:(int -> unit) ->
+  Overlay.Table.t ->
+  rng:Prng.Splitmix.t ->
+  alive:bool array ->
+  src:int ->
+  dst:int ->
+  Outcome.t
+(** [rng] is consumed only by geometries with a randomized forwarding
+    choice (hypercube).
+    @raise Invalid_argument when [src] or [dst] is outside the space. *)
+
+val route_with_path :
+  Overlay.Table.t ->
+  rng:Prng.Splitmix.t ->
+  alive:bool array ->
+  src:int ->
+  dst:int ->
+  Outcome.t * int list
+(** As {!route}, also returning the full node path starting at [src]. *)

@@ -1,0 +1,83 @@
+(* Greedy routing over sparse overlays (node identity = index into the
+   sorted id array, distances measured on identifiers). Same forwarding
+   rules as the fully-populated routers; tree/xor tables may have
+   [Sparse.missing] entries, which simply never match. *)
+
+let ring_distance ~bits a b = Idspace.Id.ring_distance ~bits a b
+
+(* Greedy clockwise over ring-structured contacts (Chord fingers or
+   Symphony links). *)
+let route_ring ?(on_hop = ignore) overlay ~alive ~src ~dst =
+  let bits = Overlay.Sparse.bits overlay in
+  let id_dst = Overlay.Sparse.id_of overlay dst in
+  let rec step cur hops remaining =
+    if remaining = 0 then Outcome.Delivered { hops }
+    else begin
+      let best = ref (-1) in
+      let best_remaining = ref remaining in
+      Array.iter
+        (fun candidate ->
+          if candidate <> Overlay.Sparse.missing && alive.(candidate) then begin
+            let after = ring_distance ~bits (Overlay.Sparse.id_of overlay candidate) id_dst in
+            if after < !best_remaining then begin
+              best := candidate;
+              best_remaining := after
+            end
+          end)
+        (Overlay.Sparse.contacts overlay cur);
+      if !best < 0 then Outcome.Dropped { hops; stuck_at = cur }
+      else begin
+        on_hop !best;
+        step !best (hops + 1) !best_remaining
+      end
+    end
+  in
+  step src 0 (ring_distance ~bits (Overlay.Sparse.id_of overlay src) id_dst)
+
+(* Prefix routing: [`Xor] falls back to lower-order differing bits,
+   [`Tree] must use the leading one. *)
+let route_prefix ?(on_hop = ignore) ~mode overlay ~alive ~src ~dst =
+  let bits = Overlay.Sparse.bits overlay in
+  let id_dst = Overlay.Sparse.id_of overlay dst in
+  let rec step cur hops =
+    if cur = dst then Outcome.Delivered { hops }
+    else begin
+      let id_cur = Overlay.Sparse.id_of overlay cur in
+      let diff = Idspace.Id.xor_distance id_cur id_dst in
+      let leading = bits - Idspace.Id.floor_log2 diff in
+      let contacts = Overlay.Sparse.contacts overlay cur in
+      let usable level =
+        let candidate = contacts.(level - 1) in
+        if candidate <> Overlay.Sparse.missing && alive.(candidate) then Some candidate
+        else None
+      in
+      let next =
+        match mode with
+        | `Tree -> usable leading
+        | `Xor ->
+            let rec try_level level =
+              if level > bits then None
+              else if Idspace.Id.get_bit ~bits diff level then
+                match usable level with
+                | Some _ as found -> found
+                | None -> try_level (level + 1)
+              else try_level (level + 1)
+            in
+            try_level leading
+      in
+      match next with
+      | None -> Outcome.Dropped { hops; stuck_at = cur }
+      | Some next ->
+          on_hop next;
+          step next (hops + 1)
+    end
+  in
+  step src 0
+
+let route ?on_hop overlay ~alive ~src ~dst =
+  match Overlay.Sparse.geometry overlay with
+  | Rcm.Geometry.Ring | Rcm.Geometry.Symphony _ -> route_ring ?on_hop overlay ~alive ~src ~dst
+  | Rcm.Geometry.Tree -> route_prefix ?on_hop ~mode:`Tree overlay ~alive ~src ~dst
+  | Rcm.Geometry.Xor -> route_prefix ?on_hop ~mode:`Xor overlay ~alive ~src ~dst
+  | Rcm.Geometry.Hypercube ->
+      invalid_arg "Sparse_router.route: no sparse hypercube overlay exists"

@@ -1,0 +1,14 @@
+(** Routing over sparse overlays ({!Overlay.Sparse}).
+
+    Identical forwarding rules to the fully-populated routers, with
+    distances measured on identifiers and empty bucket slots skipped. *)
+
+val route :
+  ?on_hop:(int -> unit) ->
+  Overlay.Sparse.t ->
+  alive:bool array ->
+  src:int ->
+  dst:int ->
+  Outcome.t
+(** [src], [dst] and the hops reported to [on_hop] are node *indexes*.
+    @raise Invalid_argument on a hypercube overlay. *)

@@ -1,0 +1,39 @@
+(* Greedy CAN routing on the torus: every unfinished dimension offers
+   exactly one candidate (the shorter way around; the positive direction
+   on an exact tie), and the next hop is uniform among the alive
+   candidates. Total distance decreases by one per hop, so delivered
+   paths take exactly [Torus.distance] hops. *)
+
+let candidate table ~dst v i =
+  let side = Overlay.Torus.side table in
+  let c = Overlay.Torus.coordinate table v i in
+  let target = Overlay.Torus.coordinate table dst i in
+  if c = target then None
+  else begin
+    let forward = (target - c + side) mod side in
+    let step = if forward <= side - forward then (c + 1) mod side else (c + side - 1) mod side in
+    Some (Overlay.Torus.with_coordinate table v i step)
+  end
+
+let route ?(on_hop = ignore) table ~rng ~alive ~src ~dst =
+  let dim = Overlay.Torus.dim table in
+  let rec step cur hops =
+    if cur = dst then Outcome.Delivered { hops }
+    else begin
+      let chosen = ref (-1) in
+      let seen = ref 0 in
+      for i = 0 to dim - 1 do
+        match candidate table ~dst cur i with
+        | Some next when alive.(next) ->
+            incr seen;
+            if Prng.Splitmix.int rng !seen = 0 then chosen := next
+        | Some _ | None -> ()
+      done;
+      if !chosen < 0 then Outcome.Dropped { hops; stuck_at = cur }
+      else begin
+        on_hop !chosen;
+        step !chosen (hops + 1)
+      end
+    end
+  in
+  step src 0

@@ -1,0 +1,13 @@
+(** Greedy CAN routing over {!Overlay.Torus}: one candidate per
+    unfinished dimension (shorter way around), chosen uniformly among
+    the alive ones; no backtracking. At side = 2 this is exactly the
+    paper's hypercube routing. *)
+
+val route :
+  ?on_hop:(int -> unit) ->
+  Overlay.Torus.t ->
+  rng:Prng.Splitmix.t ->
+  alive:bool array ->
+  src:int ->
+  dst:int ->
+  Outcome.t

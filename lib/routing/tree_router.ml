@@ -1,0 +1,17 @@
+(* Section 3.1: the only useful neighbour at every step is the one
+   correcting the leftmost differing bit; if it is dead the message is
+   dropped. *)
+let route ?(on_hop = ignore) table ~alive ~src ~dst =
+  let bits = Overlay.Table.bits table in
+  let rec step cur hops =
+    match Idspace.Id.highest_differing_bit ~bits cur dst with
+    | None -> Outcome.Delivered { hops }
+    | Some level ->
+        let next = Overlay.Table.neighbor table cur (level - 1) in
+        if alive.(next) then begin
+          on_hop next;
+          step next (hops + 1)
+        end
+        else Outcome.Dropped { hops; stuck_at = cur }
+  in
+  step src 0

@@ -1,0 +1,14 @@
+(** Plaxton-tree prefix routing under failures (section 3.1).
+
+    Deterministic: each hop must use the single neighbour that corrects
+    the highest-order differing bit. *)
+
+val route :
+  ?on_hop:(int -> unit) ->
+  Overlay.Table.t ->
+  alive:bool array ->
+  src:int ->
+  dst:int ->
+  Outcome.t
+(** [on_hop] is called with every intermediate (and final) node the
+    message visits. *)

@@ -1,0 +1,28 @@
+(* Section 3.3: prefer the bucket contact correcting the highest-order
+   differing bit; when it is dead, fall back to the contact correcting
+   the next-highest differing bit, which still strictly decreases the
+   XOR distance. Drop when every useful contact is dead. *)
+let route ?(on_hop = ignore) table ~alive ~src ~dst =
+  let bits = Overlay.Table.bits table in
+  let rec step cur hops =
+    if cur = dst then Outcome.Delivered { hops }
+    else begin
+      let diff = Idspace.Id.xor_distance cur dst in
+      let rec try_level level =
+        if level > bits then None
+        else if Idspace.Id.get_bit ~bits diff level then begin
+          let candidate = Overlay.Table.neighbor table cur (level - 1) in
+          if alive.(candidate) then Some candidate
+          else try_level (level + 1)
+        end
+        else try_level (level + 1)
+      in
+      let start_level = bits - Idspace.Id.floor_log2 diff in
+      match try_level start_level with
+      | None -> Outcome.Dropped { hops; stuck_at = cur }
+      | Some next ->
+          on_hop next;
+          step next (hops + 1)
+    end
+  in
+  step src 0

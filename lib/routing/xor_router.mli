@@ -1,0 +1,11 @@
+(** Kademlia XOR routing under failures (section 3.3): greedy in the
+    XOR metric, preferring the highest-order bit correction and falling
+    back to lower-order corrections when contacts are dead. *)
+
+val route :
+  ?on_hop:(int -> unit) ->
+  Overlay.Table.t ->
+  alive:bool array ->
+  src:int ->
+  dst:int ->
+  Outcome.t

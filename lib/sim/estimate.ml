@@ -1,0 +1,72 @@
+type config = {
+  geometry : Rcm.Geometry.t;
+  bits : int;
+  q : float;
+  trials : int;
+  pairs_per_trial : int;
+  seed : int;
+}
+
+type result = {
+  config : config;
+  delivered : int;
+  attempted : int;
+  ci : Stats.Binomial_ci.t;
+  hop_summary : Stats.Summary.t;
+  mean_alive_fraction : float;
+}
+
+let config ?(trials = 3) ?(pairs_per_trial = 2_000) ?(seed = 42) ~bits ~q geometry =
+  if trials < 1 then invalid_arg "Estimate.config: need at least one trial";
+  if pairs_per_trial < 1 then invalid_arg "Estimate.config: need at least one pair";
+  if not (Numerics.Prob.is_valid q) then invalid_arg "Estimate.config: invalid q";
+  { geometry; bits; q; trials; pairs_per_trial; seed }
+
+let routability r = Stats.Binomial_ci.point r.ci
+
+let failed_percent r = 100.0 *. (1.0 -. routability r)
+
+(* One static-resilience trial (section 1): build a fresh overlay, fail
+   every node independently with probability q, then estimate the
+   fraction of routable ordered pairs among the survivors by sampling. *)
+let run_trial cfg rng ~delivered ~attempted ~hop_summary =
+  let table = Overlay.Table.build ~rng ~bits:cfg.bits cfg.geometry in
+  let alive = Overlay.Failure.sample ~rng ~q:cfg.q (Overlay.Table.node_count table) in
+  let pool = Overlay.Failure.survivors alive in
+  if Array.length pool < 2 then 0.0
+  else begin
+    for _ = 1 to cfg.pairs_per_trial do
+      let src, dst = Stats.Sampler.ordered_pair rng pool in
+      incr attempted;
+      match Routing.Router.route table ~rng ~alive ~src ~dst with
+      | Routing.Outcome.Delivered { hops } ->
+          incr delivered;
+          Stats.Summary.add hop_summary (float_of_int hops)
+      | Routing.Outcome.Dropped _ -> ()
+    done;
+    float_of_int (Array.length pool) /. float_of_int (Overlay.Table.node_count table)
+  end
+
+let run cfg =
+  let rng = Prng.Splitmix.create ~seed:cfg.seed in
+  let delivered = ref 0 in
+  let attempted = ref 0 in
+  let hop_summary = Stats.Summary.create () in
+  let alive_total = ref 0.0 in
+  for _ = 1 to cfg.trials do
+    let trial_rng = Prng.Splitmix.split rng in
+    alive_total := !alive_total +. run_trial cfg trial_rng ~delivered ~attempted ~hop_summary
+  done;
+  let attempted_total = max 1 !attempted in
+  {
+    config = cfg;
+    delivered = !delivered;
+    attempted = !attempted;
+    ci = Stats.Binomial_ci.wilson ~successes:!delivered ~trials:attempted_total ();
+    hop_summary;
+    mean_alive_fraction = !alive_total /. float_of_int cfg.trials;
+  }
+
+let pp_result ppf r =
+  Fmt.pf ppf "%a d=%d q=%.3f: routability %a, hops %a" Rcm.Geometry.pp r.config.geometry
+    r.config.bits r.config.q Stats.Binomial_ci.pp r.ci Stats.Summary.pp r.hop_summary

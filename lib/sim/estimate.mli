@@ -1,0 +1,39 @@
+(** Monte-Carlo estimation of routability under the static-resilience
+    failure model — the simulation half of the paper's Fig. 6
+    comparison. *)
+
+type config = {
+  geometry : Rcm.Geometry.t;
+  bits : int;  (** identifier length d; N = 2^bits nodes *)
+  q : float;  (** uniform node failure probability *)
+  trials : int;  (** independent overlay + failure samples *)
+  pairs_per_trial : int;  (** routed source/destination samples per trial *)
+  seed : int;
+}
+
+type result = {
+  config : config;
+  delivered : int;
+  attempted : int;
+  ci : Stats.Binomial_ci.t;  (** routability estimate with 95% CI *)
+  hop_summary : Stats.Summary.t;  (** hop counts of delivered messages *)
+  mean_alive_fraction : float;
+}
+
+val config :
+  ?trials:int ->
+  ?pairs_per_trial:int ->
+  ?seed:int ->
+  bits:int ->
+  q:float ->
+  Rcm.Geometry.t ->
+  config
+(** @raise Invalid_argument on non-positive counts or invalid [q]. *)
+
+val run : config -> result
+(** Deterministic in [config.seed]. *)
+
+val routability : result -> float
+val failed_percent : result -> float
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,17 @@
+(** Deterministic binary-heap event queue for discrete-event
+    simulation. Events with equal timestamps pop in insertion order. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val add : 'a t -> time:float -> 'a -> unit
+(** @raise Invalid_argument on a nan timestamp. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Earliest event, or [None] when empty. *)
+
+val peek_time : 'a t -> float option
+
+val size : 'a t -> int
+val is_empty : 'a t -> bool

@@ -1,0 +1,99 @@
+type trial = {
+  connectivity : Graph.Components.report;
+  routability : float;
+  routed_pairs : int;
+}
+
+type report = {
+  geometry : Rcm.Geometry.t;
+  bits : int;
+  q : float;
+  trials : trial list;
+  mean_pair_connectivity : float;
+  mean_giant_fraction : float;
+  mean_routability : float;
+}
+
+(* Connectivity vs routability on the *same* failed instance: the
+   reachable component is a subset of the connected component
+   (section 4.1), so measured routability must not exceed
+   pair-connectivity. The experiment quantifies the gap the paper's
+   introduction argues makes percolation theory insufficient. *)
+let run_trial ~bits ~q geometry rng ~pairs =
+  let table = Overlay.Table.build ~rng ~bits geometry in
+  let alive = Overlay.Failure.sample ~rng ~q (Overlay.Table.node_count table) in
+  let graph = Overlay.Table.to_digraph table in
+  let connectivity = Graph.Components.analyze ~alive graph in
+  let pool = Overlay.Failure.survivors alive in
+  if Array.length pool < 2 then { connectivity; routability = 0.0; routed_pairs = 0 }
+  else begin
+    let delivered = ref 0 in
+    for _ = 1 to pairs do
+      let src, dst = Stats.Sampler.ordered_pair rng pool in
+      if Routing.Outcome.is_delivered (Routing.Router.route table ~rng ~alive ~src ~dst)
+      then incr delivered
+    done;
+    {
+      connectivity;
+      routability = float_of_int !delivered /. float_of_int pairs;
+      routed_pairs = pairs;
+    }
+  end
+
+let run ?(trials = 3) ?(pairs = 2_000) ?(seed = 42) ~bits ~q geometry =
+  if trials < 1 then invalid_arg "Percolation.run: need at least one trial";
+  let rng = Prng.Splitmix.create ~seed in
+  let all =
+    List.init trials (fun _ -> run_trial ~bits ~q geometry (Prng.Splitmix.split rng) ~pairs)
+  in
+  let mean f = List.fold_left (fun acc t -> acc +. f t) 0.0 all /. float_of_int trials in
+  {
+    geometry;
+    bits;
+    q;
+    trials = all;
+    mean_pair_connectivity = mean (fun t -> t.connectivity.Graph.Components.pair_connectivity);
+    mean_giant_fraction = mean (fun t -> t.connectivity.Graph.Components.giant_fraction);
+    mean_routability = mean (fun t -> t.routability);
+  }
+
+let routing_gap r = r.mean_pair_connectivity -. r.mean_routability
+
+(* Mean giant-component fraction among survivors at one failure level,
+   without routing (for threshold estimation). *)
+let giant_fraction ?(trials = 3) ?(seed = 42) ~bits ~q geometry =
+  let rng = Prng.Splitmix.create ~seed in
+  let total = ref 0.0 in
+  for _ = 1 to trials do
+    let trial_rng = Prng.Splitmix.split rng in
+    let table = Overlay.Table.build ~rng:trial_rng ~bits geometry in
+    let alive = Overlay.Failure.sample ~rng:trial_rng ~q (Overlay.Table.node_count table) in
+    let report = Graph.Components.analyze ~alive (Overlay.Table.to_digraph table) in
+    total := !total +. report.Graph.Components.giant_fraction
+  done;
+  !total /. float_of_int trials
+
+(* The failure probability at which the giant component among the
+   survivors stops covering [target] of them — the finite-size stand-in
+   for 1 - p_c in Definition 2. Bisection over the (empirically
+   monotone) giant-fraction curve. *)
+let giant_threshold ?(trials = 3) ?(target = 0.5) ?(steps = 12) ?(seed = 42) ~bits geometry =
+  if target <= 0.0 || target >= 1.0 then
+    invalid_arg "Percolation.giant_threshold: target outside (0,1)";
+  let covered q = giant_fraction ~trials ~seed ~bits ~q geometry >= target in
+  if not (covered 0.0) then 0.0
+  else begin
+    let rec bisect lo hi i =
+      if i = 0 then (lo +. hi) /. 2.0
+      else begin
+        let mid = (lo +. hi) /. 2.0 in
+        if covered mid then bisect mid hi (i - 1) else bisect lo mid (i - 1)
+      end
+    in
+    bisect 0.0 1.0 steps
+  end
+
+let pp ppf r =
+  Fmt.pf ppf "%a d=%d q=%.3f: pair-connectivity %.4f, routability %.4f (gap %.4f)"
+    Rcm.Geometry.pp r.geometry r.bits r.q r.mean_pair_connectivity r.mean_routability
+    (routing_gap r)

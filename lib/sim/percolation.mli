@@ -1,0 +1,43 @@
+(** Connectivity (percolation) versus routability on identical failed
+    overlays — experiment A1.
+
+    Section 1 of the paper motivates RCM by noting that percolation
+    theory only bounds connectivity: pairs in one connected component
+    need not be mutually routable. This experiment measures both
+    quantities on the same failure samples. *)
+
+type trial = {
+  connectivity : Graph.Components.report;
+  routability : float;
+  routed_pairs : int;
+}
+
+type report = {
+  geometry : Rcm.Geometry.t;
+  bits : int;
+  q : float;
+  trials : trial list;
+  mean_pair_connectivity : float;
+  mean_giant_fraction : float;
+  mean_routability : float;
+}
+
+val run :
+  ?trials:int -> ?pairs:int -> ?seed:int -> bits:int -> q:float -> Rcm.Geometry.t -> report
+
+val routing_gap : report -> float
+(** pair-connectivity minus routability; non-negative up to Monte-Carlo
+    noise. *)
+
+val giant_fraction :
+  ?trials:int -> ?seed:int -> bits:int -> q:float -> Rcm.Geometry.t -> float
+(** Mean fraction of survivors inside the largest connected component. *)
+
+val giant_threshold :
+  ?trials:int -> ?target:float -> ?steps:int -> ?seed:int -> bits:int -> Rcm.Geometry.t -> float
+(** Bisected failure probability at which the giant component stops
+    covering [target] (default 0.5) of the survivors — the finite-size
+    stand-in for 1 - p_c in Definition 2. Routing always collapses at
+    or before this point. *)
+
+val pp : Format.formatter -> report -> unit

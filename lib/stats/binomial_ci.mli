@@ -1,0 +1,20 @@
+(** Wilson score confidence intervals for Monte-Carlo success
+    proportions (routability estimates). *)
+
+type t
+
+val z_95 : float
+(** Two-sided 95% normal quantile. *)
+
+val wilson : ?z:float -> successes:int -> trials:int -> unit -> t
+(** @raise Invalid_argument when [trials <= 0] or counts inconsistent. *)
+
+val point : t -> float
+val lower : t -> float
+val upper : t -> float
+val half_width : t -> float
+
+val contains : t -> float -> bool
+(** [contains t p] is true when [p] lies inside the interval. *)
+
+val pp : Format.formatter -> t -> unit

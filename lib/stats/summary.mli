@@ -1,0 +1,19 @@
+(** Single-pass summary statistics (Welford). *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val of_array : float array -> t
+
+val count : t -> int
+val mean : t -> float
+val variance : t -> float
+(** Unbiased sample variance; [nan] with fewer than two samples. *)
+
+val stddev : t -> float
+val std_error : t -> float
+val min : t -> float
+val max : t -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,10 @@
+(* Minimal substring search for the CLI smoke tests (no external string
+   library needed). *)
+let contains haystack needle =
+  let n = String.length needle in
+  let h = String.length haystack in
+  if n = 0 then true
+  else begin
+    let rec scan i = i + n <= h && (String.sub haystack i n = needle || scan (i + 1)) in
+    scan 0
+  end

@@ -1,0 +1,28 @@
+(* Shared Alcotest testables and qcheck plumbing. *)
+
+let float_approx ?(rtol = 1e-9) ?(atol = 1e-12) () =
+  let pp, eq = Numerics.Approx.testable ~rtol ~atol () in
+  Alcotest.testable pp eq
+
+let close = float_approx ()
+
+let loose = float_approx ~rtol:1e-6 ~atol:1e-9 ()
+
+let check_close ?(msg = "value") expected actual = Alcotest.check close msg expected actual
+
+let check_loose ?(msg = "value") expected actual = Alcotest.check loose msg expected actual
+
+let check_in_unit ~msg x =
+  if not (Numerics.Prob.is_valid x) then
+    Alcotest.failf "%s: %.17g is not in [0,1]" msg x
+
+let qcheck ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* Probabilities away from the exact endpoints, where most formulas
+   have separate exact cases already covered by unit tests. *)
+let prob_gen = QCheck2.Gen.float_range 0.001 0.999
+
+let small_prob_gen = QCheck2.Gen.float_range 0.001 0.6
+
+let rng_of_seed seed = Prng.Splitmix.create ~seed

@@ -1,0 +1,197 @@
+open Helpers
+
+(* --- Event queue -------------------------------------------------------- *)
+
+let test_queue_ordering () =
+  let q = Sim.Event_queue.create () in
+  Sim.Event_queue.add q ~time:3.0 "c";
+  Sim.Event_queue.add q ~time:1.0 "a";
+  Sim.Event_queue.add q ~time:2.0 "b";
+  Alcotest.(check (option (pair (float 0.0) string))) "a" (Some (1.0, "a")) (Sim.Event_queue.pop q);
+  Alcotest.(check (option (pair (float 0.0) string))) "b" (Some (2.0, "b")) (Sim.Event_queue.pop q);
+  Alcotest.(check (option (pair (float 0.0) string))) "c" (Some (3.0, "c")) (Sim.Event_queue.pop q);
+  Alcotest.(check bool) "empty" true (Sim.Event_queue.pop q = None)
+
+let test_queue_fifo_ties () =
+  let q = Sim.Event_queue.create () in
+  Sim.Event_queue.add q ~time:1.0 "first";
+  Sim.Event_queue.add q ~time:1.0 "second";
+  Alcotest.(check (option (pair (float 0.0) string))) "fifo" (Some (1.0, "first"))
+    (Sim.Event_queue.pop q);
+  Alcotest.(check (option (pair (float 0.0) string))) "fifo2" (Some (1.0, "second"))
+    (Sim.Event_queue.pop q)
+
+let test_queue_interleaved () =
+  let q = Sim.Event_queue.create () in
+  Sim.Event_queue.add q ~time:5.0 5;
+  Sim.Event_queue.add q ~time:1.0 1;
+  Alcotest.(check (option (pair (float 0.0) int))) "1" (Some (1.0, 1)) (Sim.Event_queue.pop q);
+  Sim.Event_queue.add q ~time:3.0 3;
+  Sim.Event_queue.add q ~time:0.5 0;
+  Alcotest.(check (option (pair (float 0.0) int))) "0" (Some (0.5, 0)) (Sim.Event_queue.pop q);
+  Alcotest.(check (option (pair (float 0.0) int))) "3" (Some (3.0, 3)) (Sim.Event_queue.pop q);
+  Alcotest.(check int) "one left" 1 (Sim.Event_queue.size q)
+
+let test_queue_rejects_nan () =
+  let q = Sim.Event_queue.create () in
+  Alcotest.check_raises "nan" (Invalid_argument "Event_queue.add: nan time") (fun () ->
+      Sim.Event_queue.add q ~time:nan ())
+
+let queue_pops_sorted =
+  qcheck "queue pops in non-decreasing time order"
+    QCheck2.Gen.(list_size (int_range 0 200) (float_range 0.0 100.0))
+    (fun times ->
+      let q = Sim.Event_queue.create () in
+      List.iter (fun t -> Sim.Event_queue.add q ~time:t ()) times;
+      let rec drain last =
+        match Sim.Event_queue.pop q with
+        | None -> true
+        | Some (t, ()) -> t >= last && drain t
+      in
+      drain neg_infinity)
+
+(* --- Churn simulation ------------------------------------------------------ *)
+
+let quick_config ?(geometry = Rcm.Geometry.Xor) ?(mean_downtime = 2.0)
+    ?(repair_interval = 1.0) ?(seed = 13) () =
+  Sim.Churn.config ~bits:8 ~mean_uptime:8.0 ~mean_downtime ~repair_interval ~warmup:15.0
+    ~measurements:3 ~measurement_spacing:2.0 ~pairs_per_measurement:400 ~seed geometry
+
+let test_churn_rejects_bad_config () =
+  Alcotest.(check bool) "tree rejected" true
+    (try
+       ignore (Sim.Churn.config Rcm.Geometry.Tree);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad lifetime" true
+    (try
+       ignore (Sim.Churn.config ~mean_uptime:0.0 Rcm.Geometry.Xor);
+       false
+     with Invalid_argument _ -> true)
+
+let test_churn_reproducible () =
+  let a = Sim.Churn.run (quick_config ()) in
+  let b = Sim.Churn.run (quick_config ()) in
+  check_close a.Sim.Churn.mean_routability b.Sim.Churn.mean_routability;
+  check_close a.Sim.Churn.mean_stale b.Sim.Churn.mean_stale
+
+let test_churn_alive_fraction () =
+  (* Steady-state down fraction = 2 / (8+2) = 0.2. *)
+  let report = Sim.Churn.run (quick_config ()) in
+  let expected = 1.0 -. Sim.Churn.expected_down_fraction (quick_config ()) in
+  Alcotest.(check bool)
+    (Printf.sprintf "alive %.3f ~ %.3f" report.Sim.Churn.mean_alive expected)
+    true
+    (Float.abs (report.Sim.Churn.mean_alive -. expected) < 0.06)
+
+let test_churn_no_churn_limit () =
+  (* Vanishing downtime: everything stays alive and routable. *)
+  let cfg =
+    Sim.Churn.config ~bits:8 ~mean_uptime:1e9 ~mean_downtime:1e-9 ~repair_interval:1.0
+      ~warmup:5.0 ~measurements:2 ~measurement_spacing:1.0 ~pairs_per_measurement:200
+      ~seed:3 Rcm.Geometry.Xor
+  in
+  let report = Sim.Churn.run cfg in
+  Alcotest.(check bool) "alive ~ 1" true (report.Sim.Churn.mean_alive > 0.999);
+  Alcotest.(check bool) "stale ~ 0" true (report.Sim.Churn.mean_stale < 0.01);
+  check_close 1.0 report.Sim.Churn.mean_routability
+
+let test_churn_repair_helps_xor () =
+  (* Faster repair -> fewer stale entries -> higher routability. *)
+  let slow = Sim.Churn.run (quick_config ~repair_interval:4.0 ()) in
+  let fast = Sim.Churn.run (quick_config ~repair_interval:0.25 ()) in
+  Alcotest.(check bool)
+    (Printf.sprintf "stale %.4f < %.4f" fast.Sim.Churn.mean_stale slow.Sim.Churn.mean_stale)
+    true
+    (fast.Sim.Churn.mean_stale < slow.Sim.Churn.mean_stale);
+  Alcotest.(check bool)
+    (Printf.sprintf "routability %.4f >= %.4f" fast.Sim.Churn.mean_routability
+       slow.Sim.Churn.mean_routability)
+    true
+    (fast.Sim.Churn.mean_routability >= slow.Sim.Churn.mean_routability -. 0.01)
+
+let test_churn_ring_repair_noop () =
+  (* Ring fingers are deterministic: repair interval cannot matter. *)
+  let a = Sim.Churn.run (quick_config ~geometry:Rcm.Geometry.Ring ~repair_interval:0.25 ()) in
+  let b = Sim.Churn.run (quick_config ~geometry:Rcm.Geometry.Ring ~repair_interval:4.0 ()) in
+  check_close a.Sim.Churn.mean_stale b.Sim.Churn.mean_stale;
+  check_close a.Sim.Churn.mean_routability b.Sim.Churn.mean_routability
+
+let test_churn_ring_stale_equals_down () =
+  (* Unrepairable entries are stale exactly when their target is down:
+     stale fraction ~ down fraction. *)
+  let report = Sim.Churn.run (quick_config ~geometry:Rcm.Geometry.Ring ()) in
+  let down = Sim.Churn.expected_down_fraction (quick_config ()) in
+  Alcotest.(check bool)
+    (Printf.sprintf "stale %.3f ~ down %.3f" report.Sim.Churn.mean_stale down)
+    true
+    (Float.abs (report.Sim.Churn.mean_stale -. down) < 0.05)
+
+let test_churn_more_churn_hurts () =
+  let calm = Sim.Churn.run (quick_config ~mean_downtime:0.5 ()) in
+  let stormy = Sim.Churn.run (quick_config ~mean_downtime:6.0 ()) in
+  Alcotest.(check bool) "routability drops" true
+    (stormy.Sim.Churn.mean_routability < calm.Sim.Churn.mean_routability)
+
+let test_churn_bridge_accuracy_xor () =
+  (* The static simulation at q = stale fraction predicts churn
+     routability to a few points for XOR (EXPERIMENTS.md E8). *)
+  let cfg =
+    { Experiments.Churn_bridge.default_config with
+      bits = 8; mean_downtimes = [ 2.0 ]; repair_intervals = [ 1.0 ]; pairs = 600 }
+  in
+  let rows = Experiments.Churn_bridge.run ~geometries:[ Rcm.Geometry.Xor ] cfg in
+  List.iter
+    (fun row ->
+      let err = Experiments.Churn_bridge.bridge_error row in
+      Alcotest.(check bool) (Printf.sprintf "bridge error %.4f < 0.05" err) true (err < 0.05))
+    rows
+
+let test_churn_symphony_class_staleness () =
+  (* Symphony's near links cannot be repaired in place, so their stale
+     fraction approaches the down fraction, while repaired shortcuts
+     stay fresher. *)
+  let report =
+    Sim.Churn.run (quick_config ~geometry:Rcm.Geometry.default_symphony ~repair_interval:0.5 ())
+  in
+  let near = ref 0.0 and shortcut = ref 0.0 and count = ref 0 in
+  List.iter
+    (fun m ->
+      near := !near +. m.Sim.Churn.stale_near;
+      shortcut := !shortcut +. m.Sim.Churn.stale_shortcut;
+      incr count)
+    report.Sim.Churn.measurements;
+  let near = !near /. float_of_int !count in
+  let shortcut = !shortcut /. float_of_int !count in
+  Alcotest.(check bool)
+    (Printf.sprintf "near %.3f > shortcut %.3f" near shortcut)
+    true (near > shortcut);
+  let down = Sim.Churn.expected_down_fraction (quick_config ()) in
+  Alcotest.(check bool)
+    (Printf.sprintf "near %.3f ~ down %.3f" near down)
+    true
+    (Float.abs (near -. down) < 0.07)
+
+let test_churn_measurement_count () =
+  let report = Sim.Churn.run (quick_config ()) in
+  Alcotest.(check int) "measurements" 3 (List.length report.Sim.Churn.measurements)
+
+let suite =
+  [
+    ("event queue ordering", `Quick, test_queue_ordering);
+    ("event queue fifo ties", `Quick, test_queue_fifo_ties);
+    ("event queue interleaved", `Quick, test_queue_interleaved);
+    ("event queue rejects nan", `Quick, test_queue_rejects_nan);
+    queue_pops_sorted;
+    ("churn config guards", `Quick, test_churn_rejects_bad_config);
+    ("churn reproducible", `Quick, test_churn_reproducible);
+    ("churn alive fraction", `Quick, test_churn_alive_fraction);
+    ("churn no-churn limit", `Quick, test_churn_no_churn_limit);
+    ("churn repair helps xor", `Quick, test_churn_repair_helps_xor);
+    ("churn ring repair no-op", `Quick, test_churn_ring_repair_noop);
+    ("churn ring stale = down fraction", `Quick, test_churn_ring_stale_equals_down);
+    ("churn more churn hurts", `Quick, test_churn_more_churn_hurts);
+    ("churn bridge accuracy (xor)", `Slow, test_churn_bridge_accuracy_xor);
+    ("churn symphony per-class staleness", `Slow, test_churn_symphony_class_staleness);
+    ("churn measurement count", `Quick, test_churn_measurement_count);
+  ]

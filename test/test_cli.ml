@@ -1,0 +1,87 @@
+(* Integration smoke tests: run the installed dhtlab binary end-to-end
+   and check its output shape. The test stanza declares the executable
+   as a dependency, so it is present at ../bin/dhtlab.exe relative to
+   the test runner's directory. *)
+
+let binary = Filename.concat (Filename.concat ".." "bin") "dhtlab.exe"
+
+let run_capture args =
+  let command = Filename.quote_command binary args in
+  let ic = Unix.open_process_in command in
+  let buffer = Buffer.create 1024 in
+  (try
+     while true do
+       Buffer.add_channel buffer ic 1
+     done
+   with End_of_file -> ());
+  let status = Unix.close_process_in ic in
+  (status, Buffer.contents buffer)
+
+let check_exit name = function
+  | Unix.WEXITED 0 -> ()
+  | Unix.WEXITED n -> Alcotest.failf "%s exited with %d" name n
+  | Unix.WSIGNALED n | Unix.WSTOPPED n -> Alcotest.failf "%s killed by signal %d" name n
+
+let test_binary_present () =
+  Alcotest.(check bool) "dhtlab.exe built" true (Sys.file_exists binary)
+
+let test_analyze () =
+  let status, out = run_capture [ "analyze"; "-d"; "10"; "-q"; "0.2" ] in
+  check_exit "analyze" status;
+  List.iter
+    (fun name ->
+      if not (Astring_contains.contains out name) then
+        Alcotest.failf "analyze output missing %s" name)
+    [ "tree"; "hypercube"; "xor"; "ring"; "symphony" ]
+
+let test_scalability_table () =
+  let status, out = run_capture [ "scalability" ] in
+  check_exit "scalability" status;
+  Alcotest.(check bool) "mentions unscalable" true (Astring_contains.contains out "unscalable");
+  Alcotest.(check bool) "prints critical q" true (Astring_contains.contains out "critical q")
+
+let test_figure_quick_csv () =
+  let status, out = run_capture [ "figure"; "f7a"; "--csv" ] in
+  check_exit "figure f7a" status;
+  let lines = String.split_on_char '\n' out in
+  Alcotest.(check string) "csv header" "q,tree,hypercube,xor,ring,symphony" (List.hd lines)
+
+let test_route_trace () =
+  let status, out = run_capture [ "route"; "3"; "200"; "-g"; "ring"; "-d"; "8" ] in
+  check_exit "route" status;
+  Alcotest.(check bool) "delivered" true (Astring_contains.contains out "delivered");
+  Alcotest.(check bool) "hop trace" true (Astring_contains.contains out "hop  0")
+
+let test_export_writes_files () =
+  let dir = Filename.temp_file "dhtlab" "export" in
+  Sys.remove dir;
+  let status, _ = run_capture [ "export"; "-o"; dir; "--quick" ] in
+  check_exit "export" status;
+  List.iter
+    (fun file ->
+      let path = Filename.concat dir file in
+      if not (Sys.file_exists path) then Alcotest.failf "export missing %s" file)
+    [ "f6a.csv"; "f7b.csv"; "dims.csv"; "plots.gp" ];
+  (* The CSVs parse as header + at least one data row. *)
+  let ic = open_in (Filename.concat dir "f7b.csv") in
+  let header = input_line ic in
+  let first = input_line ic in
+  close_in ic;
+  Alcotest.(check bool) "header has columns" true (String.contains header ',');
+  Alcotest.(check bool) "data row has columns" true (String.contains first ',')
+
+let test_unknown_figure_rejected () =
+  match run_capture [ "figure"; "nonsense" ] with
+  | Unix.WEXITED 0, _ -> Alcotest.fail "unknown figure accepted"
+  | _, _ -> ()
+
+let suite =
+  [
+    ("binary present", `Quick, test_binary_present);
+    ("analyze", `Quick, test_analyze);
+    ("scalability table", `Quick, test_scalability_table);
+    ("figure csv", `Quick, test_figure_quick_csv);
+    ("route trace", `Quick, test_route_trace);
+    ("export writes files", `Slow, test_export_writes_files);
+    ("unknown figure rejected", `Quick, test_unknown_figure_rejected);
+  ]

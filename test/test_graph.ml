@@ -1,0 +1,132 @@
+open Helpers
+
+let test_union_find_basic () =
+  let uf = Graph.Union_find.create 5 in
+  Alcotest.(check int) "initial components" 5 (Graph.Union_find.component_count uf);
+  Alcotest.(check bool) "union new" true (Graph.Union_find.union uf 0 1);
+  Alcotest.(check bool) "union again" false (Graph.Union_find.union uf 0 1);
+  Alcotest.(check bool) "same" true (Graph.Union_find.same_component uf 0 1);
+  Alcotest.(check bool) "different" false (Graph.Union_find.same_component uf 0 2);
+  Alcotest.(check int) "components after union" 4 (Graph.Union_find.component_count uf)
+
+let test_union_find_transitive () =
+  let uf = Graph.Union_find.create 6 in
+  ignore (Graph.Union_find.union uf 0 1);
+  ignore (Graph.Union_find.union uf 1 2);
+  ignore (Graph.Union_find.union uf 3 4);
+  Alcotest.(check bool) "0 ~ 2" true (Graph.Union_find.same_component uf 0 2);
+  Alcotest.(check bool) "0 !~ 3" false (Graph.Union_find.same_component uf 0 3);
+  Alcotest.(check (list int)) "sizes" [ 3; 2; 1 ] (Graph.Union_find.component_sizes uf)
+
+let union_find_counts_consistent =
+  qcheck "component count = number of distinct roots"
+    QCheck2.Gen.(list_size (int_range 0 60) (pair (int_range 0 19) (int_range 0 19)))
+    (fun edges ->
+      let uf = Graph.Union_find.create 20 in
+      List.iter (fun (a, b) -> ignore (Graph.Union_find.union uf a b)) edges;
+      let roots = List.init 20 (Graph.Union_find.find uf) |> List.sort_uniq compare in
+      List.length roots = Graph.Union_find.component_count uf)
+
+let diamond =
+  (* 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3 *)
+  Graph.Digraph.of_adjacency [| [| 1; 2 |]; [| 3 |]; [| 3 |]; [||] |]
+
+let test_digraph_shape () =
+  Alcotest.(check int) "nodes" 4 (Graph.Digraph.node_count diamond);
+  Alcotest.(check int) "edges" 4 (Graph.Digraph.edge_count diamond);
+  Alcotest.(check int) "deg 0" 2 (Graph.Digraph.out_degree diamond 0);
+  Alcotest.(check int) "deg 3" 0 (Graph.Digraph.out_degree diamond 3);
+  Alcotest.(check (array int)) "succ 0" [| 1; 2 |] (Graph.Digraph.successors diamond 0)
+
+let test_digraph_of_edges () =
+  let g = Graph.Digraph.of_edges ~nodes:3 [ (0, 1); (1, 2); (0, 2) ] in
+  Alcotest.(check int) "edges" 3 (Graph.Digraph.edge_count g);
+  Alcotest.(check (array int)) "succ 0" [| 1; 2 |] (Graph.Digraph.successors g 0)
+
+let test_digraph_of_edges_invalid () =
+  Alcotest.check_raises "endpoint range"
+    (Invalid_argument "Digraph.of_edges: endpoint outside node range") (fun () ->
+      ignore (Graph.Digraph.of_edges ~nodes:2 [ (0, 5) ]))
+
+let test_bfs_distances () =
+  let d = Graph.Bfs.distances diamond ~source:0 in
+  Alcotest.(check (array int)) "distances" [| 0; 1; 1; 2 |] d
+
+let test_bfs_unreachable () =
+  let d = Graph.Bfs.distances diamond ~source:3 in
+  Alcotest.(check (array int)) "sink reaches nothing"
+    [| Graph.Bfs.unreachable; Graph.Bfs.unreachable; Graph.Bfs.unreachable; 0 |]
+    d
+
+let test_bfs_alive_mask () =
+  (* Killing node 1 leaves only the 0 -> 2 -> 3 path. *)
+  let alive = [| true; false; true; true |] in
+  let d = Graph.Bfs.distances ~alive diamond ~source:0 in
+  Alcotest.(check int) "via 2" 2 d.(3);
+  Alcotest.(check int) "dead unreachable" Graph.Bfs.unreachable d.(1)
+
+let test_bfs_dead_source () =
+  let alive = [| false; true; true; true |] in
+  let d = Graph.Bfs.distances ~alive diamond ~source:0 in
+  Alcotest.(check int) "dead source reaches nothing" Graph.Bfs.unreachable d.(3)
+
+let test_bfs_counts () =
+  Alcotest.(check int) "reachable from 0" 3 (Graph.Bfs.reachable_count diamond ~source:0);
+  Alcotest.(check int) "eccentricity" 2 (Graph.Bfs.eccentricity diamond ~source:0)
+
+let test_components_report () =
+  let r = Graph.Components.analyze diamond in
+  Alcotest.(check int) "alive" 4 r.Graph.Components.alive_nodes;
+  Alcotest.(check int) "one component" 1 r.Graph.Components.component_count;
+  check_close 1.0 r.Graph.Components.pair_connectivity;
+  check_close 1.0 r.Graph.Components.giant_fraction
+
+let test_components_split () =
+  (* Two disjoint directed pairs. *)
+  let g = Graph.Digraph.of_adjacency [| [| 1 |]; [||]; [| 3 |]; [||] |] in
+  let r = Graph.Components.analyze g in
+  Alcotest.(check int) "two components" 2 r.Graph.Components.component_count;
+  (* Connected ordered pairs: (0,1),(1,0),(2,3),(3,2) of 12 possible. *)
+  check_close (4.0 /. 12.0) r.Graph.Components.pair_connectivity
+
+let test_components_with_failures () =
+  let alive = [| true; false; true; true |] in
+  let r = Graph.Components.analyze ~alive diamond in
+  Alcotest.(check int) "alive" 3 r.Graph.Components.alive_nodes;
+  Alcotest.(check int) "one component (0-2-3)" 1 r.Graph.Components.component_count;
+  check_close 1.0 r.Graph.Components.giant_fraction
+
+let bfs_distance_positive_only_at_reachable =
+  qcheck "bfs distances are -1 or genuine hop counts"
+    QCheck2.Gen.(int_range 0 1000)
+    (fun seed ->
+      let rng = rng_of_seed seed in
+      let n = 2 + Prng.Splitmix.int rng 20 in
+      let adjacency =
+        Array.init n (fun _ ->
+            Array.init (Prng.Splitmix.int rng 4) (fun _ -> Prng.Splitmix.int rng n))
+      in
+      let g = Graph.Digraph.of_adjacency adjacency in
+      let src = Prng.Splitmix.int rng n in
+      let d = Graph.Bfs.distances g ~source:src in
+      d.(src) = 0
+      && Array.for_all (fun x -> x >= -1 && x < n) d)
+
+let suite =
+  [
+    ("union-find basic", `Quick, test_union_find_basic);
+    ("union-find transitive", `Quick, test_union_find_transitive);
+    union_find_counts_consistent;
+    ("digraph shape", `Quick, test_digraph_shape);
+    ("digraph of_edges", `Quick, test_digraph_of_edges);
+    ("digraph invalid edges", `Quick, test_digraph_of_edges_invalid);
+    ("bfs distances", `Quick, test_bfs_distances);
+    ("bfs unreachable", `Quick, test_bfs_unreachable);
+    ("bfs alive mask", `Quick, test_bfs_alive_mask);
+    ("bfs dead source", `Quick, test_bfs_dead_source);
+    ("bfs counts", `Quick, test_bfs_counts);
+    ("components report", `Quick, test_components_report);
+    ("components split", `Quick, test_components_split);
+    ("components with failures", `Quick, test_components_with_failures);
+    bfs_distance_positive_only_at_reachable;
+  ]

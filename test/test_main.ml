@@ -1,0 +1,24 @@
+let () =
+  Alcotest.run "dht_rcm"
+    [
+      ("numerics", Test_numerics.suite);
+      ("prng", Test_prng.suite);
+      ("idspace", Test_idspace.suite);
+      ("stats", Test_stats.suite);
+      ("graph", Test_graph.suite);
+      ("markov", Test_markov.suite);
+      ("rcm", Test_rcm.suite);
+      ("overlay", Test_overlay.suite);
+      ("routing", Test_routing.suite);
+      ("sim", Test_sim.suite);
+      ("experiments", Test_experiments.suite);
+      ("replication", Test_replication.suite);
+      ("sparse", Test_sparse.suite);
+      ("churn", Test_churn.suite);
+      ("latency", Test_latency.suite);
+      ("experiments-extended", Test_experiments_extended.suite);
+      ("digits", Test_digits.suite);
+      ("torus", Test_torus.suite);
+      ("symphony-deployment", Test_symphony_deployment.suite);
+      ("cli", Test_cli.suite);
+    ]

@@ -1,0 +1,196 @@
+open Helpers
+
+let bits = 8
+
+let build ?(seed = 17) geometry =
+  Overlay.Table.build ~rng:(rng_of_seed seed) ~bits geometry
+
+let test_node_count () =
+  List.iter
+    (fun g ->
+      Alcotest.(check int) (Rcm.Geometry.name g) 256 (Overlay.Table.node_count (build g)))
+    Rcm.Geometry.all_default
+
+let test_degrees () =
+  let expect g degree =
+    let t = build g in
+    for v = 0 to 255 do
+      Alcotest.(check int) (Rcm.Geometry.name g) degree (Overlay.Table.degree t v)
+    done
+  in
+  expect Rcm.Geometry.Tree bits;
+  expect Rcm.Geometry.Hypercube bits;
+  expect Rcm.Geometry.Xor bits;
+  expect Rcm.Geometry.Ring bits;
+  expect (Rcm.Geometry.Symphony { k_n = 2; k_s = 3 }) 5
+
+let test_tree_neighbors_flip_one_bit () =
+  let t = build Rcm.Geometry.Tree in
+  for v = 0 to 255 do
+    for i = 0 to bits - 1 do
+      let n = Overlay.Table.neighbor t v i in
+      Alcotest.(check int) "level neighbour flips exactly bit i+1"
+        (Idspace.Id.flip_bit ~bits v (i + 1))
+        n
+    done
+  done
+
+let test_xor_neighbors_prefix_property () =
+  (* Level-(i+1) contact: matches the first i bits, differs at bit
+     i+1. *)
+  let t = build Rcm.Geometry.Xor in
+  for v = 0 to 255 do
+    for i = 0 to bits - 1 do
+      let n = Overlay.Table.neighbor t v i in
+      let level = i + 1 in
+      Alcotest.(check int) "prefix length exactly level-1" (level - 1)
+        (Idspace.Id.common_prefix_length ~bits v n);
+      Alcotest.(check bool) "bit level differs" true
+        (Idspace.Id.get_bit ~bits v level <> Idspace.Id.get_bit ~bits n level)
+    done
+  done
+
+let test_xor_suffix_randomised () =
+  (* With random suffixes, at least one high-level contact must differ
+     from the pure bit-flip (probability of this failing over all nodes
+     is ~2^-1500). *)
+  let t = build Rcm.Geometry.Xor in
+  let any_random = ref false in
+  for v = 0 to 255 do
+    let n = Overlay.Table.neighbor t v 0 in
+    if n <> Idspace.Id.flip_bit ~bits v 1 then any_random := true
+  done;
+  Alcotest.(check bool) "suffixes randomised" true !any_random
+
+let test_ring_fingers () =
+  let t = build Rcm.Geometry.Ring in
+  for v = 0 to 255 do
+    for i = 0 to bits - 1 do
+      Alcotest.(check int) "finger distance 2^i" (1 lsl i)
+        (Idspace.Id.ring_distance ~bits v (Overlay.Table.neighbor t v i))
+    done
+  done
+
+let test_randomized_ring_fingers () =
+  let t = Overlay.Table.build_randomized_ring ~rng:(rng_of_seed 3) ~bits () in
+  for v = 0 to 255 do
+    for i = 0 to bits - 1 do
+      let dist = Idspace.Id.ring_distance ~bits v (Overlay.Table.neighbor t v i) in
+      if dist < 1 lsl i || dist >= 1 lsl (i + 1) then
+        Alcotest.failf "finger %d of %d at distance %d outside [2^%d, 2^%d)" i v dist i (i + 1)
+    done
+  done
+
+let test_symphony_structure () =
+  let k_n = 2 and k_s = 2 in
+  let t = build (Rcm.Geometry.Symphony { k_n; k_s }) in
+  for v = 0 to 255 do
+    (* Near neighbours are the next k_n nodes clockwise. *)
+    for i = 0 to k_n - 1 do
+      Alcotest.(check int) "near neighbour" (i + 1)
+        (Idspace.Id.ring_distance ~bits v (Overlay.Table.neighbor t v i))
+    done;
+    (* Shortcuts land strictly forward on the ring. *)
+    for i = k_n to k_n + k_s - 1 do
+      let dist = Idspace.Id.ring_distance ~bits v (Overlay.Table.neighbor t v i) in
+      Alcotest.(check bool) "shortcut forward" true (dist >= 1 && dist <= 255)
+    done
+  done
+
+let test_deterministic_xor_table () =
+  let t = Overlay.Table.build_deterministic_xor ~bits in
+  Alcotest.(check bool) "geometry tag" true
+    (Rcm.Geometry.equal (Overlay.Table.geometry t) Rcm.Geometry.Xor);
+  for v = 0 to 255 do
+    for i = 0 to bits - 1 do
+      Alcotest.(check int) "pure bit flip"
+        (Idspace.Id.flip_bit ~bits v (i + 1))
+        (Overlay.Table.neighbor t v i)
+    done
+  done
+
+let test_build_reproducible () =
+  let t1 = build ~seed:5 Rcm.Geometry.Xor in
+  let t2 = build ~seed:5 Rcm.Geometry.Xor in
+  for v = 0 to 255 do
+    Alcotest.(check (array int)) "same tables" (Overlay.Table.neighbors t1 v)
+      (Overlay.Table.neighbors t2 v)
+  done
+
+let test_to_digraph () =
+  let t = build Rcm.Geometry.Ring in
+  let g = Overlay.Table.to_digraph t in
+  Alcotest.(check int) "nodes" 256 (Graph.Digraph.node_count g);
+  Alcotest.(check int) "edges" (256 * bits) (Graph.Digraph.edge_count g);
+  (* A full ring overlay is strongly connected: BFS reaches everyone. *)
+  Alcotest.(check int) "reachable" 255 (Graph.Bfs.reachable_count g ~source:0)
+
+let test_failure_sampling () =
+  let rng = rng_of_seed 23 in
+  let mask = Overlay.Failure.sample ~rng ~q:0.3 10_000 in
+  let alive = Overlay.Failure.alive_count mask in
+  Alcotest.(check bool)
+    (Printf.sprintf "alive fraction %.3f ~ 0.7" (float_of_int alive /. 10_000.0))
+    true
+    (abs (alive - 7_000) < 200)
+
+let test_failure_extremes () =
+  let rng = rng_of_seed 1 in
+  Alcotest.(check int) "q=0 all alive" 100
+    (Overlay.Failure.alive_count (Overlay.Failure.sample ~rng ~q:0.0 100));
+  Alcotest.(check int) "q=1 all dead" 0
+    (Overlay.Failure.alive_count (Overlay.Failure.sample ~rng ~q:1.0 100))
+
+let test_failure_survivors_kill () =
+  let mask = Overlay.Failure.none 5 in
+  Overlay.Failure.kill mask [| 1; 3 |];
+  Alcotest.(check (array int)) "survivors" [| 0; 2; 4 |] (Overlay.Failure.survivors mask);
+  Alcotest.(check int) "count" 3 (Overlay.Failure.alive_count mask)
+
+let neighbors_within_space =
+  qcheck "all neighbours lie inside the id space"
+    QCheck2.Gen.(int_range 0 1_000)
+    (fun seed ->
+      List.for_all
+        (fun g ->
+          let t = build ~seed g in
+          let ok = ref true in
+          for v = 0 to Overlay.Table.node_count t - 1 do
+            Overlay.Table.iter_neighbors t v (fun n -> if n < 0 || n > 255 then ok := false)
+          done;
+          !ok)
+        Rcm.Geometry.all_default)
+
+let no_self_loops =
+  qcheck "no node is its own neighbour"
+    QCheck2.Gen.(int_range 0 1_000)
+    (fun seed ->
+      List.for_all
+        (fun g ->
+          let t = build ~seed g in
+          let ok = ref true in
+          for v = 0 to Overlay.Table.node_count t - 1 do
+            Overlay.Table.iter_neighbors t v (fun n -> if n = v then ok := false)
+          done;
+          !ok)
+        Rcm.Geometry.all_default)
+
+let suite =
+  [
+    ("node count", `Quick, test_node_count);
+    ("degrees", `Quick, test_degrees);
+    ("tree neighbours flip one bit", `Quick, test_tree_neighbors_flip_one_bit);
+    ("xor neighbour prefix property", `Quick, test_xor_neighbors_prefix_property);
+    ("xor suffixes randomised", `Quick, test_xor_suffix_randomised);
+    ("ring fingers at 2^i", `Quick, test_ring_fingers);
+    ("randomized ring fingers in [2^i, 2^i+1)", `Quick, test_randomized_ring_fingers);
+    ("symphony structure", `Quick, test_symphony_structure);
+    ("deterministic xor table", `Quick, test_deterministic_xor_table);
+    ("build reproducible", `Quick, test_build_reproducible);
+    ("to_digraph", `Quick, test_to_digraph);
+    ("failure sampling", `Quick, test_failure_sampling);
+    ("failure extremes", `Quick, test_failure_extremes);
+    ("failure survivors/kill", `Quick, test_failure_survivors_kill);
+    neighbors_within_space;
+    no_self_loops;
+  ]

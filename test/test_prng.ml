@@ -1,0 +1,182 @@
+open Helpers
+
+let test_determinism () =
+  let a = Prng.Splitmix.create ~seed:123 in
+  let b = Prng.Splitmix.create ~seed:123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.Splitmix.next_int64 a)
+      (Prng.Splitmix.next_int64 b)
+  done
+
+let test_seed_changes_stream () =
+  let a = Prng.Splitmix.create ~seed:1 in
+  let b = Prng.Splitmix.create ~seed:2 in
+  Alcotest.(check bool) "different first draw" true
+    (Prng.Splitmix.next_int64 a <> Prng.Splitmix.next_int64 b)
+
+let test_copy_is_independent () =
+  let a = Prng.Splitmix.create ~seed:9 in
+  let b = Prng.Splitmix.copy a in
+  let x = Prng.Splitmix.next_int64 a in
+  let y = Prng.Splitmix.next_int64 b in
+  Alcotest.(check int64) "copy replays" x y
+
+let test_split_diverges () =
+  let a = Prng.Splitmix.create ~seed:77 in
+  let b = Prng.Splitmix.split a in
+  let xs = List.init 20 (fun _ -> Prng.Splitmix.next_int64 a) in
+  let ys = List.init 20 (fun _ -> Prng.Splitmix.next_int64 b) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+let test_known_splitmix_vector () =
+  (* Reference values for SplitMix64 with seed 0 (Vigna's
+     implementation): first three outputs. *)
+  let g = Prng.Splitmix.create ~seed:0 in
+  Alcotest.(check int64) "v0" 0xE220A8397B1DCDAFL (Prng.Splitmix.next_int64 g);
+  Alcotest.(check int64) "v1" 0x6E789E6AA1B965F4L (Prng.Splitmix.next_int64 g);
+  Alcotest.(check int64) "v2" 0x06C45D188009454FL (Prng.Splitmix.next_int64 g)
+
+let test_float_range () =
+  let g = Prng.Splitmix.create ~seed:5 in
+  for _ = 1 to 10_000 do
+    let x = Prng.Splitmix.float g in
+    if x < 0.0 || x >= 1.0 then Alcotest.failf "float out of [0,1): %g" x
+  done
+
+let test_float_mean () =
+  let g = Prng.Splitmix.create ~seed:6 in
+  let n = 50_000 in
+  let total = ref 0.0 in
+  for _ = 1 to n do
+    total := !total +. Prng.Splitmix.float g
+  done;
+  let mean = !total /. float_of_int n in
+  Alcotest.(check bool) "mean ~ 0.5" true (Float.abs (mean -. 0.5) < 0.01)
+
+let test_int_bounds () =
+  let g = Prng.Splitmix.create ~seed:7 in
+  for _ = 1 to 10_000 do
+    let x = Prng.Splitmix.int g 17 in
+    if x < 0 || x >= 17 then Alcotest.failf "int out of range: %d" x
+  done
+
+let test_int_uniformity () =
+  (* Chi-square over 8 buckets, 80k draws: statistic ~ chi2(7); reject
+     only far beyond the 99.9% quantile (24.3). *)
+  let g = Prng.Splitmix.create ~seed:8 in
+  let buckets = Array.make 8 0 in
+  let n = 80_000 in
+  for _ = 1 to n do
+    let x = Prng.Splitmix.int g 8 in
+    buckets.(x) <- buckets.(x) + 1
+  done;
+  let expected = float_of_int n /. 8.0 in
+  let chi2 =
+    Array.fold_left
+      (fun acc c ->
+        let d = float_of_int c -. expected in
+        acc +. (d *. d /. expected))
+      0.0 buckets
+  in
+  Alcotest.(check bool) (Printf.sprintf "chi2 %.2f < 30" chi2) true (chi2 < 30.0)
+
+let test_int_invalid () =
+  let g = Prng.Splitmix.create ~seed:1 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Splitmix.int: non-positive bound")
+    (fun () -> ignore (Prng.Splitmix.int g 0))
+
+let test_int_in_range () =
+  let g = Prng.Splitmix.create ~seed:2 in
+  for _ = 1 to 1_000 do
+    let x = Prng.Splitmix.int_in_range g ~lo:(-5) ~hi:5 in
+    if x < -5 || x > 5 then Alcotest.failf "range violated: %d" x
+  done
+
+let test_bernoulli_frequency () =
+  let g = Prng.Splitmix.create ~seed:3 in
+  let n = 50_000 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    if Prng.Splitmix.bernoulli g ~p:0.3 then incr hits
+  done;
+  let freq = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) "freq ~ 0.3" true (Float.abs (freq -. 0.3) < 0.01)
+
+let test_bernoulli_endpoints () =
+  let g = Prng.Splitmix.create ~seed:4 in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "p=0" false (Prng.Splitmix.bernoulli g ~p:0.0);
+    Alcotest.(check bool) "p=1" true (Prng.Splitmix.bernoulli g ~p:1.0)
+  done
+
+let test_shuffle_permutes () =
+  let g = Prng.Splitmix.create ~seed:11 in
+  let arr = Array.init 100 Fun.id in
+  Prng.Splitmix.shuffle_in_place g arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same multiset" (Array.init 100 Fun.id) sorted
+
+let test_harmonic_bounds () =
+  let g = Prng.Splitmix.create ~seed:12 in
+  for _ = 1 to 10_000 do
+    let x = Prng.Splitmix.harmonic_int g ~n:1000 in
+    if x < 1 || x > 1000 then Alcotest.failf "harmonic out of range: %d" x
+  done
+
+let test_harmonic_distribution () =
+  (* P(X <= x) ~ log(x+1)/log(n+1); check the median region. With
+     n = 1023 the CDF at 31 is ~ log(32)/log(1024) = 0.5. *)
+  let g = Prng.Splitmix.create ~seed:13 in
+  let n = 1023 in
+  let draws = 50_000 in
+  let below = ref 0 in
+  for _ = 1 to draws do
+    if Prng.Splitmix.harmonic_int g ~n <= 31 then incr below
+  done;
+  let freq = float_of_int !below /. float_of_int draws in
+  Alcotest.(check bool)
+    (Printf.sprintf "CDF(31) = %.3f ~ 0.5" freq)
+    true
+    (Float.abs (freq -. 0.5) < 0.02)
+
+let harmonic_in_range =
+  qcheck "harmonic stays in 1..n"
+    QCheck2.Gen.(pair (int_range 1 10_000) (int_range 0 1_000_000))
+    (fun (n, seed) ->
+      let g = Prng.Splitmix.create ~seed in
+      let x = Prng.Splitmix.harmonic_int g ~n in
+      1 <= x && x <= n)
+
+let int_unbiased_small_bounds =
+  qcheck "int covers the whole range"
+    QCheck2.Gen.(int_range 2 20)
+    (fun bound ->
+      let g = Prng.Splitmix.create ~seed:bound in
+      let seen = Array.make bound false in
+      for _ = 1 to 2_000 do
+        seen.(Prng.Splitmix.int g bound) <- true
+      done;
+      Array.for_all Fun.id seen)
+
+let suite =
+  [
+    ("determinism", `Quick, test_determinism);
+    ("seed changes stream", `Quick, test_seed_changes_stream);
+    ("copy replays", `Quick, test_copy_is_independent);
+    ("split diverges", `Quick, test_split_diverges);
+    ("known splitmix vectors", `Quick, test_known_splitmix_vector);
+    ("float in [0,1)", `Quick, test_float_range);
+    ("float mean", `Quick, test_float_mean);
+    ("int bounds", `Quick, test_int_bounds);
+    ("int uniformity (chi2)", `Quick, test_int_uniformity);
+    ("int invalid bound", `Quick, test_int_invalid);
+    ("int_in_range", `Quick, test_int_in_range);
+    ("bernoulli frequency", `Quick, test_bernoulli_frequency);
+    ("bernoulli endpoints", `Quick, test_bernoulli_endpoints);
+    ("shuffle permutes", `Quick, test_shuffle_permutes);
+    ("harmonic bounds", `Quick, test_harmonic_bounds);
+    ("harmonic distribution", `Quick, test_harmonic_distribution);
+    harmonic_in_range;
+    int_unbiased_small_bounds;
+  ]

@@ -1,0 +1,298 @@
+open Helpers
+
+(* --- Analysis ------------------------------------------------------------- *)
+
+let test_capacity () =
+  Alcotest.(check int) "m=1" 1 (Rcm.Replication.capacity ~k:8 ~m:1);
+  Alcotest.(check int) "m=2" 2 (Rcm.Replication.capacity ~k:8 ~m:2);
+  Alcotest.(check int) "m=4 capped by k" 8 (Rcm.Replication.capacity ~k:8 ~m:5);
+  Alcotest.(check int) "huge m" 8 (Rcm.Replication.capacity ~k:8 ~m:100)
+
+let test_effective_successors () =
+  Alcotest.(check int) "r=0" 0 (Rcm.Replication.effective_successors 0);
+  (* r=1 and r=2 only duplicate fingers (distances 1 and 1,2). *)
+  Alcotest.(check int) "r=1" 0 (Rcm.Replication.effective_successors 1);
+  Alcotest.(check int) "r=2" 0 (Rcm.Replication.effective_successors 2);
+  (* r=3 adds distance 3. *)
+  Alcotest.(check int) "r=3" 1 (Rcm.Replication.effective_successors 3);
+  (* r=8: distances 3,5,6,7 are new (1,2,4,8 are fingers). *)
+  Alcotest.(check int) "r=8" 4 (Rcm.Replication.effective_successors 8)
+
+let test_reduces_to_base_at_k1 () =
+  List.iter
+    (fun q ->
+      List.iter
+        (fun m ->
+          check_close ~msg:"tree" (Rcm.Tree.phase_failure ~q ~m)
+            (Rcm.Replication.tree_phase_failure ~q ~k:1 ~m);
+          check_close ~msg:"xor"
+            (Rcm.Xor_routing.phase_failure ~q ~m)
+            (Rcm.Replication.xor_phase_failure ~q ~k:1 ~m);
+          check_close ~msg:"ring" (Rcm.Ring.phase_failure ~q ~m)
+            (Rcm.Replication.ring_phase_failure ~q ~successors:0 ~m))
+        [ 1; 2; 5; 10 ])
+    [ 0.1; 0.3; 0.6 ]
+
+let test_destination_still_required () =
+  (* Q(1) = q for any amount of replication: the destination itself has
+     no replicas. *)
+  List.iter
+    (fun k ->
+      check_close ~msg:"tree" 0.4 (Rcm.Replication.tree_phase_failure ~q:0.4 ~k ~m:1);
+      check_close ~msg:"xor" 0.4 (Rcm.Replication.xor_phase_failure ~q:0.4 ~k ~m:1);
+      check_close ~msg:"ring" 0.4
+        (Rcm.Replication.ring_phase_failure ~q:0.4 ~successors:(k * 3) ~m:1))
+    [ 1; 2; 8; 64 ]
+
+let test_tree_replication_closed_form () =
+  (* Q(m) = q^min(k, 2^(m-1)) exactly. *)
+  check_close (0.3 ** 4.0) (Rcm.Replication.tree_phase_failure ~q:0.3 ~k:4 ~m:4);
+  check_close (0.3 ** 2.0) (Rcm.Replication.tree_phase_failure ~q:0.3 ~k:4 ~m:2)
+
+let replication_never_hurts =
+  qcheck "Q decreases as k grows"
+    QCheck2.Gen.(triple prob_gen (int_range 1 16) (int_range 1 16))
+    (fun (q, k, m) ->
+      Rcm.Replication.xor_phase_failure ~q ~k:(k + 1) ~m
+      <= Rcm.Replication.xor_phase_failure ~q ~k ~m +. 1e-12
+      && Rcm.Replication.tree_phase_failure ~q ~k:(k + 1) ~m
+         <= Rcm.Replication.tree_phase_failure ~q ~k ~m +. 1e-12)
+
+let successors_never_hurt =
+  qcheck "ring Q decreases as the successor list grows"
+    QCheck2.Gen.(triple prob_gen (int_range 0 32) (int_range 1 16))
+    (fun (q, r, m) ->
+      Rcm.Replication.ring_phase_failure ~q ~successors:(r + 1) ~m
+      <= Rcm.Replication.ring_phase_failure ~q ~successors:r ~m +. 1e-12)
+
+let replicated_q_is_probability =
+  qcheck "replicated Q values stay probabilities"
+    QCheck2.Gen.(triple prob_gen (int_range 1 32) (int_range 1 40))
+    (fun (q, k, m) ->
+      Numerics.Prob.is_valid (Rcm.Replication.xor_phase_failure ~q ~k ~m)
+      && Numerics.Prob.is_valid (Rcm.Replication.tree_phase_failure ~q ~k ~m)
+      && Numerics.Prob.is_valid (Rcm.Replication.ring_phase_failure ~q ~successors:k ~m))
+
+(* --- K-bucket overlays ------------------------------------------------------- *)
+
+let bits = 8
+
+let build_buckets ?(k = 3) ?(seed = 41) () =
+  Overlay.Kbucket.build ~rng:(rng_of_seed seed) ~bits ~k ()
+
+let test_bucket_sizes () =
+  let t = build_buckets () in
+  for v = 0 to 255 do
+    for level = 1 to bits do
+      let expected = min 3 (1 lsl (bits - level)) in
+      Alcotest.(check int)
+        (Printf.sprintf "bucket %d of %d" level v)
+        expected
+        (Array.length (Overlay.Kbucket.bucket t v level))
+    done
+  done
+
+let test_bucket_contacts_distinct () =
+  let t = build_buckets ~k:8 () in
+  for v = 0 to 255 do
+    for level = 1 to bits do
+      let contacts = Array.to_list (Overlay.Kbucket.bucket t v level) in
+      Alcotest.(check int) "distinct"
+        (List.length contacts)
+        (List.length (List.sort_uniq compare contacts))
+    done
+  done
+
+let test_bucket_prefix_property () =
+  let t = build_buckets ~k:4 () in
+  for v = 0 to 255 do
+    for level = 1 to bits do
+      Array.iter
+        (fun c ->
+          Alcotest.(check int) "prefix" (level - 1) (Idspace.Id.common_prefix_length ~bits v c))
+        (Overlay.Kbucket.bucket t v level)
+    done
+  done
+
+let test_bucket_rebuild () =
+  let t = build_buckets ~k:2 () in
+  let rng = rng_of_seed 1234 in
+  let before = Array.copy (Overlay.Kbucket.bucket t 7 1) in
+  (* Level-1 buckets draw from 128 candidates, so a redraw almost surely
+     changes the contact set; rebuild a few times to make the check
+     robust. *)
+  let changed = ref false in
+  for _ = 1 to 5 do
+    Overlay.Kbucket.rebuild_bucket t rng 7 ~level:1;
+    if Overlay.Kbucket.bucket t 7 1 <> before then changed := true
+  done;
+  Alcotest.(check bool) "rebuild changes the bucket" true !changed;
+  (* The prefix invariant survives rebuilds. *)
+  Array.iter
+    (fun c -> Alcotest.(check int) "prefix after rebuild" 0 (Idspace.Id.common_prefix_length ~bits 7 c))
+    (Overlay.Kbucket.bucket t 7 1)
+
+(* --- Bucket routing ----------------------------------------------------------- *)
+
+let all_alive = Overlay.Failure.none (1 lsl bits)
+
+let test_bucket_route_no_failures () =
+  let t = build_buckets ~k:3 () in
+  List.iter
+    (fun mode ->
+      let failures = ref 0 in
+      for src = 0 to 255 do
+        let dst = (src + 99) land 255 in
+        if dst <> src then
+          match Routing.Bucket_router.route ~mode t ~alive:all_alive ~src ~dst with
+          | Routing.Outcome.Delivered _ -> ()
+          | Routing.Outcome.Dropped _ -> incr failures
+      done;
+      Alcotest.(check int) "no drops" 0 !failures)
+    [ `Tree; `Xor ]
+
+let test_bucket_route_k1_matches_table_router () =
+  (* With k = 1 and the same failure pattern, bucket routing and the
+     basic XOR router implement the same protocol (different random
+     tables, but both must deliver at q = 0 in <= bits hops). *)
+  let t = build_buckets ~k:1 () in
+  match Routing.Bucket_router.route ~mode:`Xor t ~alive:all_alive ~src:5 ~dst:250 with
+  | Routing.Outcome.Delivered { hops } -> Alcotest.(check bool) "hops bound" true (hops <= bits)
+  | Routing.Outcome.Dropped _ -> Alcotest.fail "dropped at q=0"
+
+let test_bucket_route_survives_dead_primary () =
+  (* Tree mode with k = 2: kill one contact of the needed bucket; the
+     backup must be used. *)
+  let t = build_buckets ~k:2 ~seed:77 () in
+  let src = 0 in
+  let bucket = Overlay.Kbucket.bucket t src 1 in
+  let dst = bucket.(0) lxor 1 land 255 in
+  (* Pick a dst whose leading differing bit is 1 and kill the first
+     contact. *)
+  let dst = if Idspace.Id.get_bit ~bits dst 1 = Idspace.Id.get_bit ~bits src 1 then dst lxor 0x80 else dst in
+  let alive = Overlay.Failure.none (1 lsl bits) in
+  alive.(bucket.(0)) <- false;
+  if bucket.(1) = dst then ()
+  else begin
+    match Routing.Bucket_router.route ~mode:`Tree t ~alive ~src ~dst with
+    | Routing.Outcome.Delivered _ -> ()
+    | Routing.Outcome.Dropped { hops = 0; stuck_at } ->
+        Alcotest.failf "dropped immediately at %d despite backup" stuck_at
+    | Routing.Outcome.Dropped _ -> ()
+  end
+
+let bucket_routing_improves_with_k =
+  qcheck "larger buckets deliver at least as often (aggregate)"
+    QCheck2.Gen.(int_range 0 200)
+    (fun seed ->
+      let rng = rng_of_seed seed in
+      let q = 0.3 in
+      let count k =
+        let t = Overlay.Kbucket.build ~rng:(rng_of_seed seed) ~bits ~k () in
+        let alive = Overlay.Failure.sample ~rng:(rng_of_seed (seed + 1)) ~q (1 lsl bits) in
+        let pool = Overlay.Failure.survivors alive in
+        if Array.length pool < 2 then 0
+        else begin
+          let delivered = ref 0 in
+          for _ = 1 to 60 do
+            let src, dst = Stats.Sampler.ordered_pair rng pool in
+            if
+              Routing.Outcome.is_delivered
+                (Routing.Bucket_router.route ~mode:`Xor t ~alive ~src ~dst)
+            then incr delivered
+          done;
+          !delivered
+        end
+      in
+      (* Aggregate statistical check with generous slack: k = 4 should
+         not lose to k = 1 by more than noise. *)
+      count 4 >= count 1 - 12)
+
+(* --- Successor lists ------------------------------------------------------------ *)
+
+let test_successor_table_layout () =
+  let t = Overlay.Table.build_ring_with_successors ~bits ~successors:4 in
+  Alcotest.(check int) "degree" (bits + 4) (Overlay.Table.degree t 0);
+  (* Extra entries are the next nodes clockwise. *)
+  for j = 0 to 3 do
+    Alcotest.(check int) "successor distance" (j + 1)
+      (Idspace.Id.ring_distance ~bits 10 (Overlay.Table.neighbor t 10 (bits + j)))
+  done
+
+let test_successor_routing_beats_plain_ring () =
+  (* Same seed, q = 0.5: an 8-successor list must deliver at least as
+     many sampled routes as plain fingers. *)
+  let count table =
+    let rng = rng_of_seed 5 in
+    let alive = Overlay.Failure.sample ~rng:(rng_of_seed 6) ~q:0.5 (1 lsl bits) in
+    let pool = Overlay.Failure.survivors alive in
+    let delivered = ref 0 in
+    for _ = 1 to 400 do
+      let src, dst = Stats.Sampler.ordered_pair rng pool in
+      if Routing.Outcome.is_delivered (Routing.Router.route table ~rng ~alive ~src ~dst)
+      then incr delivered
+    done;
+    !delivered
+  in
+  let plain = count (Overlay.Table.build ~rng:(rng_of_seed 1) ~bits Rcm.Geometry.Ring) in
+  let with_successors = count (Overlay.Table.build_ring_with_successors ~bits ~successors:8) in
+  Alcotest.(check bool)
+    (Printf.sprintf "%d >= %d" with_successors plain)
+    true
+    (with_successors >= plain)
+
+(* --- A5 experiment ------------------------------------------------------------ *)
+
+let test_a5_analysis_monotone () =
+  let cfg =
+    { Experiments.Replication_sweep.default_config with bits = 10; qs = [ 0.1; 0.3; 0.5 ];
+      trials = 1; pairs = 200 }
+  in
+  let s = Experiments.Replication_sweep.xor_series cfg in
+  Alcotest.(check (list (triple (float 0.0) string string)))
+    "monotone" []
+    (Experiments.Replication_sweep.monotonicity_violations s
+       ~labels:[ "k=1(ana)"; "k=2(ana)"; "k=4(ana)"; "k=8(ana)" ])
+
+let test_a5_analysis_is_lower_bound_for_k2 () =
+  (* For k >= 2 the analysis charges the destination-adjacent phases as
+     if their buckets were ordinary, so it lower-bounds the simulated
+     protocol (deep buckets contain the alive destination). *)
+  let cfg =
+    { Experiments.Replication_sweep.default_config with bits = 10; qs = [ 0.1; 0.3 ];
+      trials = 2; pairs = 1_000 }
+  in
+  let s = Experiments.Replication_sweep.xor_series cfg in
+  List.iter
+    (fun q ->
+      let ana = Option.get (Experiments.Series.value_at s ~label:"k=4(ana)" ~x:q) in
+      let sim = Option.get (Experiments.Series.value_at s ~label:"k=4(sim)" ~x:q) in
+      Alcotest.(check bool)
+        (Printf.sprintf "q=%.1f: sim %.3f >= ana %.3f" q sim ana)
+        true
+        (sim >= ana -. 0.03))
+    [ 0.1; 0.3 ]
+
+let suite =
+  [
+    ("capacity", `Quick, test_capacity);
+    ("effective successors", `Quick, test_effective_successors);
+    ("reduces to base at k=1", `Quick, test_reduces_to_base_at_k1);
+    ("destination still required", `Quick, test_destination_still_required);
+    ("tree replication closed form", `Quick, test_tree_replication_closed_form);
+    replication_never_hurts;
+    successors_never_hurt;
+    replicated_q_is_probability;
+    ("k-bucket sizes", `Quick, test_bucket_sizes);
+    ("k-bucket contacts distinct", `Quick, test_bucket_contacts_distinct);
+    ("k-bucket prefix property", `Quick, test_bucket_prefix_property);
+    ("k-bucket rebuild", `Quick, test_bucket_rebuild);
+    ("bucket routing at q=0", `Quick, test_bucket_route_no_failures);
+    ("bucket routing k=1 sanity", `Quick, test_bucket_route_k1_matches_table_router);
+    ("bucket routing uses backups", `Quick, test_bucket_route_survives_dead_primary);
+    bucket_routing_improves_with_k;
+    ("successor table layout", `Quick, test_successor_table_layout);
+    ("successor routing beats plain ring", `Quick, test_successor_routing_beats_plain_ring);
+    ("A5 analysis monotone in k", `Quick, test_a5_analysis_monotone);
+    ("A5 analysis lower-bounds sim at k>=2", `Slow, test_a5_analysis_is_lower_bound_for_k2);
+  ]

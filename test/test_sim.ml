@@ -1,0 +1,144 @@
+open Helpers
+
+let test_estimate_no_failures () =
+  (* q = 0: every sampled pair routes. *)
+  List.iter
+    (fun g ->
+      let r =
+        Sim.Estimate.run
+          (Sim.Estimate.config ~trials:1 ~pairs_per_trial:300 ~seed:5 ~bits:8 ~q:0.0 g)
+      in
+      Alcotest.(check int)
+        (Rcm.Geometry.name g ^ " all delivered")
+        r.Sim.Estimate.attempted r.Sim.Estimate.delivered;
+      check_close 1.0 (Sim.Estimate.routability r))
+    Rcm.Geometry.all_default
+
+let test_estimate_total_failure_region () =
+  (* q = 0.95 at d = 8 leaves ~13 nodes: routability must be far below
+     1 for the fragile geometries. *)
+  let r =
+    Sim.Estimate.run
+      (Sim.Estimate.config ~trials:3 ~pairs_per_trial:300 ~seed:5 ~bits:8 ~q:0.95
+         Rcm.Geometry.Tree)
+  in
+  Alcotest.(check bool) "tree barely routes" true (Sim.Estimate.routability r < 0.3)
+
+let test_estimate_reproducible () =
+  let cfg = Sim.Estimate.config ~trials:2 ~pairs_per_trial:200 ~seed:11 ~bits:8 ~q:0.2 Rcm.Geometry.Xor in
+  let a = Sim.Estimate.run cfg in
+  let b = Sim.Estimate.run cfg in
+  Alcotest.(check int) "same delivered" a.Sim.Estimate.delivered b.Sim.Estimate.delivered;
+  Alcotest.(check int) "same attempted" a.Sim.Estimate.attempted b.Sim.Estimate.attempted
+
+let test_estimate_seed_sensitivity () =
+  let mk seed =
+    Sim.Estimate.run
+      (Sim.Estimate.config ~trials:2 ~pairs_per_trial:500 ~seed ~bits:8 ~q:0.3 Rcm.Geometry.Ring)
+  in
+  Alcotest.(check bool) "different seeds differ" true
+    ((mk 1).Sim.Estimate.delivered <> (mk 2).Sim.Estimate.delivered)
+
+let test_estimate_matches_analysis_tree () =
+  (* Tree chain is exact for the simulated protocol: the analytic value
+     must fall within (a slightly padded) CI. *)
+  let q = 0.2 and bits = 10 in
+  let r =
+    Sim.Estimate.run
+      (Sim.Estimate.config ~trials:4 ~pairs_per_trial:2_500 ~seed:3 ~bits ~q Rcm.Geometry.Tree)
+  in
+  let analysis = Rcm.Model.routability Rcm.Geometry.Tree ~d:bits ~q in
+  let ci = r.Sim.Estimate.ci in
+  Alcotest.(check bool)
+    (Printf.sprintf "analysis %.4f in CI [%.4f, %.4f]" analysis
+       (Stats.Binomial_ci.lower ci) (Stats.Binomial_ci.upper ci))
+    true
+    (analysis >= Stats.Binomial_ci.lower ci -. 0.02
+    && analysis <= Stats.Binomial_ci.upper ci +. 0.02)
+
+let test_estimate_matches_analysis_hypercube () =
+  let q = 0.3 and bits = 10 in
+  let r =
+    Sim.Estimate.run
+      (Sim.Estimate.config ~trials:4 ~pairs_per_trial:2_500 ~seed:3 ~bits ~q
+         Rcm.Geometry.Hypercube)
+  in
+  let analysis = Rcm.Model.routability Rcm.Geometry.Hypercube ~d:bits ~q in
+  Alcotest.(check bool) "within 2%" true
+    (Float.abs (Sim.Estimate.routability r -. analysis) < 0.02)
+
+let test_estimate_ring_lower_bound () =
+  let q = 0.3 and bits = 10 in
+  let r =
+    Sim.Estimate.run
+      (Sim.Estimate.config ~trials:4 ~pairs_per_trial:2_500 ~seed:3 ~bits ~q Rcm.Geometry.Ring)
+  in
+  let analysis = Rcm.Model.routability Rcm.Geometry.Ring ~d:bits ~q in
+  Alcotest.(check bool) "sim >= analysis - noise" true
+    (Sim.Estimate.routability r >= analysis -. 0.02)
+
+let test_estimate_hop_counts_reasonable () =
+  let r =
+    Sim.Estimate.run
+      (Sim.Estimate.config ~trials:1 ~pairs_per_trial:500 ~seed:7 ~bits:10 ~q:0.0
+         Rcm.Geometry.Hypercube)
+  in
+  let mean_hops = Stats.Summary.mean r.Sim.Estimate.hop_summary in
+  (* Mean Hamming distance between random 10-bit ids is 5. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "mean hops %.2f ~ 5" mean_hops)
+    true
+    (Float.abs (mean_hops -. 5.0) < 0.5)
+
+let test_estimate_invalid_config () =
+  Alcotest.(check bool) "zero trials" true
+    (try
+       ignore (Sim.Estimate.config ~trials:0 ~bits:8 ~q:0.1 Rcm.Geometry.Tree);
+       false
+     with Invalid_argument _ -> true)
+
+let test_percolation_no_failures () =
+  let r = Sim.Percolation.run ~trials:1 ~pairs:200 ~seed:9 ~bits:8 ~q:0.0 Rcm.Geometry.Ring in
+  check_close 1.0 r.Sim.Percolation.mean_pair_connectivity;
+  check_close 1.0 r.Sim.Percolation.mean_giant_fraction;
+  check_close 1.0 r.Sim.Percolation.mean_routability
+
+let test_percolation_gap_nonnegative () =
+  (* Routability can never beat connectivity (up to sampling noise). *)
+  List.iter
+    (fun g ->
+      List.iter
+        (fun q ->
+          let r = Sim.Percolation.run ~trials:2 ~pairs:500 ~seed:13 ~bits:8 ~q g in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s q=%.1f gap %.4f >= 0" (Rcm.Geometry.name g) q
+               (Sim.Percolation.routing_gap r))
+            true
+            (Sim.Percolation.routing_gap r >= -0.03))
+        [ 0.1; 0.3 ])
+    Rcm.Geometry.all_default
+
+let test_percolation_tree_gap_large () =
+  (* The tree's reachable component is much smaller than its connected
+     component: the gap is what makes RCM necessary. *)
+  let r = Sim.Percolation.run ~trials:2 ~pairs:800 ~seed:17 ~bits:10 ~q:0.3 Rcm.Geometry.Tree in
+  Alcotest.(check bool)
+    (Printf.sprintf "gap %.3f > 0.3" (Sim.Percolation.routing_gap r))
+    true
+    (Sim.Percolation.routing_gap r > 0.3)
+
+let suite =
+  [
+    ("estimate: q=0 delivers all", `Quick, test_estimate_no_failures);
+    ("estimate: near-total failure", `Quick, test_estimate_total_failure_region);
+    ("estimate: reproducible", `Quick, test_estimate_reproducible);
+    ("estimate: seed sensitivity", `Quick, test_estimate_seed_sensitivity);
+    ("estimate vs analysis: tree exact", `Slow, test_estimate_matches_analysis_tree);
+    ("estimate vs analysis: hypercube exact", `Slow, test_estimate_matches_analysis_hypercube);
+    ("estimate vs analysis: ring bound", `Slow, test_estimate_ring_lower_bound);
+    ("estimate: hop counts", `Quick, test_estimate_hop_counts_reasonable);
+    ("estimate: invalid config", `Quick, test_estimate_invalid_config);
+    ("percolation: q=0", `Quick, test_percolation_no_failures);
+    ("percolation: gap non-negative", `Slow, test_percolation_gap_nonnegative);
+    ("percolation: tree gap large", `Slow, test_percolation_tree_gap_large);
+  ]

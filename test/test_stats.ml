@@ -1,0 +1,141 @@
+open Helpers
+
+let test_summary_basic () =
+  let s = Stats.Summary.of_array [| 1.0; 2.0; 3.0; 4.0 |] in
+  Alcotest.(check int) "count" 4 (Stats.Summary.count s);
+  check_close 2.5 (Stats.Summary.mean s);
+  check_close (5.0 /. 3.0) (Stats.Summary.variance s);
+  check_close 1.0 (Stats.Summary.min s);
+  check_close 4.0 (Stats.Summary.max s)
+
+let test_summary_empty () =
+  let s = Stats.Summary.create () in
+  Alcotest.(check bool) "mean nan" true (Float.is_nan (Stats.Summary.mean s));
+  Alcotest.(check bool) "variance nan" true (Float.is_nan (Stats.Summary.variance s))
+
+let test_summary_single () =
+  let s = Stats.Summary.of_array [| 7.0 |] in
+  check_close 7.0 (Stats.Summary.mean s);
+  Alcotest.(check bool) "variance nan with one sample" true
+    (Float.is_nan (Stats.Summary.variance s))
+
+let test_summary_constant () =
+  let s = Stats.Summary.of_array (Array.make 100 3.0) in
+  check_close 3.0 (Stats.Summary.mean s);
+  Alcotest.(check bool) "zero variance" true (Stats.Summary.variance s < 1e-20)
+
+let test_summary_shifted_variance () =
+  (* Welford must be immune to a large common offset. *)
+  let base = [| 1.0; 2.0; 3.0; 4.0 |] in
+  let shifted = Array.map (fun x -> x +. 1e9) base in
+  check_loose
+    (Stats.Summary.variance (Stats.Summary.of_array base))
+    (Stats.Summary.variance (Stats.Summary.of_array shifted))
+
+let summary_mean_bounds =
+  qcheck "mean lies within min..max"
+    QCheck2.Gen.(list_size (int_range 1 100) (float_range (-1e3) 1e3))
+    (fun xs ->
+      let s = Stats.Summary.of_array (Array.of_list xs) in
+      Stats.Summary.mean s >= Stats.Summary.min s -. 1e-9
+      && Stats.Summary.mean s <= Stats.Summary.max s +. 1e-9)
+
+let test_wilson_midpoint () =
+  let ci = Stats.Binomial_ci.wilson ~successes:50 ~trials:100 () in
+  check_close 0.5 (Stats.Binomial_ci.point ci);
+  Alcotest.(check bool) "contains 0.5" true (Stats.Binomial_ci.contains ci 0.5);
+  Alcotest.(check bool) "below 1" true (Stats.Binomial_ci.upper ci < 0.7);
+  Alcotest.(check bool) "above 0" true (Stats.Binomial_ci.lower ci > 0.3)
+
+let test_wilson_extremes () =
+  let zero = Stats.Binomial_ci.wilson ~successes:0 ~trials:100 () in
+  Alcotest.(check bool) "lower at 0" true (Stats.Binomial_ci.lower zero < 1e-12);
+  Alcotest.(check bool) "upper positive" true (Stats.Binomial_ci.upper zero > 0.0);
+  let all = Stats.Binomial_ci.wilson ~successes:100 ~trials:100 () in
+  Alcotest.(check bool) "upper at 1" true (Stats.Binomial_ci.upper all > 1.0 -. 1e-12);
+  Alcotest.(check bool) "lower below 1" true (Stats.Binomial_ci.lower all < 1.0)
+
+let test_wilson_width_shrinks () =
+  let narrow = Stats.Binomial_ci.wilson ~successes:5_000 ~trials:10_000 () in
+  let wide = Stats.Binomial_ci.wilson ~successes:50 ~trials:100 () in
+  Alcotest.(check bool) "more trials, narrower CI" true
+    (Stats.Binomial_ci.half_width narrow < Stats.Binomial_ci.half_width wide)
+
+let test_wilson_invalid () =
+  Alcotest.check_raises "no trials" (Invalid_argument "Binomial_ci.wilson: no trials")
+    (fun () -> ignore (Stats.Binomial_ci.wilson ~successes:0 ~trials:0 ()))
+
+let wilson_ordered =
+  qcheck "wilson lower <= point <= upper"
+    QCheck2.Gen.(pair (int_range 0 1000) (int_range 1 1000))
+    (fun (s, t) ->
+      let s = min s t in
+      let ci = Stats.Binomial_ci.wilson ~successes:s ~trials:t () in
+      Stats.Binomial_ci.lower ci <= Stats.Binomial_ci.point ci +. 1e-12
+      && Stats.Binomial_ci.point ci <= Stats.Binomial_ci.upper ci +. 1e-12
+      && Stats.Binomial_ci.lower ci >= 0.0
+      && Stats.Binomial_ci.upper ci <= 1.0)
+
+let test_histogram_basic () =
+  let h = Stats.Histogram.create ~buckets:4 in
+  List.iter (Stats.Histogram.add h) [ 0; 1; 1; 2; 9 ];
+  Alcotest.(check int) "bucket 1" 2 (Stats.Histogram.count h 1);
+  Alcotest.(check int) "total" 5 (Stats.Histogram.total h);
+  Alcotest.(check int) "overflow" 1 (Stats.Histogram.overflow h);
+  check_close 0.4 (Stats.Histogram.fraction h 1);
+  check_close 1.0 (Stats.Histogram.mean h)
+
+let test_histogram_negative () =
+  let h = Stats.Histogram.create ~buckets:2 in
+  Alcotest.check_raises "negative" (Invalid_argument "Histogram.add: negative bucket")
+    (fun () -> Stats.Histogram.add h (-1))
+
+let test_sampler_indices_where () =
+  Alcotest.(check (array int)) "indices" [| 1; 3 |]
+    (Stats.Sampler.indices_where [| false; true; false; true |])
+
+let test_sampler_pair_distinct () =
+  let rng = rng_of_seed 99 in
+  let pool = [| 10; 20; 30 |] in
+  for _ = 1 to 1_000 do
+    let a, b = Stats.Sampler.ordered_pair rng pool in
+    if a = b then Alcotest.fail "pair not distinct"
+  done
+
+let test_sampler_pair_too_small () =
+  let rng = rng_of_seed 1 in
+  Alcotest.check_raises "small pool"
+    (Invalid_argument "Sampler.ordered_pair: pool smaller than 2") (fun () ->
+      ignore (Stats.Sampler.ordered_pair rng [| 1 |]))
+
+let test_reservoir_small_stream () =
+  let rng = rng_of_seed 3 in
+  let out = Stats.Sampler.reservoir rng ~k:10 (List.to_seq [ 1; 2; 3 ]) in
+  Alcotest.(check (list int)) "keeps all" [ 1; 2; 3 ] (List.sort compare out)
+
+let test_reservoir_size () =
+  let rng = rng_of_seed 4 in
+  let out = Stats.Sampler.reservoir rng ~k:5 (Seq.init 100 Fun.id) in
+  Alcotest.(check int) "k elements" 5 (List.length out)
+
+let suite =
+  [
+    ("summary basic", `Quick, test_summary_basic);
+    ("summary empty", `Quick, test_summary_empty);
+    ("summary single", `Quick, test_summary_single);
+    ("summary constant", `Quick, test_summary_constant);
+    ("summary shifted variance", `Quick, test_summary_shifted_variance);
+    summary_mean_bounds;
+    ("wilson midpoint", `Quick, test_wilson_midpoint);
+    ("wilson extremes", `Quick, test_wilson_extremes);
+    ("wilson width shrinks", `Quick, test_wilson_width_shrinks);
+    ("wilson invalid", `Quick, test_wilson_invalid);
+    wilson_ordered;
+    ("histogram basic", `Quick, test_histogram_basic);
+    ("histogram negative", `Quick, test_histogram_negative);
+    ("sampler indices_where", `Quick, test_sampler_indices_where);
+    ("sampler pair distinct", `Quick, test_sampler_pair_distinct);
+    ("sampler pair too small", `Quick, test_sampler_pair_too_small);
+    ("reservoir small stream", `Quick, test_reservoir_small_stream);
+    ("reservoir size", `Quick, test_reservoir_size);
+  ]
