@@ -1,0 +1,22 @@
+.PHONY: all build test check bench clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# Full gate: everything compiles, the whole suite passes, and the
+# parallel engine survives a real 2-domain figure regeneration.
+check:
+	dune build @all
+	dune runtest
+	DHT_RCM_JOBS=2 dune exec bin/dhtlab.exe -- figure f6a --quick --jobs 2
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

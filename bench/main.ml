@@ -5,7 +5,13 @@
       (Fig. 6(a), 6(b), 7(a), 7(b)), the section-5 classification table
       and the A1-A4 ablations, printing each as an aligned table; then
    2. runs one Bechamel micro-benchmark per experiment kernel, so the
-      cost of the analysis and of the simulator are tracked. *)
+      cost of the analysis and of the simulator are tracked; then
+   3. times the Fig. 6(a)-style simulation sweep sequentially and on
+      the domain pool, printing the wall-clock speedup line that tracks
+      the perf trajectory across PRs.
+
+   Besides the human-readable tables, the measurements land in
+   BENCH_<date>.json (name -> ns/run, plus the sweep timings). *)
 
 open Bechamel
 open Toolkit
@@ -199,13 +205,98 @@ let run_benchmarks () =
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
   let raw = Benchmark.all cfg instances all_tests in
   let results = Analyze.all ols Instance.monotonic_clock raw in
-  Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
-  |> List.iter (fun (name, ols) ->
-         match Analyze.OLS.estimates ols with
-         | Some [ ns_per_run ] -> Fmt.pr "%-45s %14.1f ns/run@." name ns_per_run
-         | Some _ | None -> Fmt.pr "%-45s (no estimate)@." name)
+  let rows =
+    Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    |> List.filter_map (fun (name, ols) ->
+           match Analyze.OLS.estimates ols with
+           | Some [ ns_per_run ] ->
+               Fmt.pr "%-45s %14.1f ns/run@." name ns_per_run;
+               Some (name, ns_per_run)
+           | Some _ | None ->
+               Fmt.pr "%-45s (no estimate)@." name;
+               None)
+  in
+  rows
+
+(* --- Part 3: domain-pool wall-clock speedup ------------------------------ *)
+
+(* The same Fig. 6(a)-style q-sweep (d = 12), timed on the strictly
+   sequential pre-pool path and on the domain pool with the overlay
+   cache — the headline number this PR optimises. Both runs produce
+   bit-identical results; only the wall clock moves. *)
+let sweep_speedup () =
+  let cfg =
+    Sim.Estimate.config ~trials:4 ~pairs_per_trial:600 ~seed:1006 ~bits:12 ~q:0.0
+      Rcm.Geometry.Xor
+  in
+  let qs = Experiments.Grid.fig6_q in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let result = f () in
+    (Unix.gettimeofday () -. t0, result)
+  in
+  let sequential_s, baseline = time (fun () -> Sim.Estimate.run_sweep cfg qs) in
+  let domains = max 2 (Exec.Pool.default_domains ()) in
+  let cache = Overlay.Table_cache.create () in
+  let parallel_s, pooled =
+    Exec.Pool.with_pool ~domains (fun pool ->
+        time (fun () -> Sim.Estimate.run_sweep ~pool ~cache cfg qs))
+  in
+  let identical =
+    List.for_all2
+      (fun (_, a) (_, b) ->
+        a.Sim.Estimate.delivered = b.Sim.Estimate.delivered
+        && a.Sim.Estimate.attempted = b.Sim.Estimate.attempted)
+      baseline pooled
+  in
+  if not identical then failwith "bench: pooled sweep diverged from the sequential sweep";
+  Fmt.pr "@.==== Wall-clock speedup (fig6-sim q-sweep, d=12, %d trials) ====@.@."
+    cfg.Sim.Estimate.trials;
+  Fmt.pr "overlay builds: sequential %d, cached %d (cache hits %d)@."
+    (List.length qs * cfg.Sim.Estimate.trials)
+    (Overlay.Table_cache.misses cache)
+    (Overlay.Table_cache.hits cache);
+  Fmt.pr "wall-clock speedup: %.2fx (1 domain %.3fs -> %d domains %.3fs)@."
+    (sequential_s /. parallel_s) sequential_s domains parallel_s;
+  (domains, sequential_s, parallel_s)
+
+(* --- Machine-readable output --------------------------------------------- *)
+
+let json_escape s =
+  let buffer = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buffer "\\\""
+      | '\\' -> Buffer.add_string buffer "\\\\"
+      | c -> Buffer.add_char buffer c)
+    s;
+  Buffer.contents buffer
+
+let write_json rows ~domains ~sequential_s ~parallel_s =
+  let tm = Unix.localtime (Unix.time ()) in
+  let date =
+    Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
+      tm.Unix.tm_mday
+  in
+  let path = Printf.sprintf "BENCH_%s.json" date in
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"date\": %S,\n  \"ns_per_run\": {\n" date;
+  List.iteri
+    (fun i (name, ns) ->
+      Printf.fprintf oc "    \"%s\": %.1f%s\n" (json_escape name) ns
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  },\n  \"fig6_sim_sweep\": {\n";
+  Printf.fprintf oc "    \"domains\": %d,\n" domains;
+  Printf.fprintf oc "    \"sequential_s\": %.6f,\n" sequential_s;
+  Printf.fprintf oc "    \"parallel_s\": %.6f,\n" parallel_s;
+  Printf.fprintf oc "    \"speedup\": %.4f\n  }\n}\n" (sequential_s /. parallel_s);
+  close_out oc;
+  Fmt.pr "wrote %s@." path
 
 let () =
   regenerate_figures ();
-  run_benchmarks ()
+  let rows = run_benchmarks () in
+  let domains, sequential_s, parallel_s = sweep_speedup () in
+  write_json rows ~domains ~sequential_s ~parallel_s

@@ -33,6 +33,21 @@ let seed_arg =
   let doc = "PRNG seed (all outputs are deterministic in the seed)." in
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for Monte-Carlo trials. Defaults to $(b,DHT_RCM_JOBS) when set, \
+     otherwise to the machine's recommended domain count. Outputs are bit-identical \
+     for every job count; 1 disables parallelism."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+(* Run [f] with a domain pool sized from --jobs / DHT_RCM_JOBS /
+   Domain.recommended_domain_count, or with no pool when that size
+   is 1 (the sequential path). *)
+let with_jobs jobs f =
+  let domains = match jobs with Some n -> n | None -> Exec.Pool.default_domains () in
+  if domains <= 1 then f None else Exec.Pool.with_pool ~domains (fun pool -> f (Some pool))
+
 let csv_arg =
   let doc = "Emit CSV instead of an aligned table." in
   Arg.(value & flag & info [ "csv" ] ~doc)
@@ -87,21 +102,25 @@ let analyze_cmd =
 
 (* --- simulate ----------------------------------------------------------------- *)
 
-let simulate geometry bits q trials pairs seed =
+let simulate geometry bits q trials pairs seed jobs =
   let geometries = geometries_of_opt geometry in
   let qs = match q with Some q -> [ q ] | None -> default_q_grid in
-  List.iter
-    (fun g ->
+  with_jobs jobs (fun pool ->
       List.iter
-        (fun q ->
-          let result =
-            Sim.Estimate.run
-              (Sim.Estimate.config ~trials ~pairs_per_trial:pairs ~seed ~bits ~q g)
+        (fun g ->
+          let cache = Overlay.Table_cache.create () in
+          let results =
+            Sim.Estimate.run_sweep ?pool ~cache
+              (Sim.Estimate.config ~trials ~pairs_per_trial:pairs ~seed ~bits
+                 ~q:(List.hd qs) g)
+              qs
           in
-          let analysis = Rcm.Model.routability g ~d:bits ~q in
-          Fmt.pr "%a  (analysis: %.4f)@." Sim.Estimate.pp_result result analysis)
-        qs)
-    geometries
+          List.iter
+            (fun (q, result) ->
+              let analysis = Rcm.Model.routability g ~d:bits ~q in
+              Fmt.pr "%a  (analysis: %.4f)@." Sim.Estimate.pp_result result analysis)
+            results)
+        geometries)
 
 let simulate_cmd =
   let doc = "Monte-Carlo routability under the static-resilience failure model." in
@@ -109,7 +128,7 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc)
     Term.(
       const simulate $ geometry_arg $ bits_arg ~default:12 $ q_arg $ trials_arg $ pairs_arg
-      $ seed_arg)
+      $ seed_arg $ jobs_arg)
 
 (* --- figure ------------------------------------------------------------------- *)
 
@@ -119,13 +138,13 @@ let figure_names =
     "rep-ring"; "sparse"; "hops"; "blocks"; "base-tree"; "base-xor"; "dims"; "sym-bidir";
   ]
 
-let figure_series name quick =
+let figure_series ?pool name quick =
   let fig6_config =
     if quick then Experiments.Fig6a.quick_config else Experiments.Fig6a.default_config
   in
   match name with
-    | "f6a" -> Experiments.Fig6a.run fig6_config
-    | "f6b" -> Experiments.Fig6b.run fig6_config
+    | "f6a" -> Experiments.Fig6a.run ?pool fig6_config
+    | "f6b" -> Experiments.Fig6b.run ?pool fig6_config
     | "f7a" -> Experiments.Fig7a.run Experiments.Fig7a.default_config
     | "f7b" -> Experiments.Fig7b.run Experiments.Fig7b.default_config
     | "sym-knobs" ->
@@ -156,7 +175,7 @@ let figure_series name quick =
               nodes = 256; bits_list = [ 8; 10; 12 ] }
           else Experiments.Sparse_occupancy.default_config
         in
-        Experiments.Sparse_occupancy.run cfg Rcm.Geometry.Xor
+        Experiments.Sparse_occupancy.run ?pool cfg Rcm.Geometry.Xor
     | "hops" ->
         Experiments.Latency.run_all
           (if quick then { Experiments.Latency.default_config with bits = 10 }
@@ -170,8 +189,8 @@ let figure_series name quick =
           if quick then { Experiments.Base_sweep.default_config with bits = 10; groups = [ 1; 2 ] }
           else Experiments.Base_sweep.default_config
         in
-        if which = "base-tree" then Experiments.Base_sweep.tree_series cfg
-        else Experiments.Base_sweep.xor_series cfg
+        if which = "base-tree" then Experiments.Base_sweep.tree_series ?pool cfg
+        else Experiments.Base_sweep.xor_series ?pool cfg
     | "dims" ->
         Experiments.Dimension_sweep.run
           (if quick then
@@ -186,8 +205,8 @@ let figure_series name quick =
       Fmt.failwith "unknown figure %S (expected one of %s)" other
         (String.concat ", " figure_names)
 
-let figure name quick csv plot =
-  let series = figure_series name quick in
+let figure name quick csv plot jobs =
+  let series = with_jobs jobs (fun pool -> figure_series ?pool name quick) in
   print_series ~csv series;
   if plot then Experiments.Ascii_plot.print series
 
@@ -198,23 +217,24 @@ let figure_cmd =
          & info [] ~docv:"FIGURE" ~doc:"Figure id.")
   in
   Cmd.v (Cmd.info "figure" ~doc)
-    Term.(const figure $ figure_name $ quick_arg $ csv_arg $ plot_arg)
+    Term.(const figure $ figure_name $ quick_arg $ csv_arg $ plot_arg $ jobs_arg)
 
 (* --- export ----------------------------------------------------------------- *)
 
-let export dir quick =
+let export dir quick jobs =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   let written =
+    with_jobs jobs (fun pool ->
     List.map
       (fun name ->
-        let series = figure_series name quick in
+        let series = figure_series ?pool name quick in
         let path = Filename.concat dir (name ^ ".csv") in
         let oc = open_out path in
         output_string oc (Experiments.Series.to_csv series);
         close_out oc;
         Fmt.pr "wrote %s@." path;
         (name, series))
-      figure_names
+      figure_names)
   in
   (* A gnuplot driver that renders every exported CSV. *)
   let gp = Filename.concat dir "plots.gp" in
@@ -240,7 +260,7 @@ let export_cmd =
   let dir =
     Arg.(value & opt string "results" & info [ "o"; "out" ] ~docv:"DIR" ~doc:"Output directory.")
   in
-  Cmd.v (Cmd.info "export" ~doc) Term.(const export $ dir $ quick_arg)
+  Cmd.v (Cmd.info "export" ~doc) Term.(const export $ dir $ quick_arg $ jobs_arg)
 
 (* --- scalability ----------------------------------------------------------------- *)
 
@@ -286,13 +306,14 @@ let validate_cmd =
 
 (* --- percolation ----------------------------------------------------------------- *)
 
-let percolation geometry bits trials pairs seed csv =
+let percolation geometry bits trials pairs seed csv jobs =
   let cfg =
     { Experiments.Connectivity.default_config with bits; trials; pairs; seed }
   in
-  List.iter
-    (fun g -> print_series ~csv (Experiments.Connectivity.run cfg g))
-    (geometries_of_opt geometry)
+  with_jobs jobs (fun pool ->
+      List.iter
+        (fun g -> print_series ~csv (Experiments.Connectivity.run ?pool cfg g))
+        (geometries_of_opt geometry))
 
 let percolation_cmd =
   let doc = "Pair-connectivity vs routability on identical failed overlays (experiment A1)." in
@@ -300,7 +321,7 @@ let percolation_cmd =
     (Cmd.info "percolation" ~doc)
     Term.(
       const percolation $ geometry_arg $ bits_arg ~default:12 $ trials_arg $ pairs_arg
-      $ seed_arg $ csv_arg)
+      $ seed_arg $ csv_arg $ jobs_arg)
 
 (* --- churn ----------------------------------------------------------------- *)
 

@@ -1,0 +1,131 @@
+type t = {
+  lock : Mutex.t;
+  has_work : Condition.t;
+  mutable pending : (unit -> unit) list;
+  mutable closed : bool;
+  mutable workers : unit Domain.t list;
+  size : int;
+}
+
+let default_domains () =
+  match Sys.getenv_opt "DHT_RCM_JOBS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | Some _ | None -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+(* Workers block on the condition until a block of indices is submitted
+   or the pool is shut down; they never steal from one another. *)
+let worker pool =
+  let rec loop () =
+    Mutex.lock pool.lock;
+    let rec take () =
+      match pool.pending with
+      | job :: rest ->
+          pool.pending <- rest;
+          Some job
+      | [] ->
+          if pool.closed then None
+          else begin
+            Condition.wait pool.has_work pool.lock;
+            take ()
+          end
+    in
+    let job = take () in
+    Mutex.unlock pool.lock;
+    match job with
+    | None -> ()
+    | Some job ->
+        job ();
+        loop ()
+  in
+  loop ()
+
+let create ?domains () =
+  let size = match domains with Some n -> n | None -> default_domains () in
+  if size < 1 then invalid_arg "Exec.Pool.create: need at least one domain";
+  let pool =
+    {
+      lock = Mutex.create ();
+      has_work = Condition.create ();
+      pending = [];
+      closed = false;
+      workers = [];
+      size;
+    }
+  in
+  if size > 1 then
+    pool.workers <- List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker pool));
+  pool
+
+let size t = t.size
+
+let shutdown t =
+  Mutex.lock t.lock;
+  t.closed <- true;
+  Condition.broadcast t.has_work;
+  Mutex.unlock t.lock;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+let with_pool ?domains f =
+  let pool = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+let run_range f results lo hi =
+  for i = lo to hi - 1 do
+    results.(i) <- Some (f i)
+  done
+
+let map t n f =
+  if n < 0 then invalid_arg "Exec.Pool.map: negative size";
+  if t.closed then invalid_arg "Exec.Pool.map: pool is shut down";
+  if n = 0 then [||]
+  else begin
+    let results = Array.make n None in
+    let blocks = min t.size n in
+    if blocks <= 1 then run_range f results 0 n
+    else begin
+      (* Static contiguous partition: block b covers [b*n/blocks,
+         (b+1)*n/blocks). Each result index is written by exactly one
+         domain, so the array needs no synchronisation of its own. *)
+      let bound b = b * n / blocks in
+      let remaining = ref (blocks - 1) in
+      let failure = ref None in
+      let finished = Condition.create () in
+      let record_failure e bt =
+        Mutex.lock t.lock;
+        if !failure = None then failure := Some (e, bt);
+        Mutex.unlock t.lock
+      in
+      let job b () =
+        (try run_range f results (bound b) (bound (b + 1))
+         with e -> record_failure e (Printexc.get_raw_backtrace ()));
+        Mutex.lock t.lock;
+        decr remaining;
+        if !remaining = 0 then Condition.broadcast finished;
+        Mutex.unlock t.lock
+      in
+      Mutex.lock t.lock;
+      for b = 1 to blocks - 1 do
+        t.pending <- job b :: t.pending
+      done;
+      Condition.broadcast t.has_work;
+      Mutex.unlock t.lock;
+      (* The caller contributes block 0 rather than idling. *)
+      (try run_range f results (bound 0) (bound 1)
+       with e -> record_failure e (Printexc.get_raw_backtrace ()));
+      Mutex.lock t.lock;
+      while !remaining > 0 do
+        Condition.wait finished t.lock
+      done;
+      Mutex.unlock t.lock;
+      match !failure with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ()
+    end;
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let map_reduce t ~n ~map:f ~init ~fold = Array.fold_left fold init (map t n f)

@@ -1,0 +1,50 @@
+(** Deterministic domain pool for Monte-Carlo trial execution.
+
+    The pool runs [n] independent tasks (typically simulation trials)
+    across OCaml 5 domains and returns their results indexed by task
+    number. Scheduling is static — the index range is cut into one
+    contiguous block per domain, with no work stealing — so the only
+    thing parallelism changes is wall-clock time: results are collected
+    by index and reduced in index order, making every outcome
+    bit-identical regardless of the domain count (including 1).
+
+    Determinism contract for callers: a task must derive all of its
+    randomness from its own index (e.g. a per-trial PRNG seed taken
+    from a pre-generated array, see {!Prng.Splitmix.split}) and must
+    not mutate state shared with other tasks. Tasks must not submit
+    nested work to the pool they run on. *)
+
+type t
+
+val default_domains : unit -> int
+(** Worker count used when [create] is given no [domains]: the
+    [DHT_RCM_JOBS] environment variable when set to a positive
+    integer, otherwise [Domain.recommended_domain_count ()]. *)
+
+val create : ?domains:int -> unit -> t
+(** [create ~domains ()] starts a pool of [domains - 1] worker domains
+    (the caller participates as the remaining member). [domains = 1]
+    spawns nothing and makes every [map] run inline on the caller.
+    @raise Invalid_argument if [domains < 1]. *)
+
+val size : t -> int
+(** Total parallelism, including the calling domain. *)
+
+val map : t -> int -> (int -> 'a) -> 'a array
+(** [map pool n f] is [[| f 0; f 1; ...; f (n-1) |]], with the index
+    range split into [size pool] contiguous blocks executed in
+    parallel. The caller runs block 0 itself. Exceptions raised by
+    tasks are re-raised on the caller after all blocks finish. *)
+
+val map_reduce : t -> n:int -> map:(int -> 'a) -> init:'b -> fold:('b -> 'a -> 'b) -> 'b
+(** [map_reduce pool ~n ~map ~init ~fold] folds the [map] results in
+    index order: [fold (... (fold init (map 0)) ...) (map (n-1))].
+    Equals the sequential fold for every pool size. *)
+
+val shutdown : t -> unit
+(** Joins the worker domains. The pool must not be used afterwards.
+    Idempotent. *)
+
+val with_pool : ?domains:int -> (t -> 'a) -> 'a
+(** [with_pool f] runs [f] on a fresh pool and shuts it down on exit,
+    including on exceptions. *)

@@ -14,59 +14,97 @@ type config = {
 let default_config =
   { bits = 16; groups = [ 1; 2; 4 ]; qs = Grid.fig6_q; trials = 3; pairs = 1_500; seed = 111 }
 
-let simulate cfg ~mode ~group q =
+(* One (q, trial) grid point; the trial generator is derived by index
+   from the master stream (the split-per-trial discipline, made
+   index-addressable so trials parallelise deterministically). *)
+let simulate_trial cfg ~mode ~group ~q build_seed =
   let style =
     match mode with
     | `Tree -> Overlay.Digit_table.Preserve_suffix
     | `Xor -> Overlay.Digit_table.Randomize_suffix
   in
-  let rng = Prng.Splitmix.create ~seed:cfg.seed in
-  let delivered = ref 0 in
-  let attempted = ref 0 in
-  for _ = 1 to cfg.trials do
-    let trial_rng = Prng.Splitmix.split rng in
-    let table = Overlay.Digit_table.build ~rng:trial_rng ~bits:cfg.bits ~group style in
-    let alive =
-      Overlay.Failure.sample ~rng:trial_rng ~q (Overlay.Digit_table.node_count table)
-    in
-    let pool = Overlay.Failure.survivors alive in
-    if Array.length pool >= 2 then
-      for _ = 1 to cfg.pairs do
-        let src, dst = Stats.Sampler.ordered_pair trial_rng pool in
-        incr attempted;
-        if Routing.Outcome.is_delivered (Routing.Digit_router.route ~mode table ~alive ~src ~dst)
-        then incr delivered
-      done
-  done;
-  if !attempted = 0 then 0.0 else float_of_int !delivered /. float_of_int !attempted
+  let trial_rng = Prng.Splitmix.of_int64 build_seed in
+  let table = Overlay.Digit_table.build ~rng:trial_rng ~bits:cfg.bits ~group style in
+  let alive =
+    Overlay.Failure.sample ~rng:trial_rng ~q (Overlay.Digit_table.node_count table)
+  in
+  let pool = Overlay.Failure.survivors alive in
+  if Array.length pool < 2 then (0, 0)
+  else begin
+    let delivered = ref 0 in
+    for _ = 1 to cfg.pairs do
+      let src, dst = Stats.Sampler.ordered_pair trial_rng pool in
+      if Routing.Outcome.is_delivered (Routing.Digit_router.route ~mode table ~alive ~src ~dst)
+      then incr delivered
+    done;
+    (!delivered, cfg.pairs)
+  end
+
+let trial_seeds cfg =
+  let master = Prng.Splitmix.create ~seed:cfg.seed in
+  Array.init cfg.trials (fun _ -> Prng.Splitmix.next_int64 master)
+
+(* One simulated column over the q grid, flattened into |qs| × trials
+   tasks (parallel under [pool]); per-q sums are reduced in trial
+   order, so values are bit-identical to the sequential sweep. *)
+let simulate_sweep ?pool cfg ~mode ~group qs =
+  let seeds = trial_seeds cfg in
+  let qarr = Array.of_list qs in
+  let n = Array.length qarr * cfg.trials in
+  let task k =
+    simulate_trial cfg ~mode ~group ~q:qarr.(k / cfg.trials) seeds.(k mod cfg.trials)
+  in
+  let stats =
+    match pool with
+    | Some pool when Exec.Pool.size pool > 1 -> Exec.Pool.map pool n task
+    | Some _ | None -> Array.init n task
+  in
+  Array.mapi
+    (fun qi _ ->
+      let delivered = ref 0 and attempted = ref 0 in
+      for t = 0 to cfg.trials - 1 do
+        let d, a = stats.((qi * cfg.trials) + t) in
+        delivered := !delivered + d;
+        attempted := !attempted + a
+      done;
+      if !attempted = 0 then 0.0 else float_of_int !delivered /. float_of_int !attempted)
+    qarr
+
+let simulate cfg ~mode ~group q = (simulate_sweep cfg ~mode ~group [ q ]).(0)
 
 let label ~group suffix = Printf.sprintf "b=%d(%s)" (Idspace.Digit.base ~group) suffix
 
-let tree_series cfg =
-  Series.tabulate
+let tree_series ?pool cfg =
+  Series.create
     ~title:
       (Printf.sprintf "A7 (tree): base-b Plaxton routability, N=2^%d — analysis vs simulation"
          cfg.bits)
-    ~x_label:"q" ~x:cfg.qs
+    ~x_label:"q" ~x:(Array.of_list cfg.qs)
     (List.concat_map
        (fun group ->
          [
-           (label ~group "ana", fun q -> Rcm.Digits.tree_routability ~d:cfg.bits ~q ~group);
-           (label ~group "sim", simulate cfg ~mode:`Tree ~group);
+           Series.column ~label:(label ~group "ana")
+             (Array.of_list
+                (List.map (fun q -> Rcm.Digits.tree_routability ~d:cfg.bits ~q ~group) cfg.qs));
+           Series.column ~label:(label ~group "sim")
+             (simulate_sweep ?pool cfg ~mode:`Tree ~group cfg.qs);
          ])
        cfg.groups)
 
-let xor_series cfg =
-  Series.tabulate
+let xor_series ?pool cfg =
+  Series.create
     ~title:
       (Printf.sprintf "A7 (xor): base-b Kademlia routability, N=2^%d — analysis vs simulation"
          cfg.bits)
-    ~x_label:"q" ~x:cfg.qs
+    ~x_label:"q" ~x:(Array.of_list cfg.qs)
     (List.concat_map
        (fun group ->
          [
-           (label ~group "ana", fun q -> Rcm.Digits.xor_routability ~d:cfg.bits ~q ~group);
-           (label ~group "sim", simulate cfg ~mode:`Xor ~group);
+           Series.column ~label:(label ~group "ana")
+             (Array.of_list
+                (List.map (fun q -> Rcm.Digits.xor_routability ~d:cfg.bits ~q ~group) cfg.qs));
+           Series.column ~label:(label ~group "sim")
+             (simulate_sweep ?pool cfg ~mode:`Xor ~group cfg.qs);
          ])
        cfg.groups)
 

@@ -28,12 +28,15 @@ let run_geometry cfg geometry =
 
 (* Single-pass variant: one Percolation.run per grid point, yielding
    both columns (used by the CLI and bench; run_geometry recomputes per
-   column and is kept for its simpler interface in tests). *)
-let run cfg geometry =
+   column and is kept for its simpler interface in tests). Trial seeds
+   do not depend on q, so one cache serves the whole sweep: overlay
+   builds drop from |qs| × trials to trials. *)
+let run ?pool cfg geometry =
+  let cache = Overlay.Table_cache.create () in
   let reports =
     List.map
       (fun q ->
-        Sim.Percolation.run ~trials:cfg.trials ~pairs:cfg.pairs ~seed:cfg.seed
+        Sim.Percolation.run ?pool ~cache ~trials:cfg.trials ~pairs:cfg.pairs ~seed:cfg.seed
           ~bits:cfg.bits ~q geometry)
       cfg.qs
   in

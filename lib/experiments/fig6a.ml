@@ -18,19 +18,38 @@ let quick_config =
    Fig. 6(b) because its analysis is only a bound. *)
 let geometries = [ Rcm.Geometry.Tree; Rcm.Geometry.Hypercube; Rcm.Geometry.Xor ]
 
-let analysis_column cfg geometry =
-  ( Rcm.Geometry.name geometry ^ "(ana)",
-    fun q -> Rcm.Model.failed_paths_percent geometry ~d:cfg.bits ~q )
+let estimate_config cfg geometry =
+  Sim.Estimate.config ~trials:cfg.trials ~pairs_per_trial:cfg.pairs_per_trial ~seed:cfg.seed
+    ~bits:cfg.bits ~q:0.0 geometry
 
-let simulation_column cfg geometry =
-  ( Rcm.Geometry.name geometry ^ "(sim)",
+let analysis_label geometry = Rcm.Geometry.name geometry ^ "(ana)"
+
+let simulation_label geometry = Rcm.Geometry.name geometry ^ "(sim)"
+
+let analysis_column cfg geometry =
+  (analysis_label geometry, fun q -> Rcm.Model.failed_paths_percent geometry ~d:cfg.bits ~q)
+
+let simulation_column ?pool ?cache cfg geometry =
+  ( simulation_label geometry,
     fun q ->
-      let sim =
-        Sim.Estimate.run
-          (Sim.Estimate.config ~trials:cfg.trials ~pairs_per_trial:cfg.pairs_per_trial
-             ~seed:cfg.seed ~bits:cfg.bits ~q geometry)
-      in
-      Sim.Estimate.failed_percent sim )
+      Sim.Estimate.failed_percent
+        (Sim.Estimate.run ?pool ?cache { (estimate_config cfg geometry) with q }) )
+
+(* One simulated column over the whole q grid: the sweep runs all
+   |qs| × trials grid points as one task batch (parallel under [pool])
+   and, because trial seeds do not depend on q, builds each trial's
+   overlay once for the whole column instead of once per point. *)
+let simulation_values ?pool ?cache cfg geometry =
+  let cache =
+    match cache with Some c -> c | None -> Overlay.Table_cache.create ()
+  in
+  Sim.Estimate.run_sweep ?pool ~cache (estimate_config cfg geometry) cfg.qs
+  |> List.map (fun (_, r) -> Sim.Estimate.failed_percent r)
+  |> Array.of_list
+
+let analysis_values cfg geometry =
+  Array.of_list
+    (List.map (fun q -> Rcm.Model.failed_paths_percent geometry ~d:cfg.bits ~q) cfg.qs)
 
 let analysis cfg =
   Series.tabulate
@@ -40,20 +59,29 @@ let analysis cfg =
     ~x_label:"q" ~x:cfg.qs
     (List.map (analysis_column cfg) geometries)
 
-let simulation cfg =
-  Series.tabulate
+let simulation ?pool cfg =
+  let cache = Overlay.Table_cache.create () in
+  Series.create
     ~title:
       (Printf.sprintf "Fig 6(a) simulation: %% failed paths, N=2^%d (tree/hypercube/xor)"
          cfg.bits)
-    ~x_label:"q" ~x:cfg.qs
-    (List.map (simulation_column cfg) geometries)
+    ~x_label:"q" ~x:(Array.of_list cfg.qs)
+    (List.map
+       (fun g ->
+         Series.column ~label:(simulation_label g) (simulation_values ?pool ~cache cfg g))
+       geometries)
 
-let run cfg =
-  Series.tabulate
+let run ?pool cfg =
+  let cache = Overlay.Table_cache.create () in
+  Series.create
     ~title:
       (Printf.sprintf "Fig 6(a): %% failed paths vs q, N=2^%d — analysis vs simulation"
          cfg.bits)
-    ~x_label:"q" ~x:cfg.qs
+    ~x_label:"q" ~x:(Array.of_list cfg.qs)
     (List.concat_map
-       (fun g -> [ analysis_column cfg g; simulation_column cfg g ])
+       (fun g ->
+         [
+           Series.column ~label:(analysis_label g) (analysis_values cfg g);
+           Series.column ~label:(simulation_label g) (simulation_values ?pool ~cache cfg g);
+         ])
        geometries)

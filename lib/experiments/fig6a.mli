@@ -4,7 +4,8 @@
 
     The paper plots Gummadi et al.'s simulation points against the RCM
     curves; here both sides are regenerated (the simulator replaces the
-    borrowed data, see DESIGN.md). *)
+    borrowed data, see DESIGN.md). Simulation columns accept an
+    {!Exec.Pool} and are bit-identical for every pool size. *)
 
 type config = {
   bits : int;
@@ -25,14 +26,36 @@ val geometries : Rcm.Geometry.t list
 val analysis_column : config -> Rcm.Geometry.t -> string * (float -> float)
 (** One analytical failed-percent column (shared with {!Fig6b}). *)
 
-val simulation_column : config -> Rcm.Geometry.t -> string * (float -> float)
-(** One simulated failed-percent column (shared with {!Fig6b}). *)
+val simulation_column :
+  ?pool:Exec.Pool.t ->
+  ?cache:Overlay.Table_cache.t ->
+  config ->
+  Rcm.Geometry.t ->
+  string * (float -> float)
+(** One simulated failed-percent column as a per-point closure (shared
+    with {!Fig6b}); prefer {!simulation_values} for whole-grid sweeps,
+    which batches the grid and reuses overlay builds. *)
+
+val analysis_values : config -> Rcm.Geometry.t -> float array
+(** The analytical column evaluated over [cfg.qs]. *)
+
+val simulation_values :
+  ?pool:Exec.Pool.t ->
+  ?cache:Overlay.Table_cache.t ->
+  config ->
+  Rcm.Geometry.t ->
+  float array
+(** The simulated column evaluated over [cfg.qs] as one
+    [|qs| × trials] task batch: parallel under [pool], and paying
+    [trials] overlay builds for the whole column (a fresh cache is
+    used when none is supplied). *)
 
 val analysis : config -> Series.t
 (** Analytical failed-path percentages only. *)
 
-val simulation : config -> Series.t
+val simulation : ?pool:Exec.Pool.t -> config -> Series.t
 (** Monte-Carlo failed-path percentages only. *)
 
-val run : config -> Series.t
-(** Interleaved analysis and simulation columns — the full figure. *)
+val run : ?pool:Exec.Pool.t -> config -> Series.t
+(** Interleaved analysis and simulation columns — the full figure.
+    Byte-identical output for every pool size. *)

@@ -14,15 +14,16 @@ let quick_config = Fig6a.quick_config
    by suboptimal hops, so it upper-bounds the failed-path percentage;
    the gap narrows below q ~ 0.2 (the region the paper calls "of
    practical interest"). *)
-let run cfg =
-  Series.tabulate
+let run ?pool cfg =
+  Series.create
     ~title:
       (Printf.sprintf
          "Fig 6(b): %% failed paths vs q, N=2^%d — ring analysis (upper bound) vs simulation"
          cfg.bits)
-    ~x_label:"q" ~x:cfg.qs
-    [ Fig6a.analysis_column cfg Rcm.Geometry.Ring;
-      Fig6a.simulation_column cfg Rcm.Geometry.Ring
+    ~x_label:"q" ~x:(Array.of_list cfg.qs)
+    [
+      Series.column ~label:"ring(ana)" (Fig6a.analysis_values cfg Rcm.Geometry.Ring);
+      Series.column ~label:"ring(sim)" (Fig6a.simulation_values ?pool cfg Rcm.Geometry.Ring);
     ]
 
 (* The bound of section 4.3.3 must hold pointwise up to Monte-Carlo

@@ -21,24 +21,56 @@ let default_config =
 
 let effective_bits cfg = Idspace.Id.floor_log2 cfg.nodes
 
-let simulate cfg geometry ~bits q =
-  let rng = Prng.Splitmix.create ~seed:cfg.seed in
-  let delivered = ref 0 in
-  let attempted = ref 0 in
-  for _ = 1 to cfg.trials do
-    let trial_rng = Prng.Splitmix.split rng in
-    let overlay = Overlay.Sparse.build ~rng:trial_rng ~bits ~nodes:cfg.nodes geometry in
-    let alive = Overlay.Failure.sample ~rng:trial_rng ~q cfg.nodes in
-    let pool = Overlay.Failure.survivors alive in
-    if Array.length pool >= 2 then
-      for _ = 1 to cfg.pairs do
-        let src, dst = Stats.Sampler.ordered_pair trial_rng pool in
-        incr attempted;
-        if Routing.Outcome.is_delivered (Routing.Sparse_router.route overlay ~alive ~src ~dst)
-        then incr delivered
-      done
-  done;
-  if !attempted = 0 then 0.0 else float_of_int !delivered /. float_of_int !attempted
+(* One (q, trial) grid point on a trial generator derived by index
+   (the split-per-trial discipline, index-addressable so trials run on
+   any domain with identical draws). *)
+let simulate_trial cfg geometry ~bits ~q build_seed =
+  let trial_rng = Prng.Splitmix.of_int64 build_seed in
+  let overlay = Overlay.Sparse.build ~rng:trial_rng ~bits ~nodes:cfg.nodes geometry in
+  let alive = Overlay.Failure.sample ~rng:trial_rng ~q cfg.nodes in
+  let pool = Overlay.Failure.survivors alive in
+  if Array.length pool < 2 then (0, 0)
+  else begin
+    let delivered = ref 0 in
+    for _ = 1 to cfg.pairs do
+      let src, dst = Stats.Sampler.ordered_pair trial_rng pool in
+      if Routing.Outcome.is_delivered (Routing.Sparse_router.route overlay ~alive ~src ~dst)
+      then incr delivered
+    done;
+    (!delivered, cfg.pairs)
+  end
+
+let trial_seeds cfg =
+  let master = Prng.Splitmix.create ~seed:cfg.seed in
+  Array.init cfg.trials (fun _ -> Prng.Splitmix.next_int64 master)
+
+(* One simulated column over the q grid, flattened into |qs| × trials
+   tasks (parallel under [pool]); per-q sums reduce in trial order, so
+   values are bit-identical to the sequential sweep. *)
+let simulate_sweep ?pool cfg geometry ~bits qs =
+  let seeds = trial_seeds cfg in
+  let qarr = Array.of_list qs in
+  let n = Array.length qarr * cfg.trials in
+  let task k =
+    simulate_trial cfg geometry ~bits ~q:qarr.(k / cfg.trials) seeds.(k mod cfg.trials)
+  in
+  let stats =
+    match pool with
+    | Some pool when Exec.Pool.size pool > 1 -> Exec.Pool.map pool n task
+    | Some _ | None -> Array.init n task
+  in
+  Array.mapi
+    (fun qi _ ->
+      let delivered = ref 0 and attempted = ref 0 in
+      for t = 0 to cfg.trials - 1 do
+        let d, a = stats.((qi * cfg.trials) + t) in
+        delivered := !delivered + d;
+        attempted := !attempted + a
+      done;
+      if !attempted = 0 then 0.0 else float_of_int !delivered /. float_of_int !attempted)
+    qarr
+
+let simulate cfg geometry ~bits q = (simulate_sweep cfg geometry ~bits [ q ]).(0)
 
 (* The paper assumes fully-populated spaces and argues results for real
    (sparse) DHTs "can be similarly derived": this table tests the
@@ -46,19 +78,22 @@ let simulate cfg geometry ~bits q =
    (through path lengths ~ log2 N), not on the raw id-space size, by
    pairing each sparse simulation with the fully-populated analysis at
    d_eff = log2 nodes. *)
-let run cfg geometry =
+let run ?pool cfg geometry =
   let d_eff = effective_bits cfg in
-  Series.tabulate
+  Series.create
     ~title:
       (Printf.sprintf
          "E6 (%s): sparse-space routability, %d nodes in growing id spaces"
          (Rcm.Geometry.name geometry) cfg.nodes)
-    ~x_label:"q" ~x:cfg.qs
-    (( Printf.sprintf "ana(d=%d)" d_eff,
-       fun q -> Rcm.Model.routability geometry ~d:d_eff ~q )
+    ~x_label:"q" ~x:(Array.of_list cfg.qs)
+    (Series.column
+       ~label:(Printf.sprintf "ana(d=%d)" d_eff)
+       (Array.of_list (List.map (fun q -> Rcm.Model.routability geometry ~d:d_eff ~q) cfg.qs))
     :: List.map
          (fun bits ->
-           (Printf.sprintf "sim(d=%d)" bits, simulate cfg geometry ~bits))
+           Series.column
+             ~label:(Printf.sprintf "sim(d=%d)" bits)
+             (simulate_sweep ?pool cfg geometry ~bits cfg.qs))
          cfg.bits_list)
 
 (* The conjecture quantified: max over the grid of the spread between

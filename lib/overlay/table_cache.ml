@@ -1,0 +1,59 @@
+type key = Rcm.Geometry.t * int * int64
+
+type entry = { table : Table.t; resume : int64 }
+
+type t = {
+  lock : Mutex.t;
+  entries : (key, entry) Hashtbl.t;
+  capacity : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?(capacity = 128) () =
+  if capacity < 1 then invalid_arg "Table_cache.create: capacity < 1";
+  { lock = Mutex.create (); entries = Hashtbl.create 64; capacity; hits = 0; misses = 0 }
+
+let get t ~bits ~build_seed geometry =
+  let key = (geometry, bits, build_seed) in
+  Mutex.lock t.lock;
+  match Hashtbl.find_opt t.entries key with
+  | Some e ->
+      t.hits <- t.hits + 1;
+      Mutex.unlock t.lock;
+      (e.table, e.resume)
+  | None ->
+      t.misses <- t.misses + 1;
+      Mutex.unlock t.lock;
+      (* Build outside the lock: concurrent misses on the same key may
+         build twice, but the constructions are deterministic in the
+         key, so whichever entry lands first is the one everybody
+         shares from then on. *)
+      let rng = Prng.Splitmix.of_int64 build_seed in
+      let table = Table.build ~rng ~bits geometry in
+      let fresh = { table; resume = Prng.Splitmix.state rng } in
+      Mutex.lock t.lock;
+      let entry =
+        match Hashtbl.find_opt t.entries key with
+        | Some existing -> existing
+        | None ->
+            if Hashtbl.length t.entries >= t.capacity then Hashtbl.reset t.entries;
+            Hashtbl.add t.entries key fresh;
+            fresh
+      in
+      Mutex.unlock t.lock;
+      (entry.table, entry.resume)
+
+let locked t f =
+  Mutex.lock t.lock;
+  let v = f t in
+  Mutex.unlock t.lock;
+  v
+
+let hits t = locked t (fun t -> t.hits)
+
+let misses t = locked t (fun t -> t.misses)
+
+let length t = locked t (fun t -> Hashtbl.length t.entries)
+
+let clear t = locked t (fun t -> Hashtbl.reset t.entries)

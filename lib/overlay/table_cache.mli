@@ -1,0 +1,42 @@
+(** Keyed cache of built overlay tables for Monte-Carlo sweeps.
+
+    Overlay construction depends only on (geometry, bits, build seed) —
+    never on the failure probability — yet a q-sweep re-runs it for
+    every (trial, q) grid point. This cache builds each overlay once
+    per sweep and hands the same immutable table back on every later
+    hit, so a sweep pays [trials] builds instead of [|qs| × trials].
+
+    Each entry also records the PRNG state left behind by the build
+    ({!Prng.Splitmix.state}), so a cache hit can resume the trial's
+    random stream exactly where a fresh build would have left it:
+    failure sampling and routing draw the same values whether the
+    build ran or was skipped, keeping results bit-identical to the
+    uncached path.
+
+    All operations are thread-safe; the returned tables are immutable
+    and may be routed over concurrently from several domains. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** A fresh, empty cache holding at most [capacity] tables (default
+    128). Inserting past capacity resets the cache rather than
+    evicting selectively — sweeps re-use a small working set, so a
+    full cache means the sweep moved on.
+    @raise Invalid_argument if [capacity < 1]. *)
+
+val get : t -> bits:int -> build_seed:int64 -> Rcm.Geometry.t -> Table.t * int64
+(** [get cache ~bits ~build_seed geometry] is [(table, resume)] where
+    [table] is the overlay that [Table.build] produces from a
+    generator in state [build_seed], and [resume] is the generator's
+    state after that build. Repeated calls with the same key return
+    the physically same table. *)
+
+val hits : t -> int
+val misses : t -> int
+
+val length : t -> int
+(** Number of cached tables. *)
+
+val clear : t -> unit
+(** Drops every entry (hit/miss counters are kept). *)

@@ -6,6 +6,8 @@ let create ~seed = { state = Int64.of_int seed }
 
 let of_int64 seed = { state = seed }
 
+let state t = t.state
+
 let copy t = { state = t.state }
 
 (* SplitMix64 finaliser (Steele, Lea & Flood 2014): one additive step and

@@ -10,6 +10,12 @@ type t
 val create : seed:int -> t
 val of_int64 : int64 -> t
 
+val state : t -> int64
+(** The current internal state. [of_int64 (state t)] is a generator
+    that continues [t]'s stream exactly — the resume handle used by
+    {!Overlay.Table_cache} to skip an already-performed build without
+    perturbing the draws that follow it. *)
+
 val copy : t -> t
 (** [copy t] is an independent generator with the same state. *)
 

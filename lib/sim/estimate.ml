@@ -26,37 +26,87 @@ let routability r = Stats.Binomial_ci.point r.ci
 
 let failed_percent r = 100.0 *. (1.0 -. routability r)
 
-(* One static-resilience trial (section 1): build a fresh overlay, fail
-   every node independently with probability q, then estimate the
-   fraction of routable ordered pairs among the survivors by sampling. *)
-let run_trial cfg rng ~delivered ~attempted ~hop_summary =
-  let table = Overlay.Table.build ~rng ~bits:cfg.bits cfg.geometry in
+(* Per-trial PRNG discipline: trial i runs on the generator seeded with
+   the i-th output of the master stream — exactly what the historical
+   [Splitmix.split] per trial produced, but derivable by index, so
+   trials can execute on any domain in any order and still draw the
+   same values. See DESIGN.md, "Determinism under parallelism". *)
+let trial_seeds cfg =
+  let master = Prng.Splitmix.create ~seed:cfg.seed in
+  Array.init cfg.trials (fun _ -> Prng.Splitmix.next_int64 master)
+
+(* The table for a trial, either built fresh (consuming build draws
+   from the trial generator) or taken from the cache together with the
+   post-build PRNG state, so the draws that follow are identical. *)
+let table_for cfg cache build_seed =
+  match cache with
+  | None ->
+      let rng = Prng.Splitmix.of_int64 build_seed in
+      (Overlay.Table.build ~rng ~bits:cfg.bits cfg.geometry, rng)
+  | Some cache ->
+      let table, resume =
+        Overlay.Table_cache.get cache ~bits:cfg.bits ~build_seed cfg.geometry
+      in
+      (table, Prng.Splitmix.of_int64 resume)
+
+(* What one trial contributes, kept separate per trial so trials can run
+   on different domains; hop counts are kept in routing order and
+   replayed into the shared Welford summary by trial index, which makes
+   the merged statistics bit-identical to a sequential run. *)
+type trial_stats = {
+  t_delivered : int;
+  t_attempted : int;
+  t_alive_fraction : float;
+  t_hops : float list;
+}
+
+(* One static-resilience trial (section 1): build (or fetch) the
+   overlay, fail every node independently with probability q, then
+   estimate the fraction of routable ordered pairs among the survivors
+   by sampling. Fewer than two survivors still contribute their true
+   alive fraction — only the pair sampling is skipped. *)
+let run_trial cfg cache build_seed =
+  let table, rng = table_for cfg cache build_seed in
   let alive = Overlay.Failure.sample ~rng ~q:cfg.q (Overlay.Table.node_count table) in
   let pool = Overlay.Failure.survivors alive in
-  if Array.length pool < 2 then 0.0
+  let alive_fraction =
+    float_of_int (Array.length pool) /. float_of_int (Overlay.Table.node_count table)
+  in
+  if Array.length pool < 2 then
+    { t_delivered = 0; t_attempted = 0; t_alive_fraction = alive_fraction; t_hops = [] }
   else begin
+    let delivered = ref 0 in
+    let hops_rev = ref [] in
     for _ = 1 to cfg.pairs_per_trial do
       let src, dst = Stats.Sampler.ordered_pair rng pool in
-      incr attempted;
       match Routing.Router.route table ~rng ~alive ~src ~dst with
       | Routing.Outcome.Delivered { hops } ->
           incr delivered;
-          Stats.Summary.add hop_summary (float_of_int hops)
+          hops_rev := float_of_int hops :: !hops_rev
       | Routing.Outcome.Dropped _ -> ()
     done;
-    float_of_int (Array.length pool) /. float_of_int (Overlay.Table.node_count table)
+    {
+      t_delivered = !delivered;
+      t_attempted = cfg.pairs_per_trial;
+      t_alive_fraction = alive_fraction;
+      t_hops = List.rev !hops_rev;
+    }
   end
 
-let run cfg =
-  let rng = Prng.Splitmix.create ~seed:cfg.seed in
+(* Reduce trial contributions in index order (the determinism
+   contract: this is the only order-sensitive step). *)
+let collect cfg stats =
   let delivered = ref 0 in
   let attempted = ref 0 in
   let hop_summary = Stats.Summary.create () in
   let alive_total = ref 0.0 in
-  for _ = 1 to cfg.trials do
-    let trial_rng = Prng.Splitmix.split rng in
-    alive_total := !alive_total +. run_trial cfg trial_rng ~delivered ~attempted ~hop_summary
-  done;
+  Array.iter
+    (fun s ->
+      delivered := !delivered + s.t_delivered;
+      attempted := !attempted + s.t_attempted;
+      alive_total := !alive_total +. s.t_alive_fraction;
+      List.iter (Stats.Summary.add hop_summary) s.t_hops)
+    stats;
   let attempted_total = max 1 !attempted in
   {
     config = cfg;
@@ -66,6 +116,35 @@ let run cfg =
     hop_summary;
     mean_alive_fraction = !alive_total /. float_of_int cfg.trials;
   }
+
+let run_sweep ?pool ?cache cfg qs =
+  if qs = [] then []
+  else begin
+    List.iter
+      (fun q -> if not (Numerics.Prob.is_valid q) then invalid_arg "Estimate.run_sweep: invalid q")
+      qs;
+    let seeds = trial_seeds cfg in
+    let qarr = Array.of_list qs in
+    let configs = Array.map (fun q -> { cfg with q }) qarr in
+    (* Flatten the sweep into |qs| × trials independent tasks: trial
+       seeds do not depend on q, so every grid point reuses the same
+       [trials] overlays (via [cache]) and the whole grid parallelises
+       at once instead of 3 trials at a time. *)
+    let n = Array.length qarr * cfg.trials in
+    let task k = run_trial configs.(k / cfg.trials) cache seeds.(k mod cfg.trials) in
+    let stats =
+      match pool with
+      | Some pool when Exec.Pool.size pool > 1 -> Exec.Pool.map pool n task
+      | Some _ | None -> Array.init n task
+    in
+    List.init (Array.length qarr) (fun qi ->
+        (qarr.(qi), collect configs.(qi) (Array.sub stats (qi * cfg.trials) cfg.trials)))
+  end
+
+let run ?pool ?cache cfg =
+  match run_sweep ?pool ?cache cfg [ cfg.q ] with
+  | [ (_, r) ] -> r
+  | _ -> assert false
 
 let pp_result ppf r =
   Fmt.pf ppf "%a d=%d q=%.3f: routability %a, hops %a" Rcm.Geometry.pp r.config.geometry

@@ -30,8 +30,28 @@ val config :
   config
 (** @raise Invalid_argument on non-positive counts or invalid [q]. *)
 
-val run : config -> result
-(** Deterministic in [config.seed]. *)
+val run : ?pool:Exec.Pool.t -> ?cache:Overlay.Table_cache.t -> config -> result
+(** Deterministic in [config.seed] alone: trial [i] always runs on the
+    generator seeded by the [i]-th output of the master stream, and
+    trial contributions are reduced in index order, so the result is
+    bit-identical for every [pool] size (including no pool — the
+    sequential path) and with or without [cache]. [pool] distributes
+    trials across domains; [cache] reuses overlay tables across calls
+    that share trial seeds (e.g. a q-sweep). *)
+
+val run_sweep :
+  ?pool:Exec.Pool.t ->
+  ?cache:Overlay.Table_cache.t ->
+  config ->
+  float list ->
+  (float * result) list
+(** [run_sweep cfg qs] is [[(q, run { cfg with q }) | q <- qs]],
+    bit-identical to those per-point runs, but flattened into
+    [|qs| × trials] independent tasks so the whole grid parallelises
+    at once, and — because trial seeds do not depend on [q] — paying
+    [trials] overlay builds for the whole sweep when a [cache] is
+    supplied instead of [|qs| × trials].
+    @raise Invalid_argument if any [q] is not a probability. *)
 
 val routability : result -> float
 val failed_percent : result -> float

@@ -14,13 +14,35 @@ type report = {
   mean_routability : float;
 }
 
+(* Trial i runs on the generator seeded by the i-th output of the
+   master stream (equivalent to the historical split-per-trial, but
+   derivable by index for domain-parallel execution). *)
+let trial_seeds ~seed ~trials =
+  let master = Prng.Splitmix.create ~seed in
+  Array.init trials (fun _ -> Prng.Splitmix.next_int64 master)
+
+let table_for ~bits geometry cache build_seed =
+  match cache with
+  | None ->
+      let rng = Prng.Splitmix.of_int64 build_seed in
+      (Overlay.Table.build ~rng ~bits geometry, rng)
+  | Some cache ->
+      let table, resume = Overlay.Table_cache.get cache ~bits ~build_seed geometry in
+      (table, Prng.Splitmix.of_int64 resume)
+
+(* Run tasks over trial indices, on the pool when one is supplied. *)
+let map_trials pool trials task =
+  match pool with
+  | Some pool when Exec.Pool.size pool > 1 -> Exec.Pool.map pool trials task
+  | Some _ | None -> Array.init trials task
+
 (* Connectivity vs routability on the *same* failed instance: the
    reachable component is a subset of the connected component
    (section 4.1), so measured routability must not exceed
    pair-connectivity. The experiment quantifies the gap the paper's
    introduction argues makes percolation theory insufficient. *)
-let run_trial ~bits ~q geometry rng ~pairs =
-  let table = Overlay.Table.build ~rng ~bits geometry in
+let run_trial ~bits ~q geometry cache build_seed ~pairs =
+  let table, rng = table_for ~bits geometry cache build_seed in
   let alive = Overlay.Failure.sample ~rng ~q (Overlay.Table.node_count table) in
   let graph = Overlay.Table.to_digraph table in
   let connectivity = Graph.Components.analyze ~alive graph in
@@ -40,11 +62,12 @@ let run_trial ~bits ~q geometry rng ~pairs =
     }
   end
 
-let run ?(trials = 3) ?(pairs = 2_000) ?(seed = 42) ~bits ~q geometry =
+let run ?pool ?cache ?(trials = 3) ?(pairs = 2_000) ?(seed = 42) ~bits ~q geometry =
   if trials < 1 then invalid_arg "Percolation.run: need at least one trial";
-  let rng = Prng.Splitmix.create ~seed in
+  let seeds = trial_seeds ~seed ~trials in
   let all =
-    List.init trials (fun _ -> run_trial ~bits ~q geometry (Prng.Splitmix.split rng) ~pairs)
+    Array.to_list
+      (map_trials pool trials (fun i -> run_trial ~bits ~q geometry cache seeds.(i) ~pairs))
   in
   let mean f = List.fold_left (fun acc t -> acc +. f t) 0.0 all /. float_of_int trials in
   {
@@ -61,26 +84,29 @@ let routing_gap r = r.mean_pair_connectivity -. r.mean_routability
 
 (* Mean giant-component fraction among survivors at one failure level,
    without routing (for threshold estimation). *)
-let giant_fraction ?(trials = 3) ?(seed = 42) ~bits ~q geometry =
-  let rng = Prng.Splitmix.create ~seed in
-  let total = ref 0.0 in
-  for _ = 1 to trials do
-    let trial_rng = Prng.Splitmix.split rng in
-    let table = Overlay.Table.build ~rng:trial_rng ~bits geometry in
-    let alive = Overlay.Failure.sample ~rng:trial_rng ~q (Overlay.Table.node_count table) in
-    let report = Graph.Components.analyze ~alive (Overlay.Table.to_digraph table) in
-    total := !total +. report.Graph.Components.giant_fraction
-  done;
-  !total /. float_of_int trials
+let giant_fraction ?pool ?cache ?(trials = 3) ?(seed = 42) ~bits ~q geometry =
+  let seeds = trial_seeds ~seed ~trials in
+  let fractions =
+    map_trials pool trials (fun i ->
+        let table, rng = table_for ~bits geometry cache seeds.(i) in
+        let alive = Overlay.Failure.sample ~rng ~q (Overlay.Table.node_count table) in
+        let report = Graph.Components.analyze ~alive (Overlay.Table.to_digraph table) in
+        report.Graph.Components.giant_fraction)
+  in
+  Array.fold_left ( +. ) 0.0 fractions /. float_of_int trials
 
 (* The failure probability at which the giant component among the
    survivors stops covering [target] of them — the finite-size stand-in
    for 1 - p_c in Definition 2. Bisection over the (empirically
-   monotone) giant-fraction curve. *)
-let giant_threshold ?(trials = 3) ?(target = 0.5) ?(steps = 12) ?(seed = 42) ~bits geometry =
+   monotone) giant-fraction curve. Every probe reuses the same trial
+   seeds, so with a cache the [steps + 1] probes of the bisection pay
+   for [trials] overlay builds in total. *)
+let giant_threshold ?pool ?cache ?(trials = 3) ?(target = 0.5) ?(steps = 12) ?(seed = 42)
+    ~bits geometry =
   if target <= 0.0 || target >= 1.0 then
     invalid_arg "Percolation.giant_threshold: target outside (0,1)";
-  let covered q = giant_fraction ~trials ~seed ~bits ~q geometry >= target in
+  let cache = match cache with Some c -> c | None -> Overlay.Table_cache.create () in
+  let covered q = giant_fraction ?pool ~cache ~trials ~seed ~bits ~q geometry >= target in
   if not (covered 0.0) then 0.0
   else begin
     let rec bisect lo hi i =

@@ -23,18 +23,46 @@ type report = {
 }
 
 val run :
-  ?trials:int -> ?pairs:int -> ?seed:int -> bits:int -> q:float -> Rcm.Geometry.t -> report
+  ?pool:Exec.Pool.t ->
+  ?cache:Overlay.Table_cache.t ->
+  ?trials:int ->
+  ?pairs:int ->
+  ?seed:int ->
+  bits:int ->
+  q:float ->
+  Rcm.Geometry.t ->
+  report
+(** Deterministic in [seed] alone: per-trial generators are derived by
+    index and trial results reduced in index order, so the report is
+    bit-identical for every [pool] size and with or without [cache].
+    [cache] shares overlay builds across calls with the same seed
+    (e.g. the points of a q-sweep). *)
 
 val routing_gap : report -> float
 (** pair-connectivity minus routability; non-negative up to Monte-Carlo
     noise. *)
 
 val giant_fraction :
-  ?trials:int -> ?seed:int -> bits:int -> q:float -> Rcm.Geometry.t -> float
+  ?pool:Exec.Pool.t ->
+  ?cache:Overlay.Table_cache.t ->
+  ?trials:int ->
+  ?seed:int ->
+  bits:int ->
+  q:float ->
+  Rcm.Geometry.t ->
+  float
 (** Mean fraction of survivors inside the largest connected component. *)
 
 val giant_threshold :
-  ?trials:int -> ?target:float -> ?steps:int -> ?seed:int -> bits:int -> Rcm.Geometry.t -> float
+  ?pool:Exec.Pool.t ->
+  ?cache:Overlay.Table_cache.t ->
+  ?trials:int ->
+  ?target:float ->
+  ?steps:int ->
+  ?seed:int ->
+  bits:int ->
+  Rcm.Geometry.t ->
+  float
 (** Bisected failure probability at which the giant component stops
     covering [target] (default 0.5) of the survivors — the finite-size
     stand-in for 1 - p_c in Definition 2. Routing always collapses at

@@ -3,6 +3,7 @@ let () =
     [
       ("numerics", Test_numerics.suite);
       ("prng", Test_prng.suite);
+      ("exec", Test_exec.suite);
       ("idspace", Test_idspace.suite);
       ("stats", Test_stats.suite);
       ("graph", Test_graph.suite);
