@@ -1,4 +1,4 @@
-.PHONY: all build test check bench clean
+.PHONY: all build test check bench bench-smoke clean
 
 all: build
 
@@ -17,6 +17,13 @@ check:
 
 bench:
 	dune exec bench/main.exe
+
+# CI-sized bench: runs only the pool sweep (with metrics enabled),
+# writes BENCH_<date>.json, and asserts it matches the schema the
+# perf-tracking tooling expects.
+bench-smoke:
+	dune exec bench/main.exe -- --smoke
+	dune exec bench/validate.exe
 
 clean:
 	dune clean

@@ -11,7 +11,12 @@
       the perf trajectory across PRs.
 
    Besides the human-readable tables, the measurements land in
-   BENCH_<date>.json (name -> ns/run, plus the sweep timings). *)
+   BENCH_<date>.json (name -> ns/run, the sweep timings, and a
+   "metrics" section snapshotting the engine's counters/histograms).
+
+   With --smoke only step 3 runs, at CI-friendly sizes: it exists so
+   `make bench-smoke` can assert the JSON pipeline end to end in
+   seconds rather than minutes. *)
 
 open Bechamel
 open Toolkit
@@ -225,9 +230,9 @@ let run_benchmarks () =
    sequential pre-pool path and on the domain pool with the overlay
    cache — the headline number this PR optimises. Both runs produce
    bit-identical results; only the wall clock moves. *)
-let sweep_speedup () =
+let sweep_speedup ?(trials = 4) ?(pairs_per_trial = 600) () =
   let cfg =
-    Sim.Estimate.config ~trials:4 ~pairs_per_trial:600 ~seed:1006 ~bits:12 ~q:0.0
+    Sim.Estimate.config ~trials ~pairs_per_trial ~seed:1006 ~bits:12 ~q:0.0
       Rcm.Geometry.Xor
   in
   let qs = Experiments.Grid.fig6_q in
@@ -291,12 +296,28 @@ let write_json rows ~domains ~sequential_s ~parallel_s =
   Printf.fprintf oc "    \"domains\": %d,\n" domains;
   Printf.fprintf oc "    \"sequential_s\": %.6f,\n" sequential_s;
   Printf.fprintf oc "    \"parallel_s\": %.6f,\n" parallel_s;
-  Printf.fprintf oc "    \"speedup\": %.4f\n  }\n}\n" (sequential_s /. parallel_s);
+  Printf.fprintf oc "    \"speedup\": %.4f\n  },\n" (sequential_s /. parallel_s);
+  Printf.fprintf oc "  \"metrics\": %s\n}\n" (Obs.Metrics.to_json ());
   close_out oc;
   Fmt.pr "wrote %s@." path
 
 let () =
-  regenerate_figures ();
-  let rows = run_benchmarks () in
-  let domains, sequential_s, parallel_s = sweep_speedup () in
+  let smoke = Array.exists (String.equal "--smoke") Sys.argv in
+  let rows =
+    if smoke then
+      (* CI-sized run: skip figure regeneration and the Bechamel suite,
+         exercise only the sweep + metrics + JSON plumbing. *)
+      []
+    else begin
+      regenerate_figures ();
+      run_benchmarks ()
+    end
+  in
+  (* The sweep runs with metrics on so the BENCH json carries the
+     cache/pool counters alongside the timings; instrumentation never
+     reads the simulation PRNG streams, so the results are unaffected. *)
+  Obs.Metrics.set_enabled true;
+  let domains, sequential_s, parallel_s =
+    if smoke then sweep_speedup ~trials:2 ~pairs_per_trial:150 () else sweep_speedup ()
+  in
   write_json rows ~domains ~sequential_s ~parallel_s

@@ -1,0 +1,262 @@
+(* Schema check for the BENCH_<date>.json files written by bench/main.
+   Dependency-free on purpose: a tiny recursive-descent JSON parser is
+   enough to prove the file is well-formed and carries the sections the
+   perf-tracking tooling reads (date, ns_per_run, fig6_sim_sweep,
+   metrics). Exits non-zero with a message naming the first problem.
+
+   Usage: validate.exe [FILE]
+   Without an argument, picks the newest BENCH_*.json in the current
+   directory. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | List of json list
+  | Obj of (string * json) list
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+type state = { src : string; mutable pos : int }
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let skip_ws st =
+  let rec go () =
+    match peek st with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance st;
+        go ()
+    | _ -> ()
+  in
+  go ()
+
+let expect st c =
+  match peek st with
+  | Some x when x = c -> advance st
+  | Some x -> fail "at byte %d: expected %c, found %c" st.pos c x
+  | None -> fail "at byte %d: expected %c, found end of input" st.pos c
+
+let literal st word value =
+  let n = String.length word in
+  if st.pos + n <= String.length st.src && String.sub st.src st.pos n = word then begin
+    st.pos <- st.pos + n;
+    value
+  end
+  else fail "at byte %d: expected %s" st.pos word
+
+let parse_string st =
+  expect st '"';
+  let buffer = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> fail "unterminated string"
+    | Some '"' -> advance st
+    | Some '\\' -> (
+        advance st;
+        match peek st with
+        | Some '"' -> advance st; Buffer.add_char buffer '"'; go ()
+        | Some '\\' -> advance st; Buffer.add_char buffer '\\'; go ()
+        | Some '/' -> advance st; Buffer.add_char buffer '/'; go ()
+        | Some 'n' -> advance st; Buffer.add_char buffer '\n'; go ()
+        | Some 't' -> advance st; Buffer.add_char buffer '\t'; go ()
+        | Some 'r' -> advance st; Buffer.add_char buffer '\r'; go ()
+        | Some 'b' -> advance st; Buffer.add_char buffer '\b'; go ()
+        | Some 'f' -> advance st; Buffer.add_char buffer '\012'; go ()
+        | Some 'u' ->
+            (* Our writer never emits \u escapes; accept and keep them
+               verbatim so the validator stays a strict superset. *)
+            advance st;
+            Buffer.add_string buffer "\\u";
+            go ()
+        | Some c -> fail "bad escape \\%c" c
+        | None -> fail "unterminated escape")
+    | Some c ->
+        advance st;
+        Buffer.add_char buffer c;
+        go ()
+  in
+  go ();
+  Buffer.contents buffer
+
+let parse_number st =
+  let start = st.pos in
+  let is_number_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while (match peek st with Some c when is_number_char c -> true | _ -> false) do
+    advance st
+  done;
+  let text = String.sub st.src start (st.pos - start) in
+  match float_of_string_opt text with
+  | Some v -> v
+  | None -> fail "at byte %d: bad number %S" start text
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | Some '{' -> parse_obj st
+  | Some '[' -> parse_list st
+  | Some '"' -> String (parse_string st)
+  | Some 't' -> literal st "true" (Bool true)
+  | Some 'f' -> literal st "false" (Bool false)
+  | Some 'n' -> literal st "null" Null
+  | Some ('-' | '0' .. '9') -> Number (parse_number st)
+  | Some c -> fail "at byte %d: unexpected %c" st.pos c
+  | None -> fail "unexpected end of input"
+
+and parse_obj st =
+  expect st '{';
+  skip_ws st;
+  if peek st = Some '}' then begin
+    advance st;
+    Obj []
+  end
+  else begin
+    let fields = ref [] in
+    let rec go () =
+      skip_ws st;
+      let key = parse_string st in
+      skip_ws st;
+      expect st ':';
+      let value = parse_value st in
+      fields := (key, value) :: !fields;
+      skip_ws st;
+      match peek st with
+      | Some ',' -> advance st; go ()
+      | Some '}' -> advance st
+      | _ -> fail "at byte %d: expected , or } in object" st.pos
+    in
+    go ();
+    Obj (List.rev !fields)
+  end
+
+and parse_list st =
+  expect st '[';
+  skip_ws st;
+  if peek st = Some ']' then begin
+    advance st;
+    List []
+  end
+  else begin
+    let items = ref [] in
+    let rec go () =
+      let value = parse_value st in
+      items := value :: !items;
+      skip_ws st;
+      match peek st with
+      | Some ',' -> advance st; go ()
+      | Some ']' -> advance st
+      | _ -> fail "at byte %d: expected , or ] in array" st.pos
+    in
+    go ();
+    List (List.rev !items)
+  end
+
+let parse src =
+  let st = { src; pos = 0 } in
+  let value = parse_value st in
+  skip_ws st;
+  if st.pos <> String.length src then fail "trailing garbage at byte %d" st.pos;
+  value
+
+(* --- schema assertions ---------------------------------------------------- *)
+
+let field path obj key =
+  match obj with
+  | Obj fields -> (
+      match List.assoc_opt key fields with
+      | Some v -> v
+      | None -> fail "%s: missing field %S" path key)
+  | _ -> fail "%s: expected an object" path
+
+let as_number path = function
+  | Number v -> v
+  | _ -> fail "%s: expected a number" path
+
+let as_obj_fields path = function
+  | Obj fields -> fields
+  | _ -> fail "%s: expected an object" path
+
+let check_finite path v = if not (Float.is_finite v) then fail "%s: not finite" path
+
+let validate json =
+  (match field "$" json "date" with
+  | String s when String.length s = 10 -> ()
+  | String s -> fail "$.date: expected YYYY-MM-DD, found %S" s
+  | _ -> fail "$.date: expected a string");
+  List.iter
+    (fun (name, v) ->
+      let v = as_number (Printf.sprintf "$.ns_per_run[%S]" name) v in
+      if not (Float.is_finite v) || v < 0.0 then fail "$.ns_per_run[%S]: bad value" name)
+    (as_obj_fields "$.ns_per_run" (field "$" json "ns_per_run"));
+  let sweep = field "$" json "fig6_sim_sweep" in
+  let domains = as_number "$.fig6_sim_sweep.domains" (field "$.fig6_sim_sweep" sweep "domains") in
+  if domains < 1.0 || Float.rem domains 1.0 <> 0.0 then
+    fail "$.fig6_sim_sweep.domains: expected a positive integer";
+  List.iter
+    (fun key ->
+      let path = "$.fig6_sim_sweep." ^ key in
+      let v = as_number path (field "$.fig6_sim_sweep" sweep key) in
+      check_finite path v;
+      if v <= 0.0 then fail "%s: expected > 0" path)
+    [ "sequential_s"; "parallel_s"; "speedup" ];
+  let metrics = field "$" json "metrics" in
+  let counters = as_obj_fields "$.metrics.counters" (field "$.metrics" metrics "counters") in
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | Number n when Float.rem n 1.0 = 0.0 -> ()
+      | _ -> fail "$.metrics.counters[%S]: expected an integer" name)
+    counters;
+  let histograms = as_obj_fields "$.metrics.histograms" (field "$.metrics" metrics "histograms") in
+  List.iter
+    (fun (name, h) ->
+      let path = Printf.sprintf "$.metrics.histograms[%S]" name in
+      ignore (as_number (path ^ ".count") (field path h "count"));
+      List.iter
+        (fun key ->
+          match field path h key with
+          | Number _ | Null -> ()
+          | _ -> fail "%s.%s: expected a number or null" path key)
+        [ "sum"; "min"; "max"; "mean"; "p50"; "p90"; "p99" ])
+    histograms;
+  (* The smoke sweep always routes through the pool and the overlay
+     cache: an empty metrics section means the instrumentation was
+     never switched on, which is exactly the regression this guards. *)
+  if counters = [] then fail "$.metrics.counters: empty (metrics were not enabled?)";
+  List.length counters + List.length histograms
+
+let newest_bench_json () =
+  Sys.readdir "."
+  |> Array.to_list
+  |> List.filter (fun name ->
+         String.length name > 6
+         && String.sub name 0 6 = "BENCH_"
+         && Filename.check_suffix name ".json")
+  |> List.sort (fun a b -> String.compare b a)
+  |> function
+  | [] ->
+      prerr_endline "validate: no BENCH_*.json in the current directory";
+      exit 1
+  | newest :: _ -> newest
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let () =
+  let path = if Array.length Sys.argv > 1 then Sys.argv.(1) else newest_bench_json () in
+  match validate (parse (read_file path)) with
+  | n -> Printf.printf "validate: %s ok (%d metric series)\n" path n
+  | exception Parse_error msg ->
+      Printf.eprintf "validate: %s: %s\n" path msg;
+      exit 1

@@ -33,13 +33,26 @@ let seed_arg =
   let doc = "PRNG seed (all outputs are deterministic in the seed)." in
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
 
+(* Mirrors Exec.Pool.create's domain check at argument-parsing time:
+   --jobs 0 (or any non-positive count) is a CLI error, not a silent
+   fallback. *)
+let positive_int_conv =
+  let parse s =
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> Ok n
+    | Some n -> Error (`Msg (Printf.sprintf "job count must be at least 1, got %d" n))
+    | None -> Error (`Msg (Printf.sprintf "invalid job count %S (expected an integer >= 1)" s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
 let jobs_arg =
   let doc =
-    "Worker domains for Monte-Carlo trials. Defaults to $(b,DHT_RCM_JOBS) when set, \
-     otherwise to the machine's recommended domain count. Outputs are bit-identical \
-     for every job count; 1 disables parallelism."
+    "Worker domains for Monte-Carlo trials (an integer >= 1). Defaults to \
+     $(b,DHT_RCM_JOBS) when set to an integer >= 1 (invalid values are ignored with \
+     a warning), otherwise to the machine's recommended domain count. Outputs are \
+     bit-identical for every job count; 1 disables parallelism."
   in
-  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  Arg.(value & opt (some positive_int_conv) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
 (* Run [f] with a domain pool sized from --jobs / DHT_RCM_JOBS /
    Domain.recommended_domain_count, or with no pool when that size
@@ -47,6 +60,34 @@ let jobs_arg =
 let with_jobs jobs f =
   let domains = match jobs with Some n -> n | None -> Exec.Pool.default_domains () in
   if domains <= 1 then f None else Exec.Pool.with_pool ~domains (fun pool -> f (Some pool))
+
+let metrics_arg =
+  let doc =
+    "Collect engine metrics (routing outcomes, cache effectiveness, per-domain task \
+     counts, trial timings) and print a summary to stderr on exit. Observation only: \
+     stdout and every simulated number are byte-identical with or without this flag."
+  in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+let trace_arg =
+  let doc =
+    "Write a JSONL trace (one object per line: overlay-build, failure-injection and \
+     estimation spans with wall-clock durations) to $(docv). See README, \
+     \"Observability\", for the schema."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
+(* Enable the requested observability sinks around [f]: metrics summary
+   to stderr (stdout stays byte-identical to an uninstrumented run),
+   trace JSONL to the requested file. *)
+let with_obs ~metrics ~trace_out f =
+  if metrics then Obs.Metrics.set_enabled true;
+  (match trace_out with Some path -> Obs.Trace.set_sink (Some (open_out path)) | None -> ());
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Trace.close ();
+      if metrics then Fmt.epr "%a@." Obs.Metrics.pp_summary ())
+    f
 
 let csv_arg =
   let doc = "Emit CSV instead of an aligned table." in
@@ -102,9 +143,10 @@ let analyze_cmd =
 
 (* --- simulate ----------------------------------------------------------------- *)
 
-let simulate geometry bits q trials pairs seed jobs =
+let simulate geometry bits q trials pairs seed jobs metrics trace_out =
   let geometries = geometries_of_opt geometry in
   let qs = match q with Some q -> [ q ] | None -> default_q_grid in
+  with_obs ~metrics ~trace_out @@ fun () ->
   with_jobs jobs (fun pool ->
       List.iter
         (fun g ->
@@ -128,7 +170,7 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc)
     Term.(
       const simulate $ geometry_arg $ bits_arg ~default:12 $ q_arg $ trials_arg $ pairs_arg
-      $ seed_arg $ jobs_arg)
+      $ seed_arg $ jobs_arg $ metrics_arg $ trace_arg)
 
 (* --- figure ------------------------------------------------------------------- *)
 
@@ -205,8 +247,11 @@ let figure_series ?pool name quick =
       Fmt.failwith "unknown figure %S (expected one of %s)" other
         (String.concat ", " figure_names)
 
-let figure name quick csv plot jobs =
-  let series = with_jobs jobs (fun pool -> figure_series ?pool name quick) in
+let figure name quick csv plot jobs metrics trace_out =
+  let series =
+    with_obs ~metrics ~trace_out (fun () ->
+        with_jobs jobs (fun pool -> figure_series ?pool name quick))
+  in
   print_series ~csv series;
   if plot then Experiments.Ascii_plot.print series
 
@@ -217,13 +262,16 @@ let figure_cmd =
          & info [] ~docv:"FIGURE" ~doc:"Figure id.")
   in
   Cmd.v (Cmd.info "figure" ~doc)
-    Term.(const figure $ figure_name $ quick_arg $ csv_arg $ plot_arg $ jobs_arg)
+    Term.(
+      const figure $ figure_name $ quick_arg $ csv_arg $ plot_arg $ jobs_arg $ metrics_arg
+      $ trace_arg)
 
 (* --- export ----------------------------------------------------------------- *)
 
-let export dir quick jobs =
+let export dir quick jobs metrics trace_out =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   let written =
+    with_obs ~metrics ~trace_out @@ fun () ->
     with_jobs jobs (fun pool ->
     List.map
       (fun name ->
@@ -260,7 +308,8 @@ let export_cmd =
   let dir =
     Arg.(value & opt string "results" & info [ "o"; "out" ] ~docv:"DIR" ~doc:"Output directory.")
   in
-  Cmd.v (Cmd.info "export" ~doc) Term.(const export $ dir $ quick_arg $ jobs_arg)
+  Cmd.v (Cmd.info "export" ~doc)
+    Term.(const export $ dir $ quick_arg $ jobs_arg $ metrics_arg $ trace_arg)
 
 (* --- scalability ----------------------------------------------------------------- *)
 
@@ -306,10 +355,11 @@ let validate_cmd =
 
 (* --- percolation ----------------------------------------------------------------- *)
 
-let percolation geometry bits trials pairs seed csv jobs =
+let percolation geometry bits trials pairs seed csv jobs metrics trace_out =
   let cfg =
     { Experiments.Connectivity.default_config with bits; trials; pairs; seed }
   in
+  with_obs ~metrics ~trace_out @@ fun () ->
   with_jobs jobs (fun pool ->
       List.iter
         (fun g -> print_series ~csv (Experiments.Connectivity.run ?pool cfg g))
@@ -321,7 +371,7 @@ let percolation_cmd =
     (Cmd.info "percolation" ~doc)
     Term.(
       const percolation $ geometry_arg $ bits_arg ~default:12 $ trials_arg $ pairs_arg
-      $ seed_arg $ csv_arg $ jobs_arg)
+      $ seed_arg $ csv_arg $ jobs_arg $ metrics_arg $ trace_arg)
 
 (* --- churn ----------------------------------------------------------------- *)
 

@@ -1,7 +1,9 @@
 type t = {
   lock : Mutex.t;
   has_work : Condition.t;
-  mutable pending : (unit -> unit) list;
+  (* Jobs receive the index (0 = caller, 1.. = workers) of the domain
+     executing them — observability only, never control flow. *)
+  mutable pending : (int -> unit) list;
   mutable closed : bool;
   mutable workers : unit Domain.t list;
   size : int;
@@ -9,15 +11,20 @@ type t = {
 
 let default_domains () =
   match Sys.getenv_opt "DHT_RCM_JOBS" with
+  | None -> Domain.recommended_domain_count ()
   | Some s -> (
       match int_of_string_opt (String.trim s) with
       | Some n when n >= 1 -> n
-      | Some _ | None -> Domain.recommended_domain_count ())
-  | None -> Domain.recommended_domain_count ()
+      | Some _ | None ->
+          let fallback = Domain.recommended_domain_count () in
+          Printf.eprintf
+            "dht_rcm: ignoring DHT_RCM_JOBS=%S (expected an integer >= 1); using %d domains\n%!"
+            s fallback;
+          fallback)
 
 (* Workers block on the condition until a block of indices is submitted
    or the pool is shut down; they never steal from one another. *)
-let worker pool =
+let worker pool member =
   let rec loop () =
     Mutex.lock pool.lock;
     let rec take () =
@@ -37,7 +44,7 @@ let worker pool =
     match job with
     | None -> ()
     | Some job ->
-        job ();
+        job member;
         loop ()
   in
   loop ()
@@ -56,7 +63,8 @@ let create ?domains () =
     }
   in
   if size > 1 then
-    pool.workers <- List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker pool));
+    pool.workers <-
+      List.init (size - 1) (fun i -> Domain.spawn (fun () -> worker pool (i + 1)));
   pool
 
 let size t = t.size
@@ -78,6 +86,16 @@ let run_range f results lo hi =
     results.(i) <- Some (f i)
   done
 
+(* Per-block observability: which pool member ran it, how many tasks it
+   covered, how long it queued and how long it ran. Gated on the global
+   metrics flag; when disabled only [if false]-grade checks remain. *)
+let record_block ~member ~tasks ~submitted ~started ~finished =
+  if Obs.Metrics.enabled () then begin
+    Obs.Metrics.incr_named ~by:tasks (Printf.sprintf "pool/domain%d/tasks" member);
+    Obs.Metrics.observe_named "pool/queue_wait_s" (started -. submitted);
+    Obs.Metrics.observe_named "pool/block_s" (finished -. started)
+  end
+
 let map t n f =
   if n < 0 then invalid_arg "Exec.Pool.map: negative size";
   if t.closed then invalid_arg "Exec.Pool.map: pool is shut down";
@@ -85,7 +103,16 @@ let map t n f =
   else begin
     let results = Array.make n None in
     let blocks = min t.size n in
-    if blocks <= 1 then run_range f results 0 n
+    if blocks <= 1 then begin
+      let submitted = Obs.Metrics.now () in
+      (try run_range f results 0 n
+       with e ->
+         record_block ~member:0 ~tasks:n ~submitted ~started:submitted
+           ~finished:(Obs.Metrics.now ());
+         raise e);
+      record_block ~member:0 ~tasks:n ~submitted ~started:submitted
+        ~finished:(Obs.Metrics.now ())
+    end
     else begin
       (* Static contiguous partition: block b covers [b*n/blocks,
          (b+1)*n/blocks). Each result index is written by exactly one
@@ -99,9 +126,16 @@ let map t n f =
         if !failure = None then failure := Some (e, bt);
         Mutex.unlock t.lock
       in
-      let job b () =
+      let submitted = Obs.Metrics.now () in
+      let run_block b member =
+        let started = Obs.Metrics.now () in
         (try run_range f results (bound b) (bound (b + 1))
          with e -> record_failure e (Printexc.get_raw_backtrace ()));
+        record_block ~member ~tasks:(bound (b + 1) - bound b) ~submitted ~started
+          ~finished:(Obs.Metrics.now ())
+      in
+      let job b member =
+        run_block b member;
         Mutex.lock t.lock;
         decr remaining;
         if !remaining = 0 then Condition.broadcast finished;
@@ -114,8 +148,7 @@ let map t n f =
       Condition.broadcast t.has_work;
       Mutex.unlock t.lock;
       (* The caller contributes block 0 rather than idling. *)
-      (try run_range f results (bound 0) (bound 1)
-       with e -> record_failure e (Printexc.get_raw_backtrace ()));
+      run_block 0 0;
       Mutex.lock t.lock;
       while !remaining > 0 do
         Condition.wait finished t.lock

@@ -12,14 +12,24 @@
     randomness from its own index (e.g. a per-trial PRNG seed taken
     from a pre-generated array, see {!Prng.Splitmix.split}) and must
     not mutate state shared with other tasks. Tasks must not submit
-    nested work to the pool they run on. *)
+    nested work to the pool they run on.
+
+    When {!Obs.Metrics} is enabled, every [map] records per-member
+    task counts ([pool/domain<i>/tasks], member 0 being the caller),
+    queue wait ([pool/queue_wait_s]) and block runtimes
+    ([pool/block_s], from which the summary derives the imbalance
+    ratio). Observation only: scheduling, results and PRNG streams are
+    identical with metrics on or off. *)
 
 type t
 
 val default_domains : unit -> int
 (** Worker count used when [create] is given no [domains]: the
-    [DHT_RCM_JOBS] environment variable when set to a positive
-    integer, otherwise [Domain.recommended_domain_count ()]. *)
+    [DHT_RCM_JOBS] environment variable when set to an integer >= 1,
+    otherwise [Domain.recommended_domain_count ()]. A set-but-invalid
+    [DHT_RCM_JOBS] (zero, negative, or not an integer) is rejected
+    with a one-line warning on stderr naming the rejected value, and
+    the recommended count is used instead. *)
 
 val create : ?domains:int -> unit -> t
 (** [create ~domains ()] starts a pool of [domains - 1] worker domains

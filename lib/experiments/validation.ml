@@ -60,29 +60,35 @@ let max_chain_error rows =
    XOR and Symphony models idealise the protocol (suffix randomisation
    and shortcut overshoot respectively), so only the gap is recorded. *)
 
-type sim_status = [ `Matches | `Bound_holds | `Gap of float | `Violation of float ]
+type sim_status =
+  [ `Matches | `Bound_holds | `Gap of float | `Violation of float | `No_data ]
 
 type sim_row = {
   geometry : Rcm.Geometry.t;
   q : float;
   analysis : float;
-  simulated : Stats.Binomial_ci.t;
+  simulated : Stats.Binomial_ci.t option;
   status : sim_status;
 }
 
+(* A run that attempted no pairs (ci = None) carries no information
+   either way: report it as `No_data, never as a match or violation. *)
 let classify_sim_row geometry ~analysis ~ci =
-  let tolerance = 0.02 in
-  let low = Stats.Binomial_ci.lower ci -. tolerance in
-  let high = Stats.Binomial_ci.upper ci +. tolerance in
-  match geometry with
-  | Rcm.Geometry.Tree | Rcm.Geometry.Hypercube ->
-      if analysis >= low && analysis <= high then `Matches
-      else `Violation (Float.abs (analysis -. Stats.Binomial_ci.point ci))
-  | Rcm.Geometry.Ring ->
-      if Stats.Binomial_ci.point ci >= analysis -. tolerance then `Bound_holds
-      else `Violation (analysis -. Stats.Binomial_ci.point ci)
-  | Rcm.Geometry.Xor | Rcm.Geometry.Symphony _ ->
-      `Gap (Stats.Binomial_ci.point ci -. analysis)
+  match ci with
+  | None -> `No_data
+  | Some ci -> (
+      let tolerance = 0.02 in
+      let low = Stats.Binomial_ci.lower ci -. tolerance in
+      let high = Stats.Binomial_ci.upper ci +. tolerance in
+      match geometry with
+      | Rcm.Geometry.Tree | Rcm.Geometry.Hypercube ->
+          if analysis >= low && analysis <= high then `Matches
+          else `Violation (Float.abs (analysis -. Stats.Binomial_ci.point ci))
+      | Rcm.Geometry.Ring ->
+          if Stats.Binomial_ci.point ci >= analysis -. tolerance then `Bound_holds
+          else `Violation (analysis -. Stats.Binomial_ci.point ci)
+      | Rcm.Geometry.Xor | Rcm.Geometry.Symphony _ ->
+          `Gap (Stats.Binomial_ci.point ci -. analysis))
 
 let sim_vs_analysis ?(bits = 12) ?(qs = [ 0.05; 0.1; 0.2; 0.3 ]) ?(trials = 3)
     ?(pairs_per_trial = 2_000) ?(seed = 2006) () =
@@ -124,10 +130,13 @@ let pp_sim_rows ppf rows =
         | `Bound_holds -> "bound holds"
         | `Gap g -> Printf.sprintf "gap %+.4f (model idealisation)" g
         | `Violation v -> Printf.sprintf "VIOLATION %.4f" v
+        | `No_data -> "no data"
       in
       Fmt.pf ppf "%-10s %6.2f %10.4f %24s %s@."
         (Rcm.Geometry.name r.geometry)
         r.q r.analysis
-        (Fmt.str "%a" Stats.Binomial_ci.pp r.simulated)
+        (match r.simulated with
+        | Some ci -> Fmt.str "%a" Stats.Binomial_ci.pp ci
+        | None -> "no routable pairs")
         status)
     rows

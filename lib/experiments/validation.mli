@@ -26,13 +26,17 @@ val chain_vs_closed :
 
 val max_chain_error : chain_row list -> float
 
-type sim_status = [ `Matches | `Bound_holds | `Gap of float | `Violation of float ]
+type sim_status =
+  [ `Matches | `Bound_holds | `Gap of float | `Violation of float | `No_data ]
+(** [`No_data]: the simulation attempted no pairs (every trial had
+    fewer than two survivors), so there is nothing to compare — it is
+    reported as such, never as a spurious violation or match. *)
 
 type sim_row = {
   geometry : Rcm.Geometry.t;
   q : float;
   analysis : float;
-  simulated : Stats.Binomial_ci.t;
+  simulated : Stats.Binomial_ci.t option;  (** [None] iff status is [`No_data] *)
   status : sim_status;
 }
 

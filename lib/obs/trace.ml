@@ -1,0 +1,84 @@
+type value = String of string | Int of int | Float of float | Bool of bool
+
+(* The sink is guarded by [lock]; [active] mirrors "sink <> None" so the
+   disabled fast path is one atomic load, with no lock taken. *)
+let lock = Mutex.create ()
+
+let sink : out_channel option ref = ref None
+
+let active = Atomic.make false
+
+let enabled () = Atomic.get active
+
+let set_sink oc =
+  Mutex.lock lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock lock)
+    (fun () ->
+      (match !sink with
+      | Some old -> ( try close_out old with Sys_error _ -> ())
+      | None -> ());
+      sink := oc;
+      Atomic.set active (oc <> None))
+
+let close () = set_sink None
+
+let with_file path f =
+  set_sink (Some (open_out path));
+  Fun.protect ~finally:close f
+
+let buffer_value buffer = function
+  | String s ->
+      Buffer.add_char buffer '"';
+      String.iter
+        (function
+          | '"' -> Buffer.add_string buffer "\\\""
+          | '\\' -> Buffer.add_string buffer "\\\\"
+          | '\n' -> Buffer.add_string buffer "\\n"
+          | c -> Buffer.add_char buffer c)
+        s;
+      Buffer.add_char buffer '"'
+  | Int i -> Buffer.add_string buffer (string_of_int i)
+  | Float f ->
+      Buffer.add_string buffer (if Float.is_finite f then Printf.sprintf "%.9g" f else "null")
+  | Bool b -> Buffer.add_string buffer (string_of_bool b)
+
+let emit ~kind ~name ?dur_s attrs =
+  let buffer = Buffer.create 160 in
+  Buffer.add_string buffer
+    (Printf.sprintf "{\"ts\": %.6f, \"kind\": %S, \"name\": %S, \"domain\": %d"
+       (Unix.gettimeofday ()) kind name
+       (Domain.self () :> int));
+  (match dur_s with
+  | Some d -> Buffer.add_string buffer (Printf.sprintf ", \"dur_s\": %.9f" d)
+  | None -> ());
+  if attrs <> [] then begin
+    Buffer.add_string buffer ", \"attrs\": {";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_string buffer ", ";
+        Buffer.add_string buffer (Printf.sprintf "%S: " k);
+        buffer_value buffer v)
+      attrs;
+    Buffer.add_char buffer '}'
+  end;
+  Buffer.add_string buffer "}\n";
+  Mutex.lock lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock lock)
+    (fun () ->
+      match !sink with
+      | Some oc -> Buffer.output_buffer oc buffer
+      | None -> () (* sink removed since the atomic check: drop the record *))
+
+let span name ?(attrs = []) f =
+  if not (Atomic.get active) then f ()
+  else begin
+    let t0 = Unix.gettimeofday () in
+    Fun.protect
+      ~finally:(fun () -> emit ~kind:"span" ~name ~dur_s:(Unix.gettimeofday () -. t0) attrs)
+      f
+  end
+
+let event name ?(attrs = []) () =
+  if Atomic.get active then emit ~kind:"event" ~name attrs

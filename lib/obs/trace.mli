@@ -1,0 +1,43 @@
+(** Optional JSONL trace sink for the Monte-Carlo engine.
+
+    When a sink is installed, instrumented code paths emit one JSON
+    object per line describing spans (named regions with a wall-clock
+    duration: overlay builds, failure injection, per-trial estimation)
+    and instant events. With no sink installed ({!set_sink} [None], the
+    default) every entry point is a no-op that reads one atomic flag —
+    tracing must cost nothing when off and, like {!Metrics}, must never
+    touch a PRNG stream (simulation results are bit-identical with
+    tracing on or off; pinned by [test/test_obs.ml]).
+
+    Record schema (one line each, fields in this order):
+    {v
+    {"ts": <float, Unix seconds>, "kind": "span" | "event",
+     "name": <string>, "domain": <int, Domain.self>,
+     "dur_s": <float, spans only>, "attrs": {<string>: value, ...}}
+    v}
+    [value] is a JSON string, int, float or bool. Writes are serialised
+    by a mutex, so lines from concurrent domains never interleave. *)
+
+type value = String of string | Int of int | Float of float | Bool of bool
+
+val set_sink : out_channel option -> unit
+(** Install ([Some oc]) or remove ([None]) the sink. Removing (or
+    replacing) a sink flushes and closes the previous channel. *)
+
+val enabled : unit -> bool
+
+val with_file : string -> (unit -> 'a) -> 'a
+(** [with_file path f] installs [open_out path] as the sink, runs [f]
+    and removes the sink (closing the file) afterwards, also on raise. *)
+
+val span : string -> ?attrs:(string * value) list -> (unit -> 'a) -> 'a
+(** [span name f] runs [f] and, when enabled, emits a span record with
+    [f]'s wall-clock duration — also when [f] raises. When disabled it
+    is exactly [f ()]: no clock read, and [attrs] should be built
+    lazily by the caller only when {!enabled}. *)
+
+val event : string -> ?attrs:(string * value) list -> unit -> unit
+(** Emit an instant event (no duration). No-op when disabled. *)
+
+val close : unit -> unit
+(** [set_sink None]. *)

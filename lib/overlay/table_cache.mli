@@ -14,15 +14,22 @@
     uncached path.
 
     All operations are thread-safe; the returned tables are immutable
-    and may be routed over concurrently from several domains. *)
+    and may be routed over concurrently from several domains.
+
+    When {!Obs.Metrics} is enabled the cache feeds the global counters
+    [cache/hits], [cache/misses], [cache/evictions] and
+    [cache/double_builds] (summed over every cache instance), and each
+    build is traced as an [overlay/build] span. *)
 
 type t
 
 val create : ?capacity:int -> unit -> t
 (** A fresh, empty cache holding at most [capacity] tables (default
-    128). Inserting past capacity resets the cache rather than
-    evicting selectively — sweeps re-use a small working set, so a
-    full cache means the sweep moved on.
+    128). Inserting past capacity evicts the oldest-inserted entry
+    only — never the whole cache — so entries shared by in-flight
+    sweeps survive unrelated insertions; evicted tables remain valid
+    for holders (they are immutable), and a later miss on the same key
+    deterministically rebuilds the identical table.
     @raise Invalid_argument if [capacity < 1]. *)
 
 val get : t -> bits:int -> build_seed:int64 -> Rcm.Geometry.t -> Table.t * int64
@@ -32,11 +39,25 @@ val get : t -> bits:int -> build_seed:int64 -> Rcm.Geometry.t -> Table.t * int64
     state after that build. Repeated calls with the same key return
     the physically same table. *)
 
+val locked : t -> (unit -> 'a) -> 'a
+(** [locked t f] runs [f] while holding the cache's lock, releasing it
+    when [f] returns {e or raises}. Used by the accessors below (and
+    their exception-safety regression test); [f] must not re-enter the
+    cache — the lock is not recursive. *)
+
 val hits : t -> int
 val misses : t -> int
+
+val evictions : t -> int
+(** Entries dropped to make room at capacity. *)
+
+val double_builds : t -> int
+(** Builds whose result was discarded because a concurrent miss on the
+    same key inserted first (wasted but harmless work — both builds
+    are deterministic in the key). *)
 
 val length : t -> int
 (** Number of cached tables. *)
 
 val clear : t -> unit
-(** Drops every entry (hit/miss counters are kept). *)
+(** Drops every entry (hit/miss/eviction counters are kept). *)

@@ -8,6 +8,17 @@ type t =
           message is lost. *)
 
 val is_delivered : t -> bool
+
+val metric_label : t -> string
+(** ["delivered"] or ["dead_end"] — the class this outcome lands in
+    within the [routing/<geometry>/<class>] metric family. Loops are
+    impossible by construction (every router makes strict progress in
+    its distance), so no outcome maps to ["loop"]. *)
+
+val metric_labels : string list
+(** The full outcome partition used by the metric schema:
+    [["delivered"; "dead_end"; "loop"]]. *)
+
 val hops : t -> int
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit

@@ -1,13 +1,38 @@
+(* Outcome counting is observation-only: it happens after the routing
+   walk finished, consumes no randomness, and is gated on the global
+   metrics flag, so enabling metrics cannot change any simulation
+   result. All outcome classes of the geometry are registered on the
+   first routed message so the [--metrics] summary always shows the
+   full delivered / dead_end / loop partition, including zeroes. *)
+let record geometry outcome =
+  if Obs.Metrics.enabled () then begin
+    let name = Rcm.Geometry.name geometry in
+    List.iter
+      (fun label -> ignore (Obs.Metrics.counter (Printf.sprintf "routing/%s/%s" name label)))
+      Outcome.metric_labels;
+    Obs.Metrics.incr_named
+      (Printf.sprintf "routing/%s/%s" name (Outcome.metric_label outcome));
+    match outcome with
+    | Outcome.Delivered { hops } ->
+        Obs.Metrics.observe_named (Printf.sprintf "routing/%s/hops" name) (float_of_int hops)
+    | Outcome.Dropped _ -> ()
+  end
+
 let route ?on_hop table ~rng ~alive ~src ~dst =
   let space = Overlay.Table.space table in
   Idspace.Space.check space src;
   Idspace.Space.check space dst;
-  match Overlay.Table.geometry table with
-  | Rcm.Geometry.Tree -> Tree_router.route ?on_hop table ~alive ~src ~dst
-  | Rcm.Geometry.Hypercube -> Hypercube_router.route ?on_hop table ~rng ~alive ~src ~dst
-  | Rcm.Geometry.Xor -> Xor_router.route ?on_hop table ~alive ~src ~dst
-  | Rcm.Geometry.Ring | Rcm.Geometry.Symphony _ ->
-      Greedy_ring.route ?on_hop table ~alive ~src ~dst
+  let geometry = Overlay.Table.geometry table in
+  let outcome =
+    match geometry with
+    | Rcm.Geometry.Tree -> Tree_router.route ?on_hop table ~alive ~src ~dst
+    | Rcm.Geometry.Hypercube -> Hypercube_router.route ?on_hop table ~rng ~alive ~src ~dst
+    | Rcm.Geometry.Xor -> Xor_router.route ?on_hop table ~alive ~src ~dst
+    | Rcm.Geometry.Ring | Rcm.Geometry.Symphony _ ->
+        Greedy_ring.route ?on_hop table ~alive ~src ~dst
+  in
+  record geometry outcome;
+  outcome
 
 let route_with_path table ~rng ~alive ~src ~dst =
   let visited = ref [ src ] in

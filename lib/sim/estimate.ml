@@ -11,7 +11,7 @@ type result = {
   config : config;
   delivered : int;
   attempted : int;
-  ci : Stats.Binomial_ci.t;
+  ci : Stats.Binomial_ci.t option;
   hop_summary : Stats.Summary.t;
   mean_alive_fraction : float;
 }
@@ -22,7 +22,8 @@ let config ?(trials = 3) ?(pairs_per_trial = 2_000) ?(seed = 42) ~bits ~q geomet
   if not (Numerics.Prob.is_valid q) then invalid_arg "Estimate.config: invalid q";
   { geometry; bits; q; trials; pairs_per_trial; seed }
 
-let routability r = Stats.Binomial_ci.point r.ci
+let routability r =
+  match r.ci with Some ci -> Stats.Binomial_ci.point ci | None -> Float.nan
 
 let failed_percent r = 100.0 *. (1.0 -. routability r)
 
@@ -37,12 +38,23 @@ let trial_seeds cfg =
 
 (* The table for a trial, either built fresh (consuming build draws
    from the trial generator) or taken from the cache together with the
-   post-build PRNG state, so the draws that follow are identical. *)
+   post-build PRNG state, so the draws that follow are identical.
+   Cached builds are traced inside [Table_cache.get]; the uncached
+   path emits the same [overlay/build] span here. *)
 let table_for cfg cache build_seed =
   match cache with
   | None ->
-      let rng = Prng.Splitmix.of_int64 build_seed in
-      (Overlay.Table.build ~rng ~bits:cfg.bits cfg.geometry, rng)
+      Obs.Trace.span "overlay/build"
+        ~attrs:
+          (if Obs.Trace.enabled () then
+             [
+               ("geometry", Obs.Trace.String (Rcm.Geometry.name cfg.geometry));
+               ("bits", Obs.Trace.Int cfg.bits);
+             ]
+           else [])
+        (fun () ->
+          let rng = Prng.Splitmix.of_int64 build_seed in
+          (Overlay.Table.build ~rng ~bits:cfg.bits cfg.geometry, rng))
   | Some cache ->
       let table, resume =
         Overlay.Table_cache.get cache ~bits:cfg.bits ~build_seed cfg.geometry
@@ -64,37 +76,72 @@ type trial_stats = {
    overlay, fail every node independently with probability q, then
    estimate the fraction of routable ordered pairs among the survivors
    by sampling. Fewer than two survivors still contribute their true
-   alive fraction — only the pair sampling is skipped. *)
+   alive fraction — only the pair sampling is skipped.
+
+   All instrumentation below observes after the fact: it reads clocks
+   and counters, never [rng], so metrics/tracing cannot shift a single
+   PRNG draw (the bit-identity contract of DESIGN.md). *)
 let run_trial cfg cache build_seed =
+  let t0 = Obs.Metrics.now () in
   let table, rng = table_for cfg cache build_seed in
-  let alive = Overlay.Failure.sample ~rng ~q:cfg.q (Overlay.Table.node_count table) in
+  let alive =
+    Obs.Trace.span "failure/inject"
+      ~attrs:(if Obs.Trace.enabled () then [ ("q", Obs.Trace.Float cfg.q) ] else [])
+      (fun () -> Overlay.Failure.sample ~rng ~q:cfg.q (Overlay.Table.node_count table))
+  in
   let pool = Overlay.Failure.survivors alive in
   let alive_fraction =
     float_of_int (Array.length pool) /. float_of_int (Overlay.Table.node_count table)
   in
-  if Array.length pool < 2 then
-    { t_delivered = 0; t_attempted = 0; t_alive_fraction = alive_fraction; t_hops = [] }
-  else begin
-    let delivered = ref 0 in
-    let hops_rev = ref [] in
-    for _ = 1 to cfg.pairs_per_trial do
-      let src, dst = Stats.Sampler.ordered_pair rng pool in
-      match Routing.Router.route table ~rng ~alive ~src ~dst with
-      | Routing.Outcome.Delivered { hops } ->
-          incr delivered;
-          hops_rev := float_of_int hops :: !hops_rev
-      | Routing.Outcome.Dropped _ -> ()
-    done;
-    {
-      t_delivered = !delivered;
-      t_attempted = cfg.pairs_per_trial;
-      t_alive_fraction = alive_fraction;
-      t_hops = List.rev !hops_rev;
-    }
-  end
+  let stats =
+    if Array.length pool < 2 then
+      { t_delivered = 0; t_attempted = 0; t_alive_fraction = alive_fraction; t_hops = [] }
+    else begin
+      let delivered = ref 0 in
+      let hops_rev = ref [] in
+      for _ = 1 to cfg.pairs_per_trial do
+        let src, dst = Stats.Sampler.ordered_pair rng pool in
+        match Routing.Router.route table ~rng ~alive ~src ~dst with
+        | Routing.Outcome.Delivered { hops } ->
+            incr delivered;
+            hops_rev := float_of_int hops :: !hops_rev
+        | Routing.Outcome.Dropped _ -> ()
+      done;
+      {
+        t_delivered = !delivered;
+        t_attempted = cfg.pairs_per_trial;
+        t_alive_fraction = alive_fraction;
+        t_hops = List.rev !hops_rev;
+      }
+    end
+  in
+  if Obs.Metrics.enabled () then begin
+    let elapsed = Obs.Metrics.now () -. t0 in
+    Obs.Metrics.incr_named "estimate/trials";
+    Obs.Metrics.observe_named "estimate/alive_fraction" alive_fraction;
+    Obs.Metrics.observe_named "estimate/trial_s" elapsed;
+    (* Per-grid-point task latency, keyed by q: the sweep scheduler's
+       unit of work is one (trial, q) task. *)
+    Obs.Metrics.observe_named (Printf.sprintf "estimate/task_s[q=%g]" cfg.q) elapsed;
+    Obs.Trace.event "estimate/trial"
+      ~attrs:
+        [
+          ("geometry", Obs.Trace.String (Rcm.Geometry.name cfg.geometry));
+          ("q", Obs.Trace.Float cfg.q);
+          ("alive_fraction", Obs.Trace.Float alive_fraction);
+          ("delivered", Obs.Trace.Int stats.t_delivered);
+          ("attempted", Obs.Trace.Int stats.t_attempted);
+          ("dur_s", Obs.Trace.Float elapsed);
+        ]
+      ()
+  end;
+  stats
 
 (* Reduce trial contributions in index order (the determinism
-   contract: this is the only order-sensitive step). *)
+   contract: this is the only order-sensitive step). When every trial
+   had fewer than two survivors nothing was attempted, and there is no
+   estimate to report: [ci = None] rather than a fabricated 0/1
+   interval. *)
 let collect cfg stats =
   let delivered = ref 0 in
   let attempted = ref 0 in
@@ -107,12 +154,13 @@ let collect cfg stats =
       alive_total := !alive_total +. s.t_alive_fraction;
       List.iter (Stats.Summary.add hop_summary) s.t_hops)
     stats;
-  let attempted_total = max 1 !attempted in
   {
     config = cfg;
     delivered = !delivered;
     attempted = !attempted;
-    ci = Stats.Binomial_ci.wilson ~successes:!delivered ~trials:attempted_total ();
+    ci =
+      (if !attempted = 0 then None
+       else Some (Stats.Binomial_ci.wilson ~successes:!delivered ~trials:!attempted ()));
     hop_summary;
     mean_alive_fraction = !alive_total /. float_of_int cfg.trials;
   }
@@ -123,6 +171,17 @@ let run_sweep ?pool ?cache cfg qs =
     List.iter
       (fun q -> if not (Numerics.Prob.is_valid q) then invalid_arg "Estimate.run_sweep: invalid q")
       qs;
+    Obs.Trace.span "estimate/sweep"
+      ~attrs:
+        (if Obs.Trace.enabled () then
+           [
+             ("geometry", Obs.Trace.String (Rcm.Geometry.name cfg.geometry));
+             ("bits", Obs.Trace.Int cfg.bits);
+             ("qs", Obs.Trace.Int (List.length qs));
+             ("trials", Obs.Trace.Int cfg.trials);
+           ]
+         else [])
+    @@ fun () ->
     let seeds = trial_seeds cfg in
     let qarr = Array.of_list qs in
     let configs = Array.map (fun q -> { cfg with q }) qarr in
@@ -147,5 +206,10 @@ let run ?pool ?cache cfg =
   | _ -> assert false
 
 let pp_result ppf r =
-  Fmt.pf ppf "%a d=%d q=%.3f: routability %a, hops %a" Rcm.Geometry.pp r.config.geometry
-    r.config.bits r.config.q Stats.Binomial_ci.pp r.ci Stats.Summary.pp r.hop_summary
+  match r.ci with
+  | Some ci ->
+      Fmt.pf ppf "%a d=%d q=%.3f: routability %a, hops %a" Rcm.Geometry.pp r.config.geometry
+        r.config.bits r.config.q Stats.Binomial_ci.pp ci Stats.Summary.pp r.hop_summary
+  | None ->
+      Fmt.pf ppf "%a d=%d q=%.3f: no routable pairs (every trial had < 2 survivors)"
+        Rcm.Geometry.pp r.config.geometry r.config.bits r.config.q

@@ -15,7 +15,12 @@ type result = {
   config : config;
   delivered : int;
   attempted : int;
-  ci : Stats.Binomial_ci.t;  (** routability estimate with 95% CI *)
+  ci : Stats.Binomial_ci.t option;
+      (** Routability estimate with 95% CI. [None] when no pair was
+          ever attempted — every trial left fewer than two survivors —
+          in which case there is no estimate at all, as opposed to an
+          estimate of zero (a fabricated 0/1 interval would present
+          "no data" as certainty). *)
   hop_summary : Stats.Summary.t;  (** hop counts of delivered messages *)
   mean_alive_fraction : float;
 }
@@ -54,6 +59,11 @@ val run_sweep :
     @raise Invalid_argument if any [q] is not a probability. *)
 
 val routability : result -> float
+(** Point estimate, or [nan] when [ci = None] (no routable pairs to
+    measure). [nan] propagates honestly into tables and CSV exports
+    (rendered as ["nan"]) rather than masquerading as 0 or 1. *)
+
 val failed_percent : result -> float
+(** [100 * (1 - routability)]; [nan] when there is no estimate. *)
 
 val pp_result : Format.formatter -> result -> unit

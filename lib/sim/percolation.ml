@@ -42,25 +42,39 @@ let map_trials pool trials task =
    pair-connectivity. The experiment quantifies the gap the paper's
    introduction argues makes percolation theory insufficient. *)
 let run_trial ~bits ~q geometry cache build_seed ~pairs =
+  let t0 = Obs.Metrics.now () in
   let table, rng = table_for ~bits geometry cache build_seed in
-  let alive = Overlay.Failure.sample ~rng ~q (Overlay.Table.node_count table) in
+  let alive =
+    Obs.Trace.span "failure/inject"
+      ~attrs:(if Obs.Trace.enabled () then [ ("q", Obs.Trace.Float q) ] else [])
+      (fun () -> Overlay.Failure.sample ~rng ~q (Overlay.Table.node_count table))
+  in
   let graph = Overlay.Table.to_digraph table in
   let connectivity = Graph.Components.analyze ~alive graph in
   let pool = Overlay.Failure.survivors alive in
-  if Array.length pool < 2 then { connectivity; routability = 0.0; routed_pairs = 0 }
-  else begin
-    let delivered = ref 0 in
-    for _ = 1 to pairs do
-      let src, dst = Stats.Sampler.ordered_pair rng pool in
-      if Routing.Outcome.is_delivered (Routing.Router.route table ~rng ~alive ~src ~dst)
-      then incr delivered
-    done;
-    {
-      connectivity;
-      routability = float_of_int !delivered /. float_of_int pairs;
-      routed_pairs = pairs;
-    }
-  end
+  let trial =
+    if Array.length pool < 2 then { connectivity; routability = 0.0; routed_pairs = 0 }
+    else begin
+      let delivered = ref 0 in
+      for _ = 1 to pairs do
+        let src, dst = Stats.Sampler.ordered_pair rng pool in
+        if Routing.Outcome.is_delivered (Routing.Router.route table ~rng ~alive ~src ~dst)
+        then incr delivered
+      done;
+      {
+        connectivity;
+        routability = float_of_int !delivered /. float_of_int pairs;
+        routed_pairs = pairs;
+      }
+    end
+  in
+  (* Observation only — reads the clock and the finished trial, never
+     [rng], so results are bit-identical with metrics on or off. *)
+  if Obs.Metrics.enabled () then begin
+    Obs.Metrics.incr_named "percolation/trials";
+    Obs.Metrics.observe_named "percolation/trial_s" (Obs.Metrics.now () -. t0)
+  end;
+  trial
 
 let run ?pool ?cache ?(trials = 3) ?(pairs = 2_000) ?(seed = 42) ~bits ~q geometry =
   if trials < 1 then invalid_arg "Percolation.run: need at least one trial";

@@ -75,6 +75,55 @@ let test_unknown_figure_rejected () =
   | Unix.WEXITED 0, _ -> Alcotest.fail "unknown figure accepted"
   | _, _ -> ()
 
+(* Like run_capture, but through the shell so the command string can
+   set environment variables and redirect stderr. *)
+let run_capture_shell command =
+  let ic = Unix.open_process_in command in
+  let buffer = Buffer.create 1024 in
+  (try
+     while true do
+       Buffer.add_channel buffer ic 1
+     done
+   with End_of_file -> ());
+  let status = Unix.close_process_in ic in
+  (status, Buffer.contents buffer)
+
+let tiny_simulate =
+  [ "simulate"; "-g"; "xor"; "-d"; "6"; "-q"; "0.2"; "--trials"; "1"; "--pairs"; "20" ]
+
+let test_jobs_zero_rejected () =
+  (* Regression: --jobs 0 used to be swallowed by a silent fallback; it
+     must be a CLI argument error. *)
+  match run_capture (tiny_simulate @ [ "--jobs"; "0" ]) with
+  | Unix.WEXITED 0, _ -> Alcotest.fail "--jobs 0 accepted"
+  | _, _ -> ()
+
+let test_bad_env_jobs_warns () =
+  (* Regression: a malformed DHT_RCM_JOBS used to fall back silently;
+     the warning must name the rejected value. *)
+  let command =
+    Printf.sprintf "DHT_RCM_JOBS=banana %s 2>&1" (Filename.quote_command binary tiny_simulate)
+  in
+  let status, out = run_capture_shell command in
+  check_exit "simulate with bad DHT_RCM_JOBS" status;
+  Alcotest.(check bool) "warning names the rejected value" true
+    (Astring_contains.contains out {|DHT_RCM_JOBS="banana"|})
+
+let test_metrics_flag_summary () =
+  let command =
+    Printf.sprintf "%s 2>&1"
+      (Filename.quote_command binary (tiny_simulate @ [ "--jobs"; "2"; "--metrics" ]))
+  in
+  let status, out = run_capture_shell command in
+  check_exit "simulate --metrics" status;
+  List.iter
+    (fun fragment ->
+      Alcotest.(check bool)
+        (Printf.sprintf "metrics summary has %s" fragment)
+        true
+        (Astring_contains.contains out fragment))
+    [ "==== metrics ===="; "cache/misses"; "routing/xor/delivered"; "estimate/trial_s" ]
+
 let suite =
   [
     ("binary present", `Quick, test_binary_present);
@@ -84,4 +133,7 @@ let suite =
     ("route trace", `Quick, test_route_trace);
     ("export writes files", `Slow, test_export_writes_files);
     ("unknown figure rejected", `Quick, test_unknown_figure_rejected);
+    ("--jobs 0 rejected", `Quick, test_jobs_zero_rejected);
+    ("bad DHT_RCM_JOBS warns on stderr", `Quick, test_bad_env_jobs_warns);
+    ("--metrics prints summary", `Quick, test_metrics_flag_summary);
   ]

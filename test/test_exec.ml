@@ -154,6 +154,61 @@ let test_table_cache_physically_shares_tables () =
   Alcotest.(check bool) "different seed, different table" true (t1 != t3);
   Alcotest.(check int) "two entries" 2 (Overlay.Table_cache.length cache)
 
+let test_table_cache_evicts_one_entry () =
+  (* Regression: inserting past capacity used to wipe the whole cache.
+     It must drop exactly the oldest-inserted entry and keep the rest. *)
+  let cache = Overlay.Table_cache.create ~capacity:2 () in
+  let get seed = ignore (Overlay.Table_cache.get cache ~bits:6 ~build_seed:seed Rcm.Geometry.Xor) in
+  get 1L;
+  get 2L;
+  Alcotest.(check int) "at capacity" 2 (Overlay.Table_cache.length cache);
+  get 3L;
+  Alcotest.(check int) "still full, not wiped" 2 (Overlay.Table_cache.length cache);
+  Alcotest.(check int) "exactly one eviction" 1 (Overlay.Table_cache.evictions cache);
+  let misses = Overlay.Table_cache.misses cache in
+  get 2L;
+  get 3L;
+  Alcotest.(check int) "survivors still hit" misses (Overlay.Table_cache.misses cache);
+  get 1L;
+  Alcotest.(check int) "oldest entry was the one dropped" (misses + 1)
+    (Overlay.Table_cache.misses cache)
+
+let test_estimate_sweep_bit_identical_under_eviction () =
+  (* 4 trial seeds through a capacity-2 cache: entries are evicted and
+     deterministically rebuilt mid-sweep, and the results must still be
+     bit-identical to the uncached pointwise runs. *)
+  let qs = [ 0.0; 0.2; 0.4 ] in
+  let baseline = List.map (fun q -> Sim.Estimate.run { estimate_config with Sim.Estimate.q }) qs in
+  let cache = Overlay.Table_cache.create ~capacity:2 () in
+  Exec.Pool.with_pool ~domains:2 (fun pool ->
+      let sweep = Sim.Estimate.run_sweep ~pool ~cache estimate_config qs in
+      List.iter2
+        (fun expected (q, r) -> check_same_estimate (Printf.sprintf "q=%.1f" q) expected r)
+        baseline sweep);
+  Alcotest.(check bool) "evictions actually happened" true
+    (Overlay.Table_cache.evictions cache > 0)
+
+let test_table_cache_locked_exception_safe () =
+  (* Regression: a raising critical section used to leave the cache
+     mutex held, deadlocking the next accessor. *)
+  let cache = Overlay.Table_cache.create () in
+  (try Overlay.Table_cache.locked cache (fun () -> failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check int) "lock released: accessor does not deadlock" 0
+    (Overlay.Table_cache.hits cache)
+
+let test_default_domains_env_parsing () =
+  let original = Sys.getenv_opt "DHT_RCM_JOBS" in
+  let restore () = Unix.putenv "DHT_RCM_JOBS" (Option.value original ~default:"") in
+  Fun.protect ~finally:restore (fun () ->
+      Unix.putenv "DHT_RCM_JOBS" "3";
+      Alcotest.(check int) "valid value honoured" 3 (Exec.Pool.default_domains ());
+      Unix.putenv "DHT_RCM_JOBS" "0";
+      Alcotest.(check bool) "0 rejected, sane fallback" true (Exec.Pool.default_domains () >= 1);
+      Unix.putenv "DHT_RCM_JOBS" "banana";
+      Alcotest.(check bool) "garbage rejected, sane fallback" true
+        (Exec.Pool.default_domains () >= 1))
+
 let test_table_cache_resume_matches_fresh_build () =
   (* A cached trial must consume the PRNG exactly like an uncached one:
      the resume state equals the post-build state of a fresh build. *)
@@ -186,4 +241,12 @@ let suite =
       test_table_cache_physically_shares_tables);
     ("table cache: resume state = post-build state", `Quick,
       test_table_cache_resume_matches_fresh_build);
+    ("table cache: capacity evicts one entry, not all", `Quick,
+      test_table_cache_evicts_one_entry);
+    ("estimate: sweep bit-identical under cache eviction", `Quick,
+      test_estimate_sweep_bit_identical_under_eviction);
+    ("table cache: locked releases mutex on raise", `Quick,
+      test_table_cache_locked_exception_safe);
+    ("pool: DHT_RCM_JOBS parsing and fallback", `Quick,
+      test_default_domains_env_parsing);
   ]

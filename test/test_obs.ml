@@ -1,0 +1,176 @@
+(* The observability layer: metrics arithmetic, trace JSONL shape, and
+   the zero-interference contract — turning instrumentation on must not
+   change a single simulated bit. *)
+
+let contains_substring haystack needle =
+  let n = String.length needle in
+  let rec go i =
+    i + n <= String.length haystack && (String.sub haystack i n = needle || go (i + 1))
+  in
+  go 0
+
+let with_metrics f =
+  Obs.Metrics.reset ();
+  Obs.Metrics.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Metrics.set_enabled false;
+      Obs.Metrics.reset ())
+    f
+
+let test_counters () =
+  with_metrics (fun () ->
+      let c = Obs.Metrics.counter "test/count" in
+      Obs.Metrics.incr c;
+      Obs.Metrics.incr ~by:4 c;
+      Alcotest.(check int) "1 + 4" 5 (Obs.Metrics.counter_value c);
+      Obs.Metrics.incr_named "test/named";
+      let snap = Obs.Metrics.snapshot () in
+      Alcotest.(check (option int)) "snapshot sees interned counter" (Some 5)
+        (List.assoc_opt "test/count" snap.Obs.Metrics.counters);
+      Alcotest.(check (option int)) "snapshot sees named counter" (Some 1)
+        (List.assoc_opt "test/named" snap.Obs.Metrics.counters))
+
+let test_histograms () =
+  with_metrics (fun () ->
+      let h = Obs.Metrics.histogram "test/hist" in
+      List.iter (fun v -> Obs.Metrics.observe h (float_of_int v)) [ 1; 2; 3; 4; 5; 6; 7; 8 ];
+      let snap = Obs.Metrics.snapshot () in
+      match List.assoc_opt "test/hist" snap.Obs.Metrics.histograms with
+      | None -> Alcotest.fail "histogram missing from snapshot"
+      | Some s ->
+          Alcotest.(check int) "count" 8 s.Obs.Metrics.count;
+          Alcotest.(check (float 1e-9)) "sum" 36.0 s.Obs.Metrics.sum;
+          Alcotest.(check (float 1e-9)) "min" 1.0 s.Obs.Metrics.min;
+          Alcotest.(check (float 1e-9)) "max" 8.0 s.Obs.Metrics.max;
+          Alcotest.(check (float 1e-9)) "mean" 4.5 s.Obs.Metrics.mean;
+          (* Quantiles have power-of-two bucket resolution: they must
+             bracket the exact value from above, never undershoot it. *)
+          Alcotest.(check bool)
+            (Printf.sprintf "p50 = %g in [4, 8]" s.Obs.Metrics.p50)
+            true
+            (s.Obs.Metrics.p50 >= 4.0 && s.Obs.Metrics.p50 <= 8.0);
+          Alcotest.(check bool)
+            (Printf.sprintf "p90 = %g in [p50, max]" s.Obs.Metrics.p90)
+            true
+            (s.Obs.Metrics.p90 >= s.Obs.Metrics.p50 && s.Obs.Metrics.p90 <= 8.0))
+
+let test_disabled_is_noop () =
+  Obs.Metrics.reset ();
+  Alcotest.(check bool) "disabled by default in tests" false (Obs.Metrics.enabled ());
+  let c = Obs.Metrics.counter "test/disabled" in
+  Obs.Metrics.incr c;
+  Obs.Metrics.observe_named "test/disabled-hist" 1.0;
+  Alcotest.(check int) "counter untouched" 0 (Obs.Metrics.counter_value c);
+  Alcotest.(check (float 0.0)) "now () skips the clock" 0.0 (Obs.Metrics.now ());
+  let snap = Obs.Metrics.snapshot () in
+  (match List.assoc_opt "test/disabled-hist" snap.Obs.Metrics.histograms with
+  | Some s -> Alcotest.(check int) "histogram untouched" 0 s.Obs.Metrics.count
+  | None -> ());
+  Obs.Metrics.reset ()
+
+let test_json_snapshot_shape () =
+  with_metrics (fun () ->
+      Obs.Metrics.incr_named "test/a";
+      Obs.Metrics.observe_named "test/b" 0.5;
+      let json = Obs.Metrics.to_json () in
+      List.iter
+        (fun fragment ->
+          Alcotest.(check bool)
+            (Printf.sprintf "json contains %s" fragment)
+            true
+            (contains_substring json fragment))
+        [ {|"counters"|}; {|"histograms"|}; {|"test/a": 1|}; {|"test/b"|}; {|"count": 1|} ])
+
+let run_estimate () =
+  Sim.Estimate.run
+    (Sim.Estimate.config ~trials:2 ~pairs_per_trial:200 ~seed:7 ~bits:8 ~q:0.3
+       Rcm.Geometry.Xor)
+
+(* The acceptance contract of the whole layer: instrumentation observes
+   the engine, it never participates. Results with metrics + tracing on
+   must be bit-identical to results with everything off. *)
+let test_instrumentation_preserves_results () =
+  Obs.Metrics.set_enabled false;
+  let plain = run_estimate () in
+  let trace_path = Filename.temp_file "dht_rcm_test" ".jsonl" in
+  let observed =
+    with_metrics (fun () -> Obs.Trace.with_file trace_path (fun () -> run_estimate ()))
+  in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove trace_path)
+    (fun () ->
+      Alcotest.(check int) "delivered" plain.Sim.Estimate.delivered
+        observed.Sim.Estimate.delivered;
+      Alcotest.(check int) "attempted" plain.Sim.Estimate.attempted
+        observed.Sim.Estimate.attempted;
+      Alcotest.(check int64) "mean_alive_fraction bits"
+        (Int64.bits_of_float plain.Sim.Estimate.mean_alive_fraction)
+        (Int64.bits_of_float observed.Sim.Estimate.mean_alive_fraction);
+      Alcotest.(check int64) "routability bits"
+        (Int64.bits_of_float (Sim.Estimate.routability plain))
+        (Int64.bits_of_float (Sim.Estimate.routability observed)))
+
+let test_trace_writes_jsonl () =
+  let path = Filename.temp_file "dht_rcm_test" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Obs.Trace.with_file path (fun () ->
+          Alcotest.(check bool) "enabled while sink installed" true (Obs.Trace.enabled ());
+          Obs.Trace.event "test/event" ~attrs:[ ("k", Obs.Trace.String "v") ] ();
+          Alcotest.(check int) "span returns f's result" 3
+            (Obs.Trace.span "test/span" (fun () -> 3));
+          (* Spans must be emitted even when the body raises. *)
+          try Obs.Trace.span "test/raise" (fun () -> failwith "boom")
+          with Failure _ -> ());
+      Alcotest.(check bool) "sink removed" false (Obs.Trace.enabled ());
+      let ic = open_in path in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> close_in ic);
+      let lines = List.rev !lines in
+      Alcotest.(check int) "one line per record" 3 (List.length lines);
+      List.iter
+        (fun line ->
+          Alcotest.(check bool)
+            (Printf.sprintf "line is a JSON object: %s" line)
+            true
+            (String.length line > 2 && line.[0] = '{' && line.[String.length line - 1] = '}');
+          List.iter
+            (fun field ->
+              Alcotest.(check bool)
+                (Printf.sprintf "line has %s: %s" field line)
+                true
+                (contains_substring line field))
+            [ {|"ts"|}; {|"kind"|}; {|"name"|}; {|"domain"|} ])
+        lines;
+      let span_lines =
+        List.filter (fun l -> contains_substring l {|"kind": "span"|}) lines
+      in
+      Alcotest.(check int) "two spans (one from a raising body)" 2 (List.length span_lines);
+      List.iter
+        (fun l ->
+          Alcotest.(check bool) "span has dur_s" true
+            (contains_substring l {|"dur_s"|}))
+        span_lines)
+
+let test_disabled_span_runs_body () =
+  Obs.Trace.close ();
+  Alcotest.(check int) "span is identity when disabled" 7
+    (Obs.Trace.span "test/none" (fun () -> 7));
+  Obs.Trace.event "test/none" ()
+
+let suite =
+  [
+    ("metrics: counters", `Quick, test_counters);
+    ("metrics: histograms", `Quick, test_histograms);
+    ("metrics: disabled is a no-op", `Quick, test_disabled_is_noop);
+    ("metrics: json snapshot shape", `Quick, test_json_snapshot_shape);
+    ("obs: instrumentation preserves results", `Quick, test_instrumentation_preserves_results);
+    ("trace: writes one JSON object per line", `Quick, test_trace_writes_jsonl);
+    ("trace: disabled span runs body", `Quick, test_disabled_span_runs_body);
+  ]

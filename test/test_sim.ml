@@ -48,7 +48,11 @@ let test_estimate_matches_analysis_tree () =
       (Sim.Estimate.config ~trials:4 ~pairs_per_trial:2_500 ~seed:3 ~bits ~q Rcm.Geometry.Tree)
   in
   let analysis = Rcm.Model.routability Rcm.Geometry.Tree ~d:bits ~q in
-  let ci = r.Sim.Estimate.ci in
+  let ci =
+    match r.Sim.Estimate.ci with
+    | Some ci -> ci
+    | None -> Alcotest.fail "expected a CI: pairs were attempted"
+  in
   Alcotest.(check bool)
     (Printf.sprintf "analysis %.4f in CI [%.4f, %.4f]" analysis
        (Stats.Binomial_ci.lower ci) (Stats.Binomial_ci.upper ci))
@@ -89,6 +93,44 @@ let test_estimate_hop_counts_reasonable () =
     (Printf.sprintf "mean hops %.2f ~ 5" mean_hops)
     true
     (Float.abs (mean_hops -. 5.0) < 0.5)
+
+let contains_substring haystack needle =
+  let n = String.length needle in
+  let rec go i =
+    i + n <= String.length haystack && (String.sub haystack i n = needle || go (i + 1))
+  in
+  go 0
+
+let test_estimate_no_survivors () =
+  (* Regression: q = 1 kills every node, so no trial ever has the two
+     survivors a routing attempt needs. The result used to fabricate a
+     0-successes-of-1-trial CI; it must now say "no data" instead. *)
+  let r =
+    Sim.Estimate.run
+      (Sim.Estimate.config ~trials:2 ~pairs_per_trial:100 ~seed:3 ~bits:6 ~q:1.0
+         Rcm.Geometry.Xor)
+  in
+  Alcotest.(check int) "nothing attempted" 0 r.Sim.Estimate.attempted;
+  Alcotest.(check bool) "no CI" true (r.Sim.Estimate.ci = None);
+  Alcotest.(check bool) "routability is nan" true
+    (Float.is_nan (Sim.Estimate.routability r));
+  Alcotest.(check bool) "failed_percent is nan" true
+    (Float.is_nan (Sim.Estimate.failed_percent r));
+  let rendered = Fmt.str "%a" Sim.Estimate.pp_result r in
+  Alcotest.(check bool)
+    (Printf.sprintf "pp_result says no routable pairs: %S" rendered)
+    true
+    (contains_substring rendered "no routable pairs");
+  (* The nan must survive into table and CSV renderings as "nan", not
+     be rounded into a fake 0 or 100. *)
+  let series =
+    Experiments.Series.create ~title:"no-data" ~x_label:"q" ~x:[| 1.0 |]
+      [ Experiments.Series.column ~label:"xor-sim" [| Sim.Estimate.failed_percent r |] ]
+  in
+  Alcotest.(check bool) "CSV renders nan" true
+    (contains_substring (Experiments.Series.to_csv series) "nan");
+  Alcotest.(check bool) "table renders nan" true
+    (contains_substring (Fmt.str "%a" Experiments.Series.pp series) "nan")
 
 let test_estimate_invalid_config () =
   Alcotest.(check bool) "zero trials" true
@@ -137,6 +179,7 @@ let suite =
     ("estimate vs analysis: hypercube exact", `Slow, test_estimate_matches_analysis_hypercube);
     ("estimate vs analysis: ring bound", `Slow, test_estimate_ring_lower_bound);
     ("estimate: hop counts", `Quick, test_estimate_hop_counts_reasonable);
+    ("estimate: all-dead trials report no data", `Quick, test_estimate_no_survivors);
     ("estimate: invalid config", `Quick, test_estimate_invalid_config);
     ("percolation: q=0", `Quick, test_percolation_no_failures);
     ("percolation: gap non-negative", `Slow, test_percolation_gap_nonnegative);
