@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-smoke clean
+.PHONY: all build test check bench bench-smoke chaos-smoke clean
 
 all: build
 
@@ -24,6 +24,12 @@ bench:
 bench-smoke:
 	dune exec bench/main.exe -- --smoke
 	dune exec bench/validate.exe
+
+# Fault-tolerance smoke: fault-injected --smoke sweep, SIGINT mid-run,
+# --resume, and a deterministic truncated-checkpoint resume — each
+# diffed byte-for-byte against an uninterrupted baseline.
+chaos-smoke: build
+	sh scripts/chaos_smoke.sh
 
 clean:
 	dune clean

@@ -285,20 +285,22 @@ let write_json rows ~domains ~sequential_s ~parallel_s =
       tm.Unix.tm_mday
   in
   let path = Printf.sprintf "BENCH_%s.json" date in
-  let oc = open_out path in
-  Printf.fprintf oc "{\n  \"date\": %S,\n  \"ns_per_run\": {\n" date;
-  List.iteri
-    (fun i (name, ns) ->
-      Printf.fprintf oc "    \"%s\": %.1f%s\n" (json_escape name) ns
-        (if i = List.length rows - 1 then "" else ","))
-    rows;
-  Printf.fprintf oc "  },\n  \"fig6_sim_sweep\": {\n";
-  Printf.fprintf oc "    \"domains\": %d,\n" domains;
-  Printf.fprintf oc "    \"sequential_s\": %.6f,\n" sequential_s;
-  Printf.fprintf oc "    \"parallel_s\": %.6f,\n" parallel_s;
-  Printf.fprintf oc "    \"speedup\": %.4f\n  },\n" (sequential_s /. parallel_s);
-  Printf.fprintf oc "  \"metrics\": %s\n}\n" (Obs.Metrics.to_json ());
-  close_out oc;
+  (* Atomic (temp + rename): validate.ml reads these files, and a crash
+     mid-write must leave the previous day's record or nothing — never
+     truncated JSON. *)
+  Obs.Atomic_file.write path (fun oc ->
+      Printf.fprintf oc "{\n  \"date\": %S,\n  \"ns_per_run\": {\n" date;
+      List.iteri
+        (fun i (name, ns) ->
+          Printf.fprintf oc "    \"%s\": %.1f%s\n" (json_escape name) ns
+            (if i = List.length rows - 1 then "" else ","))
+        rows;
+      Printf.fprintf oc "  },\n  \"fig6_sim_sweep\": {\n";
+      Printf.fprintf oc "    \"domains\": %d,\n" domains;
+      Printf.fprintf oc "    \"sequential_s\": %.6f,\n" sequential_s;
+      Printf.fprintf oc "    \"parallel_s\": %.6f,\n" parallel_s;
+      Printf.fprintf oc "    \"speedup\": %.4f\n  },\n" (sequential_s /. parallel_s);
+      Printf.fprintf oc "  \"metrics\": %s\n}\n" (Obs.Metrics.to_json ()));
   Fmt.pr "wrote %s@." path
 
 let () =

@@ -239,6 +239,9 @@ let newest_bench_json () =
   |> List.filter (fun name ->
          String.length name > 6
          && String.sub name 0 6 = "BENCH_"
+         (* bench writes atomically via <name>.json.tmp + rename; a
+            leftover temp from a crashed run must never be picked up as
+            the newest record. *)
          && Filename.check_suffix name ".json")
   |> List.sort (fun a b -> String.compare b a)
   |> function
@@ -251,7 +254,13 @@ let read_file path =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
+    (fun () ->
+      let n = in_channel_length ic in
+      (* An empty file is what a non-atomic writer leaves behind when
+         killed between open and write; name that case instead of the
+         generic parse error. *)
+      if n = 0 then fail "empty file (truncated or interrupted write?)";
+      really_input_string ic n)
 
 let () =
   let path = if Array.length Sys.argv > 1 then Sys.argv.(1) else newest_bench_json () in

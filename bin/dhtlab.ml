@@ -79,10 +79,14 @@ let trace_arg =
 
 (* Enable the requested observability sinks around [f]: metrics summary
    to stderr (stdout stays byte-identical to an uninstrumented run),
-   trace JSONL to the requested file. *)
+   trace JSONL to the requested file. The trace goes through
+   [Obs.Trace.open_file] (write temp, rename on close), and the
+   [Fun.protect] finally runs on any unwind — including cooperative
+   cancellation — so an interrupted run still leaves a complete,
+   renamed trace file and prints its metrics summary. *)
 let with_obs ~metrics ~trace_out f =
   if metrics then Obs.Metrics.set_enabled true;
-  (match trace_out with Some path -> Obs.Trace.set_sink (Some (open_out path)) | None -> ());
+  (match trace_out with Some path -> Obs.Trace.open_file path | None -> ());
   Fun.protect
     ~finally:(fun () ->
       Obs.Trace.close ();
@@ -143,26 +147,113 @@ let analyze_cmd =
 
 (* --- simulate ----------------------------------------------------------------- *)
 
-let simulate geometry bits q trials pairs seed jobs metrics trace_out =
+let fault_conv =
+  let parse s = Result.map_error (fun e -> `Msg e) (Exec.Fault.parse s) in
+  Arg.conv (parse, Exec.Fault.pp)
+
+let inject_fault_arg =
+  let doc =
+    "Deterministically fail a seeded pseudo-random subset of trials (spec \
+     $(b,trial:P:SEED) or $(b,trial:P:SEED:ATTEMPTS); also readable from \
+     $(b,DHT_RCM_FAULT)). Chaos testing only: faulted trials are retried per \
+     $(b,--trial-retries) and otherwise reported as failed."
+  in
+  Arg.(value & opt (some fault_conv) None & info [ "inject-fault" ] ~docv:"SPEC" ~doc)
+
+let retries_arg =
+  let doc =
+    "Retry a failing trial up to $(docv) times before recording it as failed. Retries \
+     re-derive the trial's PRNG stream from its index, so a retried transient fault is \
+     bit-identical to the attempt that failed."
+  in
+  Arg.(value & opt int 0 & info [ "trial-retries" ] ~docv:"N" ~doc)
+
+let checkpoint_arg =
+  let doc =
+    "Record every completed trial to $(docv) (versioned JSONL, written atomically). \
+     Combine with $(b,--resume) to continue an interrupted sweep."
+  in
+  Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE" ~doc)
+
+let resume_arg =
+  let doc =
+    "Load the $(b,--checkpoint) file first and skip trials it already records. The \
+     resumed run's output is byte-identical to an uninterrupted one."
+  in
+  Arg.(value & flag & info [ "resume" ] ~doc)
+
+let checkpoint_every_arg =
+  let doc = "Trials between automatic checkpoint flushes." in
+  Arg.(value & opt int 8 & info [ "checkpoint-every" ] ~docv:"K" ~doc)
+
+let smoke_arg =
+  let doc =
+    "Tiny preset sweep for CI smoke and chaos tests: overrides $(b,--bits) to 8, \
+     $(b,--trials) to 6 and $(b,--pairs) to 200."
+  in
+  Arg.(value & flag & info [ "smoke" ] ~doc)
+
+let json_arg =
+  let doc = "Emit one JSON object per grid point instead of the human-readable lines." in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let simulate geometry bits q trials pairs seed jobs metrics trace_out csv json smoke retries
+    fault checkpoint_path resume checkpoint_every =
+  let bits, trials, pairs = if smoke then (8, 6, 200) else (bits, trials, pairs) in
   let geometries = geometries_of_opt geometry in
   let qs = match q with Some q -> [ q ] | None -> default_q_grid in
-  with_obs ~metrics ~trace_out @@ fun () ->
-  with_jobs jobs (fun pool ->
-      List.iter
-        (fun g ->
-          let cache = Overlay.Table_cache.create () in
-          let results =
-            Sim.Estimate.run_sweep ?pool ~cache
-              (Sim.Estimate.config ~trials ~pairs_per_trial:pairs ~seed ~bits
-                 ~q:(List.hd qs) g)
-              qs
-          in
-          List.iter
-            (fun (q, result) ->
-              let analysis = Rcm.Model.routability g ~d:bits ~q in
-              Fmt.pr "%a  (analysis: %.4f)@." Sim.Estimate.pp_result result analysis)
-            results)
-        geometries)
+  let fault = match fault with Some _ as f -> f | None -> Exec.Fault.of_env () in
+  let checkpoint =
+    match checkpoint_path with
+    | Some path ->
+        Some
+          (if resume then Sim.Checkpoint.load ~interval:checkpoint_every ~path ()
+           else Sim.Checkpoint.create ~interval:checkpoint_every ~path ())
+    | None ->
+        if resume then begin
+          Fmt.epr "dhtlab: --resume requires --checkpoint FILE@.";
+          exit 2
+        end;
+        None
+  in
+  Exec.Cancel.install ();
+  match
+    with_obs ~metrics ~trace_out @@ fun () ->
+    with_jobs jobs (fun pool ->
+        if csv then print_endline Sim.Estimate.csv_header;
+        List.iter
+          (fun g ->
+            let cache = Overlay.Table_cache.create () in
+            let results =
+              (* Always supervised: the install'ed SIGINT handler only
+                 sets a flag, so the sweep must check it at trial
+                 boundaries for Ctrl-C to stop a plain run too. *)
+              Sim.Estimate.run_sweep ?pool ~cache ~supervise:true ~retries ?fault ?checkpoint
+                (Sim.Estimate.config ~trials ~pairs_per_trial:pairs ~seed ~bits
+                   ~q:(List.hd qs) g)
+                qs
+            in
+            List.iter
+              (fun (q, result) ->
+                if csv then print_endline (Sim.Estimate.to_csv_row result)
+                else if json then print_endline (Sim.Estimate.to_json result)
+                else
+                  let analysis = Rcm.Model.routability g ~d:bits ~q in
+                  Fmt.pr "%a  (analysis: %.4f)@." Sim.Estimate.pp_result result analysis)
+              results)
+          geometries)
+  with
+  | () -> ()
+  | exception Exec.Cancel.Cancelled ->
+      (* with_obs's finally already closed the trace and printed the
+         metrics summary; run_sweep flushed the checkpoint before
+         unwinding. Exit with the distinct interrupted status. *)
+      (match checkpoint with
+      | Some ck ->
+          Fmt.epr "dhtlab: interrupted; %d completed trials checkpointed in %s@."
+            (Sim.Checkpoint.length ck) (Sim.Checkpoint.path ck)
+      | None -> Fmt.epr "dhtlab: interrupted (no --checkpoint; completed trials discarded)@.");
+      exit Exec.Cancel.exit_code
 
 let simulate_cmd =
   let doc = "Monte-Carlo routability under the static-resilience failure model." in
@@ -170,7 +261,8 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc)
     Term.(
       const simulate $ geometry_arg $ bits_arg ~default:12 $ q_arg $ trials_arg $ pairs_arg
-      $ seed_arg $ jobs_arg $ metrics_arg $ trace_arg)
+      $ seed_arg $ jobs_arg $ metrics_arg $ trace_arg $ csv_arg $ json_arg $ smoke_arg
+      $ retries_arg $ inject_fault_arg $ checkpoint_arg $ resume_arg $ checkpoint_every_arg)
 
 (* --- figure ------------------------------------------------------------------- *)
 
@@ -277,30 +369,31 @@ let export dir quick jobs metrics trace_out =
       (fun name ->
         let series = figure_series ?pool name quick in
         let path = Filename.concat dir (name ^ ".csv") in
-        let oc = open_out path in
-        output_string oc (Experiments.Series.to_csv series);
-        close_out oc;
+        (* Atomic (temp + rename): a crash mid-export leaves either the
+           previous file or the new one, never a truncated CSV that a
+           plotting script would silently read. *)
+        Obs.Atomic_file.write path (fun oc ->
+            output_string oc (Experiments.Series.to_csv series));
         Fmt.pr "wrote %s@." path;
         (name, series))
       figure_names)
   in
   (* A gnuplot driver that renders every exported CSV. *)
   let gp = Filename.concat dir "plots.gp" in
-  let oc = open_out gp in
-  output_string oc "set datafile separator ','\nset key outside\nset grid\n";
-  List.iter
-    (fun (name, series) ->
-      let columns = List.length series.Experiments.Series.columns in
-      Printf.fprintf oc "\nset title %S\nset xlabel %S\nplot " series.Experiments.Series.title
-        series.Experiments.Series.x_label;
-      for c = 2 to columns + 1 do
-        Printf.fprintf oc "%s'%s.csv' using 1:%d with linespoints title columnheader(%d)"
-          (if c > 2 then ", " else "")
-          name c c
-      done;
-      output_string oc "\npause -1 'press enter'\n")
-    written;
-  close_out oc;
+  Obs.Atomic_file.write gp (fun oc ->
+      output_string oc "set datafile separator ','\nset key outside\nset grid\n";
+      List.iter
+        (fun (name, series) ->
+          let columns = List.length series.Experiments.Series.columns in
+          Printf.fprintf oc "\nset title %S\nset xlabel %S\nplot "
+            series.Experiments.Series.title series.Experiments.Series.x_label;
+          for c = 2 to columns + 1 do
+            Printf.fprintf oc "%s'%s.csv' using 1:%d with linespoints title columnheader(%d)"
+              (if c > 2 then ", " else "")
+              name c c
+          done;
+          output_string oc "\npause -1 'press enter'\n")
+        written);
   Fmt.pr "wrote %s@." gp
 
 let export_cmd =

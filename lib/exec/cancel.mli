@@ -1,0 +1,40 @@
+(** Cooperative cancellation for long sweeps.
+
+    A single process-wide flag, set either programmatically
+    ({!request}) or by the SIGINT/SIGTERM handlers that {!install}
+    registers. Nothing is interrupted preemptively: supervised task
+    runners ({!Pool.supervised}, {!Pool.map_supervised}) consult the
+    flag at task boundaries, so a cancelled sweep stops cleanly between
+    trials with every completed trial intact — the front end can then
+    flush checkpoints, metrics and traces before exiting.
+
+    The flag is an [Atomic.t]: safe to read from any domain, and safe
+    to set from an OCaml signal handler. *)
+
+exception Cancelled
+(** Raised by sweep drivers (e.g. [Sim.Estimate.run_sweep]) after they
+    have observed the flag, recorded partial state and unwound — the
+    front end catches it, reports, and exits with {!exit_code}. *)
+
+val exit_code : int
+(** The distinct exit code for a cancelled run: 130 (128 + SIGINT),
+    also used for SIGTERM so "interrupted" is one observable status. *)
+
+val install : unit -> unit
+(** Register SIGINT and SIGTERM handlers that set the flag. A second
+    signal while the flag is already set exits immediately with
+    {!exit_code} (escape hatch when a trial wedges). Idempotent; call
+    from the main domain before starting work. *)
+
+val request : unit -> unit
+(** Set the flag programmatically (tests, embedding applications). *)
+
+val requested : unit -> bool
+(** One atomic load; cheap on any hot path. *)
+
+val reset : unit -> unit
+(** Clear the flag (between independent runs in one process, and in
+    tests). Does not uninstall signal handlers. *)
+
+val check : unit -> unit
+(** @raise Cancelled when the flag is set. *)

@@ -1,0 +1,62 @@
+type t = { p : float; seed : int; attempts : int }
+
+exception Injected of { task : int; attempt : int }
+
+let () =
+  Printexc.register_printer (function
+    | Injected { task; attempt } ->
+        Some (Printf.sprintf "injected fault (task %d, attempt %d)" task attempt)
+    | _ -> None)
+
+let pp ppf t =
+  if t.attempts = 1 then Format.fprintf ppf "trial:%g:%d" t.p t.seed
+  else Format.fprintf ppf "trial:%g:%d:%d" t.p t.seed t.attempts
+
+let parse spec =
+  let invalid fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  match String.split_on_char ':' (String.trim spec) with
+  | "trial" :: p :: seed :: rest -> (
+      match (float_of_string_opt p, int_of_string_opt seed) with
+      | Some p, Some seed when p >= 0.0 && p <= 1.0 -> (
+          match rest with
+          | [] -> Ok { p; seed; attempts = 1 }
+          | [ a ] -> (
+              match int_of_string_opt a with
+              | Some attempts when attempts >= 1 -> Ok { p; seed; attempts }
+              | Some _ | None -> invalid "fault attempts %S must be an integer >= 1" a)
+          | _ -> invalid "fault spec %S has too many fields (expected trial:P:SEED[:ATTEMPTS])" spec)
+      | Some p, Some _ when not (p >= 0.0 && p <= 1.0) ->
+          invalid "fault probability %g is not in [0, 1]" p
+      | _ -> invalid "bad fault spec %S (expected trial:P:SEED[:ATTEMPTS])" spec)
+  | _ -> invalid "bad fault spec %S (expected trial:P:SEED[:ATTEMPTS])" spec
+
+let of_env () =
+  match Sys.getenv_opt "DHT_RCM_FAULT" with
+  | None | Some "" -> None
+  | Some spec -> (
+      match parse spec with
+      | Ok t -> Some t
+      | Error msg ->
+          Printf.eprintf "dht_rcm: ignoring DHT_RCM_FAULT=%S (%s); no faults injected\n%!"
+            spec msg;
+          None)
+
+(* One independent SplitMix stream per task index, derived from the
+   plan seed and the index alone (golden-ratio mixing, the same spirit
+   as SplitMix64's own stream separation). Nothing here touches a
+   simulation PRNG: the fault decision is reproducible across pool
+   sizes, retries and resumed runs. *)
+let fails t ~task =
+  let stream =
+    Int64.logxor
+      (Int64.of_int t.seed)
+      (Int64.mul (Int64.of_int (task + 1)) 0x9E3779B97F4A7C15L)
+  in
+  Prng.Splitmix.bernoulli (Prng.Splitmix.of_int64 stream) ~p:t.p
+
+let should_fail t ~task ~attempt = attempt <= t.attempts && fails t ~task
+
+let inject plan ~task ~attempt =
+  match plan with
+  | Some t when should_fail t ~task ~attempt -> raise (Injected { task; attempt })
+  | Some _ | None -> ()

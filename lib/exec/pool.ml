@@ -1,9 +1,14 @@
+(* [run] receives the index (0 = caller, 1.. = workers) of the domain
+   executing it — observability only, never control flow. [abort] is
+   how [shutdown] fails a submitted-but-unstarted job explicitly, so a
+   concurrent [map] caller blocked on its completion count wakes up and
+   raises instead of waiting forever. *)
+type job = { run : int -> unit; abort : unit -> unit }
+
 type t = {
   lock : Mutex.t;
   has_work : Condition.t;
-  (* Jobs receive the index (0 = caller, 1.. = workers) of the domain
-     executing them — observability only, never control flow. *)
-  mutable pending : (int -> unit) list;
+  mutable pending : job list;
   mutable closed : bool;
   mutable workers : unit Domain.t list;
   size : int;
@@ -44,7 +49,7 @@ let worker pool member =
     match job with
     | None -> ()
     | Some job ->
-        job member;
+        job.run member;
         loop ()
   in
   loop ()
@@ -72,8 +77,16 @@ let size t = t.size
 let shutdown t =
   Mutex.lock t.lock;
   t.closed <- true;
+  let orphaned = t.pending in
+  t.pending <- [];
   Condition.broadcast t.has_work;
   Mutex.unlock t.lock;
+  (* Fail submitted-but-unstarted jobs explicitly (they can exist when
+     shutdown races a map on another domain): aborting records a
+     failure against the owning map and decrements its completion
+     count, so its caller raises instead of hanging on [remaining]
+     after the workers are gone. *)
+  List.iter (fun job -> job.abort ()) (List.rev orphaned);
   List.iter Domain.join t.workers;
   t.workers <- []
 
@@ -126,29 +139,53 @@ let map t n f =
         if !failure = None then failure := Some (e, bt);
         Mutex.unlock t.lock
       in
-      let submitted = Obs.Metrics.now () in
-      let run_block b member =
+      (* [submitted] is per block: worker blocks are stamped when they
+         enter the queue and [started] when a worker dequeues them, so
+         [pool/queue_wait_s] measures real queue time; the caller's
+         block 0 never queues and is charged zero wait. *)
+      let run_block b member ~submitted =
         let started = Obs.Metrics.now () in
         (try run_range f results (bound b) (bound (b + 1))
          with e -> record_failure e (Printexc.get_raw_backtrace ()));
         record_block ~member ~tasks:(bound (b + 1) - bound b) ~submitted ~started
           ~finished:(Obs.Metrics.now ())
       in
-      let job b member =
-        run_block b member;
+      let complete_one () =
         Mutex.lock t.lock;
         decr remaining;
         if !remaining = 0 then Condition.broadcast finished;
         Mutex.unlock t.lock
       in
+      let job b ~submitted =
+        {
+          run =
+            (fun member ->
+              run_block b member ~submitted;
+              complete_one ());
+          abort =
+            (fun () ->
+              record_failure
+                (Failure "Exec.Pool.map: job aborted by shutdown")
+                (Printexc.get_raw_backtrace ());
+              complete_one ());
+        }
+      in
       Mutex.lock t.lock;
+      if t.closed then begin
+        (* Re-checked under the lock: a shutdown that raced the entry
+           check must not enqueue jobs no worker will ever take. *)
+        Mutex.unlock t.lock;
+        invalid_arg "Exec.Pool.map: pool is shut down"
+      end;
+      let submitted = Obs.Metrics.now () in
       for b = 1 to blocks - 1 do
-        t.pending <- job b :: t.pending
+        t.pending <- job b ~submitted :: t.pending
       done;
       Condition.broadcast t.has_work;
       Mutex.unlock t.lock;
-      (* The caller contributes block 0 rather than idling. *)
-      run_block 0 0;
+      (* The caller contributes block 0 rather than idling; it starts
+         immediately, so its queue wait is genuinely zero. *)
+      run_block 0 0 ~submitted:(Obs.Metrics.now ());
       Mutex.lock t.lock;
       while !remaining > 0 do
         Condition.wait finished t.lock
@@ -162,3 +199,62 @@ let map t n f =
   end
 
 let map_reduce t ~n ~map:f ~init ~fold = Array.fold_left fold init (map t n f)
+
+(* --- Supervised execution -------------------------------------------------- *)
+
+type 'a outcome =
+  | Done of 'a
+  | Failed of { attempts : int; error : string }
+  | Cancelled
+
+let supervised ?(retries = 0) ~task k =
+  if retries < 0 then invalid_arg "Exec.Pool.supervised: negative retries";
+  if Cancel.requested () then begin
+    if Obs.Metrics.enabled () then Obs.Metrics.incr_named "supervisor/cancelled";
+    Cancelled
+  end
+  else begin
+    let rec attempt i =
+      match task ~attempt:i k with
+      | v -> Done v
+      | exception Cancel.Cancelled ->
+          (* Cooperative stop observed inside the task: not a failure. *)
+          if Obs.Metrics.enabled () then Obs.Metrics.incr_named "supervisor/cancelled";
+          Cancelled
+      | exception e ->
+          let error = Printexc.to_string e in
+          if i <= retries then begin
+            if Obs.Metrics.enabled () then Obs.Metrics.incr_named "supervisor/retries";
+            if Obs.Trace.enabled () then
+              Obs.Trace.event "supervisor/retry"
+                ~attrs:
+                  [
+                    ("task", Obs.Trace.Int k);
+                    ("attempt", Obs.Trace.Int i);
+                    ("error", Obs.Trace.String error);
+                  ]
+                ();
+            (* The retry re-derives everything from the task index (the
+               determinism contract all tasks already obey for the
+               pool), so a retried transient fault replays the original
+               attempt bit for bit. *)
+            attempt (i + 1)
+          end
+          else begin
+            if Obs.Metrics.enabled () then Obs.Metrics.incr_named "supervisor/failed_trials";
+            if Obs.Trace.enabled () then
+              Obs.Trace.event "supervisor/failed"
+                ~attrs:
+                  [
+                    ("task", Obs.Trace.Int k);
+                    ("attempts", Obs.Trace.Int i);
+                    ("error", Obs.Trace.String error);
+                  ]
+                ();
+            Failed { attempts = i; error }
+          end
+    in
+    attempt 1
+  end
+
+let map_supervised ?retries t n task = map t n (fun k -> supervised ?retries ~task k)

@@ -51,9 +51,53 @@ val map_reduce : t -> n:int -> map:(int -> 'a) -> init:'b -> fold:('b -> 'a -> '
     index order: [fold (... (fold init (map 0)) ...) (map (n-1))].
     Equals the sequential fold for every pool size. *)
 
+(** {1 Supervised execution}
+
+    The supervised mode is how a long sweep survives individual trial
+    failures and interruption: a per-task exception is captured as a
+    {!Failed} outcome rather than aborting the whole map, a failing
+    task is retried up to [retries] times, and {!Cancel} requests are
+    honoured at task boundaries ({!Cancelled} outcomes for tasks that
+    never started). Because tasks derive all state from their index
+    (the pool's standing determinism contract), a retry replays the
+    exact PRNG stream of the failed attempt — a transient fault
+    produces a bit-identical result one attempt later.
+
+    When {!Obs.Metrics} is enabled, supervisors count
+    [supervisor/retries], [supervisor/failed_trials] and
+    [supervisor/cancelled]; {!Obs.Trace} receives [supervisor/retry]
+    and [supervisor/failed] events naming the task and error. *)
+
+type 'a outcome =
+  | Done of 'a
+  | Failed of { attempts : int; error : string }
+      (** Every attempt raised; [attempts] = retries + 1, [error] is
+          the last exception rendered by [Printexc.to_string]. *)
+  | Cancelled
+      (** The task was skipped (cancellation already requested) or
+          observed {!Cancel.Cancelled} while running. *)
+
+val supervised : ?retries:int -> task:(attempt:int -> int -> 'a) -> int -> 'a outcome
+(** [supervised ~retries ~task k] runs [task ~attempt k] (attempts
+    numbered from 1) with the retry/cancellation policy above. Usable
+    without a pool — the sequential execution path supervises trials
+    with exactly the same policy as the parallel one.
+    @raise Invalid_argument if [retries < 0]. *)
+
+val map_supervised :
+  ?retries:int -> t -> int -> (attempt:int -> int -> 'a) -> 'a outcome array
+(** [map_supervised pool n task] is
+    [map pool n (supervised ~retries ~task)]: index-ordered outcomes,
+    bit-identical at every pool size. Task exceptions never propagate;
+    cancellation yields {!Cancelled} outcomes rather than an exception,
+    so the caller decides how to unwind after recording partial
+    results. *)
+
 val shutdown : t -> unit
-(** Joins the worker domains. The pool must not be used afterwards.
-    Idempotent. *)
+(** Joins the worker domains. The pool must not be used afterwards
+    ([map] raises [Invalid_argument]). Jobs submitted but not yet
+    started when shutdown begins are failed explicitly — their owning
+    [map] raises [Failure] instead of waiting forever. Idempotent. *)
 
 val with_pool : ?domains:int -> (t -> 'a) -> 'a
 (** [with_pool f] runs [f] on a fresh pool and shuts it down on exit,

@@ -1,0 +1,17 @@
+let temp_path path = path ^ ".tmp"
+
+let write path emit =
+  let tmp = temp_path path in
+  let oc = open_out tmp in
+  let committed = ref false in
+  Fun.protect
+    ~finally:(fun () ->
+      if not !committed then begin
+        close_out_noerr oc;
+        try Sys.remove tmp with Sys_error _ -> ()
+      end)
+    (fun () ->
+      emit oc;
+      close_out oc;
+      Sys.rename tmp path;
+      committed := true)

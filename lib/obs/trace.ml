@@ -1,30 +1,48 @@
 type value = String of string | Int of int | Float of float | Bool of bool
 
 (* The sink is guarded by [lock]; [active] mirrors "sink <> None" so the
-   disabled fast path is one atomic load, with no lock taken. *)
+   disabled fast path is one atomic load, with no lock taken. A sink
+   opened via [open_file] writes to a sibling ".tmp" file and is renamed
+   into place only when closed, so an aborted run never leaves a
+   truncated trace at the requested path. *)
 let lock = Mutex.create ()
 
-let sink : out_channel option ref = ref None
+type target = { oc : out_channel; rename_to : (string * string) option }
+
+let sink : target option ref = ref None
 
 let active = Atomic.make false
 
 let enabled () = Atomic.get active
 
-let set_sink oc =
+let install target =
   Mutex.lock lock;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock lock)
     (fun () ->
       (match !sink with
-      | Some old -> ( try close_out old with Sys_error _ -> ())
+      | Some old -> (
+          (try close_out old.oc with Sys_error _ -> ());
+          match old.rename_to with
+          | Some (tmp, final) -> (
+              try Sys.rename tmp final
+              with Sys_error e ->
+                Printf.eprintf "Obs.Trace: could not finalise %s: %s\n%!" final e)
+          | None -> ())
       | None -> ());
-      sink := oc;
-      Atomic.set active (oc <> None))
+      sink := target;
+      Atomic.set active (target <> None))
 
-let close () = set_sink None
+let set_sink oc = install (Option.map (fun oc -> { oc; rename_to = None }) oc)
+
+let open_file path =
+  let tmp = Atomic_file.temp_path path in
+  install (Some { oc = open_out tmp; rename_to = Some (tmp, path) })
+
+let close () = install None
 
 let with_file path f =
-  set_sink (Some (open_out path));
+  open_file path;
   Fun.protect ~finally:close f
 
 let buffer_value buffer = function
@@ -68,7 +86,7 @@ let emit ~kind ~name ?dur_s attrs =
     ~finally:(fun () -> Mutex.unlock lock)
     (fun () ->
       match !sink with
-      | Some oc -> Buffer.output_buffer oc buffer
+      | Some { oc; _ } -> Buffer.output_buffer oc buffer
       | None -> () (* sink removed since the atomic check: drop the record *))
 
 let span name ?(attrs = []) f =

@@ -24,11 +24,19 @@ val set_sink : out_channel option -> unit
 (** Install ([Some oc]) or remove ([None]) the sink. Removing (or
     replacing) a sink flushes and closes the previous channel. *)
 
+val open_file : string -> unit
+(** [open_file path] installs a file sink that writes to
+    [path ^ ".tmp"] and is atomically renamed onto [path] when the sink
+    is removed ({!close}, {!set_sink}, or another [open_file]). Readers
+    therefore never observe a truncated trace at [path], even when the
+    run is interrupted and the sink is closed from a cleanup handler. *)
+
 val enabled : unit -> bool
 
 val with_file : string -> (unit -> 'a) -> 'a
-(** [with_file path f] installs [open_out path] as the sink, runs [f]
-    and removes the sink (closing the file) afterwards, also on raise. *)
+(** [with_file path f] installs {!open_file}[ path] as the sink, runs
+    [f] and removes the sink afterwards, also on raise — at which point
+    the complete trace is renamed into place at [path]. *)
 
 val span : string -> ?attrs:(string * value) list -> (unit -> 'a) -> 'a
 (** [span name f] runs [f] and, when enabled, emits a span record with

@@ -1,0 +1,352 @@
+let version = 1
+
+type key = {
+  geometry : string;
+  bits : int;
+  q : float;
+  pairs : int;
+  seed : int;
+  trial : int;
+}
+
+type trial = {
+  delivered : int;
+  attempted : int;
+  alive_fraction : float;
+  hops : int list;
+}
+
+type outcome = Trial of trial | Failed of { attempts : int; error : string }
+
+type t = {
+  path : string;
+  interval : int;
+  lock : Mutex.t;
+  entries : (key, outcome) Hashtbl.t;
+  mutable unflushed : int;
+}
+
+let path t = t.path
+
+(* --- serialisation --------------------------------------------------------- *)
+
+(* %.17g round-trips every finite double exactly through
+   [float_of_string], so the q of a stored key and the alive fraction
+   of a stored trial compare bit-equal after a reload — the property
+   the byte-identical-resume guarantee stands on. *)
+let add_float buffer v = Buffer.add_string buffer (Printf.sprintf "%.17g" v)
+
+let add_json_string buffer s =
+  Buffer.add_char buffer '"';
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buffer "\\\""
+      | '\\' -> Buffer.add_string buffer "\\\\"
+      | '\n' -> Buffer.add_string buffer "\\n"
+      | '\t' -> Buffer.add_string buffer "\\t"
+      | '\r' -> Buffer.add_string buffer "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buffer (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buffer c)
+    s;
+  Buffer.add_char buffer '"'
+
+let header_line = Printf.sprintf "{\"v\": %d, \"kind\": \"dht_rcm-checkpoint\"}" version
+
+let buffer_entry buffer (key, outcome) =
+  Buffer.add_string buffer (Printf.sprintf "{\"v\": %d, \"geometry\": " version);
+  add_json_string buffer key.geometry;
+  Buffer.add_string buffer (Printf.sprintf ", \"bits\": %d, \"q\": " key.bits);
+  add_float buffer key.q;
+  Buffer.add_string buffer
+    (Printf.sprintf ", \"pairs\": %d, \"seed\": %d, \"trial\": %d" key.pairs key.seed
+       key.trial);
+  (match outcome with
+  | Trial trial ->
+      Buffer.add_string buffer
+        (Printf.sprintf ", \"status\": \"ok\", \"delivered\": %d, \"attempted\": %d, \"alive_fraction\": "
+           trial.delivered trial.attempted);
+      add_float buffer trial.alive_fraction;
+      Buffer.add_string buffer ", \"hops\": [";
+      List.iteri
+        (fun i h ->
+          if i > 0 then Buffer.add_char buffer ',';
+          Buffer.add_string buffer (string_of_int h))
+        trial.hops;
+      Buffer.add_char buffer ']'
+  | Failed { attempts; error } ->
+      Buffer.add_string buffer
+        (Printf.sprintf ", \"status\": \"failed\", \"attempts\": %d, \"error\": " attempts);
+      add_json_string buffer error);
+  Buffer.add_string buffer "}\n"
+
+(* Entries are written in key order so two checkpoints of the same
+   completed work are byte-identical regardless of the (hash-table,
+   domain-scheduling) order in which trials were recorded. *)
+let compare_keys a b =
+  let c = compare a.geometry b.geometry in
+  if c <> 0 then c
+  else
+    let c = compare (a.bits, a.pairs, a.seed) (b.bits, b.pairs, b.seed) in
+    if c <> 0 then c
+    else
+      let c = compare a.q b.q in
+      if c <> 0 then c else compare a.trial b.trial
+
+let write_locked t =
+  let entries =
+    Hashtbl.fold (fun key outcome acc -> (key, outcome) :: acc) t.entries []
+    |> List.sort (fun (a, _) (b, _) -> compare_keys a b)
+  in
+  Obs.Atomic_file.write t.path (fun oc ->
+      output_string oc header_line;
+      output_char oc '\n';
+      let buffer = Buffer.create 256 in
+      List.iter
+        (fun entry ->
+          Buffer.clear buffer;
+          buffer_entry buffer entry;
+          Buffer.output_buffer oc buffer)
+        entries);
+  t.unflushed <- 0
+
+(* --- a minimal JSON parser for our own records ----------------------------- *)
+
+(* The loader only has to read what [buffer_entry] writes, but it
+   parses real JSON (escapes, nested arrays) rather than scraping
+   substrings, so a hand-edited or foreign file fails loudly instead of
+   silently resuming from garbage. *)
+
+exception Corrupt of string
+
+type cursor = { src : string; mutable pos : int }
+
+let corrupt fmt = Printf.ksprintf (fun m -> raise (Corrupt m)) fmt
+
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let skip_ws c =
+  while
+    match peek c with
+    | Some (' ' | '\t' | '\r') -> true
+    | _ -> false
+  do
+    c.pos <- c.pos + 1
+  done
+
+let expect c ch =
+  skip_ws c;
+  match peek c with
+  | Some x when x = ch -> c.pos <- c.pos + 1
+  | Some x -> corrupt "expected %c at byte %d, found %c" ch c.pos x
+  | None -> corrupt "expected %c at byte %d, found end of line" ch c.pos
+
+type value = Num of float | Str of string | Ints of int list
+
+let parse_string c =
+  expect c '"';
+  let buffer = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> corrupt "unterminated string"
+    | Some '"' -> c.pos <- c.pos + 1
+    | Some '\\' -> (
+        c.pos <- c.pos + 1;
+        match peek c with
+        | Some '"' -> c.pos <- c.pos + 1; Buffer.add_char buffer '"'; go ()
+        | Some '\\' -> c.pos <- c.pos + 1; Buffer.add_char buffer '\\'; go ()
+        | Some 'n' -> c.pos <- c.pos + 1; Buffer.add_char buffer '\n'; go ()
+        | Some 't' -> c.pos <- c.pos + 1; Buffer.add_char buffer '\t'; go ()
+        | Some 'r' -> c.pos <- c.pos + 1; Buffer.add_char buffer '\r'; go ()
+        | Some '/' -> c.pos <- c.pos + 1; Buffer.add_char buffer '/'; go ()
+        | Some 'u' ->
+            if c.pos + 4 >= String.length c.src then corrupt "truncated \\u escape";
+            let hex = String.sub c.src (c.pos + 1) 4 in
+            (match int_of_string_opt ("0x" ^ hex) with
+            | Some code when code < 0x80 ->
+                c.pos <- c.pos + 5;
+                Buffer.add_char buffer (Char.chr code);
+                go ()
+            | Some _ | None -> corrupt "unsupported \\u escape \\u%s" hex)
+        | Some ch -> corrupt "bad escape \\%c" ch
+        | None -> corrupt "unterminated escape")
+    | Some ch ->
+        c.pos <- c.pos + 1;
+        Buffer.add_char buffer ch;
+        go ()
+  in
+  go ();
+  Buffer.contents buffer
+
+let parse_number c =
+  skip_ws c;
+  let start = c.pos in
+  let numeric = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while (match peek c with Some ch when numeric ch -> true | _ -> false) do
+    c.pos <- c.pos + 1
+  done;
+  let text = String.sub c.src start (c.pos - start) in
+  match float_of_string_opt text with
+  | Some v -> v
+  | None -> corrupt "bad number %S at byte %d" text start
+
+let parse_int_list c =
+  expect c '[';
+  skip_ws c;
+  if peek c = Some ']' then begin
+    c.pos <- c.pos + 1;
+    []
+  end
+  else begin
+    let items = ref [] in
+    let rec go () =
+      let v = parse_number c in
+      if Float.rem v 1.0 <> 0.0 then corrupt "expected an integer in hops array";
+      items := int_of_float v :: !items;
+      skip_ws c;
+      match peek c with
+      | Some ',' -> c.pos <- c.pos + 1; go ()
+      | Some ']' -> c.pos <- c.pos + 1
+      | _ -> corrupt "expected , or ] in array at byte %d" c.pos
+    in
+    go ();
+    List.rev !items
+  end
+
+let parse_line line =
+  let c = { src = line; pos = 0 } in
+  expect c '{';
+  let fields = ref [] in
+  skip_ws c;
+  if peek c = Some '}' then c.pos <- c.pos + 1
+  else begin
+    let rec go () =
+      skip_ws c;
+      let name = parse_string c in
+      expect c ':';
+      skip_ws c;
+      let value =
+        match peek c with
+        | Some '"' -> Str (parse_string c)
+        | Some '[' -> Ints (parse_int_list c)
+        | Some _ -> Num (parse_number c)
+        | None -> corrupt "missing value for %S" name
+      in
+      fields := (name, value) :: !fields;
+      skip_ws c;
+      match peek c with
+      | Some ',' -> c.pos <- c.pos + 1; go ()
+      | Some '}' -> c.pos <- c.pos + 1
+      | _ -> corrupt "expected , or } at byte %d" c.pos
+    in
+    go ()
+  end;
+  skip_ws c;
+  if c.pos <> String.length c.src then corrupt "trailing garbage at byte %d" c.pos;
+  List.rev !fields
+
+let get fields name =
+  match List.assoc_opt name fields with
+  | Some v -> v
+  | None -> corrupt "missing field %S" name
+
+let get_int fields name =
+  match get fields name with
+  | Num v when Float.rem v 1.0 = 0.0 -> int_of_float v
+  | _ -> corrupt "field %S: expected an integer" name
+
+let get_float fields name =
+  match get fields name with Num v -> v | _ -> corrupt "field %S: expected a number" name
+
+let get_string fields name =
+  match get fields name with Str s -> s | _ -> corrupt "field %S: expected a string" name
+
+let get_ints fields name =
+  match get fields name with
+  | Ints l -> l
+  | _ -> corrupt "field %S: expected an integer array" name
+
+let entry_of_line line =
+  let fields = parse_line line in
+  let v = get_int fields "v" in
+  if v <> version then corrupt "unsupported checkpoint version %d (expected %d)" v version;
+  match List.assoc_opt "kind" fields with
+  | Some _ -> None (* the header line *)
+  | None ->
+      let key =
+        {
+          geometry = get_string fields "geometry";
+          bits = get_int fields "bits";
+          q = get_float fields "q";
+          pairs = get_int fields "pairs";
+          seed = get_int fields "seed";
+          trial = get_int fields "trial";
+        }
+      in
+      let outcome =
+        match get_string fields "status" with
+        | "ok" ->
+            Trial
+              {
+                delivered = get_int fields "delivered";
+                attempted = get_int fields "attempted";
+                alive_fraction = get_float fields "alive_fraction";
+                hops = get_ints fields "hops";
+              }
+        | "failed" ->
+            Failed
+              { attempts = get_int fields "attempts"; error = get_string fields "error" }
+        | other -> corrupt "unknown status %S" other
+      in
+      Some (key, outcome)
+
+(* --- store ----------------------------------------------------------------- *)
+
+let make ~interval ~path =
+  if interval < 1 then invalid_arg "Sim.Checkpoint: interval must be >= 1";
+  { path; interval; lock = Mutex.create (); entries = Hashtbl.create 64; unflushed = 0 }
+
+let create ?(interval = 8) ~path () = make ~interval ~path
+
+let load ?(interval = 8) ~path () =
+  let t = make ~interval ~path in
+  if Sys.file_exists path then begin
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let lineno = ref 0 in
+        try
+          while true do
+            let line = input_line ic in
+            incr lineno;
+            if String.trim line <> "" then
+              match entry_of_line line with
+              | Some (key, outcome) -> Hashtbl.replace t.entries key outcome
+              | None -> ()
+          done
+        with
+        | End_of_file -> ()
+        | Corrupt msg ->
+            failwith (Printf.sprintf "Sim.Checkpoint.load: %s, line %d: %s" path !lineno msg))
+  end;
+  t
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let find t key = locked t (fun () -> Hashtbl.find_opt t.entries key)
+
+let length t = locked t (fun () -> Hashtbl.length t.entries)
+
+let flush t = locked t (fun () -> write_locked t)
+
+let record t key outcome =
+  locked t (fun () ->
+      Hashtbl.replace t.entries key outcome;
+      t.unflushed <- t.unflushed + 1;
+      if t.unflushed >= t.interval then write_locked t)

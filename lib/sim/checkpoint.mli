@@ -1,0 +1,77 @@
+(** Versioned JSONL checkpoint store for Monte-Carlo sweeps.
+
+    A checkpoint records the outcome of every completed trial of a
+    sweep, keyed by everything that determines the trial bit-for-bit:
+    geometry, identifier length, failure probability, pairs per trial,
+    master seed and trial index. [Sim.Estimate.run_sweep] consults the
+    store before running a trial and records each outcome after it, so
+    a sweep interrupted in hour three resumes by replaying stored
+    results (bit-identical, since the stored fields round-trip exactly)
+    and only computes what is missing.
+
+    On-disk format: one JSON object per line. The first line is a
+    header carrying the format version; every record also carries
+    ["v"] so partial tooling can check it. Floats are printed with 17
+    significant digits, which round-trips every finite double exactly —
+    the foundation of the byte-identical-resume guarantee. The file is
+    rewritten in full through {!Obs.Atomic_file} (write temp, rename)
+    after every [interval] recorded trials and on {!flush}, so readers
+    and resumed runs never see a truncated checkpoint.
+
+    The store is mutex-protected: trials running on any pool domain may
+    {!record} concurrently. *)
+
+type t
+
+type key = {
+  geometry : string;  (** [Rcm.Geometry.name] *)
+  bits : int;
+  q : float;
+  pairs : int;
+  seed : int;
+  trial : int;  (** trial index within the config, from 0 *)
+}
+
+type trial = {
+  delivered : int;
+  attempted : int;
+  alive_fraction : float;
+  hops : int list;  (** per-delivery hop counts, in routing order *)
+}
+
+type outcome =
+  | Trial of trial
+  | Failed of { attempts : int; error : string }
+      (** A trial that exhausted its retries; replayed as failed on
+          resume (under the same fault plan it would fail again), so
+          the resumed report matches the uninterrupted one. *)
+
+val version : int
+
+val create : ?interval:int -> path:string -> unit -> t
+(** A fresh store writing to [path]; any existing file is ignored and
+    replaced at the first flush. [interval] (default 8) is the number
+    of recorded trials between automatic flushes. *)
+
+val load : ?interval:int -> path:string -> unit -> t
+(** Like {!create}, but seeds the store from an existing checkpoint at
+    [path]. A missing file yields an empty store (an interrupted run
+    may have stopped before its first flush); a malformed file raises
+    [Failure] naming the offending line.
+    @raise Failure on a corrupt or version-incompatible file. *)
+
+val find : t -> key -> outcome option
+
+val record : t -> key -> outcome -> unit
+(** Stores (or replaces) the outcome and flushes automatically every
+    [interval] records. *)
+
+val flush : t -> unit
+(** Write the whole store to disk now (atomic temp + rename). Always
+    called by sweep drivers before finishing or unwinding on
+    cancellation. Idempotent. *)
+
+val length : t -> int
+(** Number of stored outcomes. *)
+
+val path : t -> string

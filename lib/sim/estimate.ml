@@ -14,6 +14,7 @@ type result = {
   ci : Stats.Binomial_ci.t option;
   hop_summary : Stats.Summary.t;
   mean_alive_fraction : float;
+  failed_trials : int;
 }
 
 let config ?(trials = 3) ?(pairs_per_trial = 2_000) ?(seed = 42) ~bits ~q geometry =
@@ -138,22 +139,32 @@ let run_trial cfg cache build_seed =
   stats
 
 (* Reduce trial contributions in index order (the determinism
-   contract: this is the only order-sensitive step). When every trial
-   had fewer than two survivors nothing was attempted, and there is no
-   estimate to report: [ci = None] rather than a fabricated 0/1
-   interval. *)
-let collect cfg stats =
+   contract: this is the only order-sensitive step). Failed trials
+   contribute nothing: the estimate covers the surviving trials only,
+   so its CI widens honestly with the lost sample size, and the failure
+   count is reported alongside instead of raising. When no surviving
+   trial attempted a pair there is no estimate to report: [ci = None]
+   rather than a fabricated 0/1 interval. *)
+let collect cfg outcomes =
   let delivered = ref 0 in
   let attempted = ref 0 in
   let hop_summary = Stats.Summary.create () in
   let alive_total = ref 0.0 in
+  let survivors = ref 0 in
+  let failed = ref 0 in
   Array.iter
-    (fun s ->
-      delivered := !delivered + s.t_delivered;
-      attempted := !attempted + s.t_attempted;
-      alive_total := !alive_total +. s.t_alive_fraction;
-      List.iter (Stats.Summary.add hop_summary) s.t_hops)
-    stats;
+    (function
+      | Exec.Pool.Done s ->
+          incr survivors;
+          delivered := !delivered + s.t_delivered;
+          attempted := !attempted + s.t_attempted;
+          alive_total := !alive_total +. s.t_alive_fraction;
+          List.iter (Stats.Summary.add hop_summary) s.t_hops
+      | Exec.Pool.Failed _ -> incr failed
+      | Exec.Pool.Cancelled ->
+          (* run_sweep unwinds with Cancel.Cancelled before collecting. *)
+          assert false)
+    outcomes;
   {
     config = cfg;
     delivered = !delivered;
@@ -162,10 +173,43 @@ let collect cfg stats =
       (if !attempted = 0 then None
        else Some (Stats.Binomial_ci.wilson ~successes:!delivered ~trials:!attempted ()));
     hop_summary;
-    mean_alive_fraction = !alive_total /. float_of_int cfg.trials;
+    mean_alive_fraction =
+      (if !survivors = 0 then Float.nan else !alive_total /. float_of_int !survivors);
+    failed_trials = !failed;
   }
 
-let run_sweep ?pool ?cache cfg qs =
+(* Checkpoint round-trip: a stored trial replays exactly the stats the
+   live trial produced (ints are ints; the alive fraction is written
+   with 17 significant digits, so it reloads bit-equal; hop counts are
+   integers stored as such). *)
+let key_of cfg ~trial =
+  {
+    Checkpoint.geometry = Rcm.Geometry.name cfg.geometry;
+    bits = cfg.bits;
+    q = cfg.q;
+    pairs = cfg.pairs_per_trial;
+    seed = cfg.seed;
+    trial;
+  }
+
+let stats_of_stored (s : Checkpoint.trial) =
+  {
+    t_delivered = s.Checkpoint.delivered;
+    t_attempted = s.Checkpoint.attempted;
+    t_alive_fraction = s.Checkpoint.alive_fraction;
+    t_hops = List.map float_of_int s.Checkpoint.hops;
+  }
+
+let stored_of_stats s =
+  {
+    Checkpoint.delivered = s.t_delivered;
+    attempted = s.t_attempted;
+    alive_fraction = s.t_alive_fraction;
+    hops = List.map int_of_float s.t_hops;
+  }
+
+let run_sweep ?pool ?cache ?(supervise = false) ?(retries = 0) ?fault ?checkpoint cfg qs =
+  if retries < 0 then invalid_arg "Estimate.run_sweep: negative retries";
   if qs = [] then []
   else begin
     List.iter
@@ -190,14 +234,58 @@ let run_sweep ?pool ?cache cfg qs =
        [trials] overlays (via [cache]) and the whole grid parallelises
        at once instead of 3 trials at a time. *)
     let n = Array.length qarr * cfg.trials in
-    let task k = run_trial configs.(k / cfg.trials) cache seeds.(k mod cfg.trials) in
-    let stats =
-      match pool with
-      | Some pool when Exec.Pool.size pool > 1 -> Exec.Pool.map pool n task
-      | Some _ | None -> Array.init n task
+    let task ~attempt k =
+      Exec.Fault.inject fault ~task:k ~attempt;
+      run_trial configs.(k / cfg.trials) cache seeds.(k mod cfg.trials)
     in
+    let supervised = supervise || retries > 0 || fault <> None || checkpoint <> None in
+    let outcomes =
+      if not supervised then begin
+        (* The historical fast path: trial exceptions propagate and
+           abort the sweep, exactly as before this layer existed. *)
+        let plain k = task ~attempt:1 k in
+        let stats =
+          match pool with
+          | Some pool when Exec.Pool.size pool > 1 -> Exec.Pool.map pool n plain
+          | Some _ | None -> Array.init n plain
+        in
+        Array.map (fun s -> Exec.Pool.Done s) stats
+      end
+      else begin
+        let run_one k =
+          let cfg_k = configs.(k / cfg.trials) in
+          let trial = k mod cfg.trials in
+          let stored =
+            Option.bind checkpoint (fun ck -> Checkpoint.find ck (key_of cfg_k ~trial))
+          in
+          match stored with
+          | Some (Checkpoint.Trial s) -> Exec.Pool.Done (stats_of_stored s)
+          | Some (Checkpoint.Failed { attempts; error }) ->
+              Exec.Pool.Failed { attempts; error }
+          | None ->
+              let outcome = Exec.Pool.supervised ~retries ~task k in
+              (match (checkpoint, outcome) with
+              | Some ck, Exec.Pool.Done s ->
+                  Checkpoint.record ck (key_of cfg_k ~trial)
+                    (Checkpoint.Trial (stored_of_stats s))
+              | Some ck, Exec.Pool.Failed { attempts; error } ->
+                  Checkpoint.record ck (key_of cfg_k ~trial)
+                    (Checkpoint.Failed { attempts; error })
+              | (Some _ | None), _ -> ());
+              outcome
+        in
+        match pool with
+        | Some pool when Exec.Pool.size pool > 1 -> Exec.Pool.map pool n run_one
+        | Some _ | None -> Array.init n run_one
+      end
+    in
+    Option.iter Checkpoint.flush checkpoint;
+    if Array.exists (function Exec.Pool.Cancelled -> true | _ -> false) outcomes then
+      (* Completed trials are safe in the checkpoint (flushed above);
+         partial per-q results would be misleading, so unwind. *)
+      raise Exec.Cancel.Cancelled;
     List.init (Array.length qarr) (fun qi ->
-        (qarr.(qi), collect configs.(qi) (Array.sub stats (qi * cfg.trials) cfg.trials)))
+        (qarr.(qi), collect configs.(qi) (Array.sub outcomes (qi * cfg.trials) cfg.trials)))
   end
 
 let run ?pool ?cache cfg =
@@ -205,11 +293,52 @@ let run ?pool ?cache cfg =
   | [ (_, r) ] -> r
   | _ -> assert false
 
+(* Failed trials are always visible in human output: silence would
+   present a degraded estimate as a full-sample one. *)
+let pp_failed ppf r =
+  if r.failed_trials > 0 then
+    Fmt.pf ppf " [%d/%d trials failed]" r.failed_trials r.config.trials
+
 let pp_result ppf r =
   match r.ci with
   | Some ci ->
-      Fmt.pf ppf "%a d=%d q=%.3f: routability %a, hops %a" Rcm.Geometry.pp r.config.geometry
-        r.config.bits r.config.q Stats.Binomial_ci.pp ci Stats.Summary.pp r.hop_summary
+      Fmt.pf ppf "%a d=%d q=%.3f: routability %a, hops %a%a" Rcm.Geometry.pp
+        r.config.geometry r.config.bits r.config.q Stats.Binomial_ci.pp ci Stats.Summary.pp
+        r.hop_summary pp_failed r
+  | None when r.failed_trials = r.config.trials ->
+      Fmt.pf ppf "%a d=%d q=%.3f: no estimate (every trial failed)%a" Rcm.Geometry.pp
+        r.config.geometry r.config.bits r.config.q pp_failed r
   | None ->
-      Fmt.pf ppf "%a d=%d q=%.3f: no routable pairs (every trial had < 2 survivors)"
-        Rcm.Geometry.pp r.config.geometry r.config.bits r.config.q
+      Fmt.pf ppf "%a d=%d q=%.3f: no routable pairs (every surviving trial had < 2 survivors)%a"
+        Rcm.Geometry.pp r.config.geometry r.config.bits r.config.q pp_failed r
+
+(* --- machine-readable result rows ----------------------------------------- *)
+
+let csv_header =
+  "geometry,bits,q,trials,failed_trials,delivered,attempted,routability,ci_lower,ci_upper,hops_mean"
+
+let to_csv_row r =
+  let ci_field f = match r.ci with Some ci -> Printf.sprintf "%.6f" (f ci) | None -> "nan" in
+  Printf.sprintf "%s,%d,%g,%d,%d,%d,%d,%s,%s,%s,%s"
+    (Rcm.Geometry.name r.config.geometry)
+    r.config.bits r.config.q r.config.trials r.failed_trials r.delivered r.attempted
+    (ci_field Stats.Binomial_ci.point)
+    (ci_field Stats.Binomial_ci.lower)
+    (ci_field Stats.Binomial_ci.upper)
+    (let mean = Stats.Summary.mean r.hop_summary in
+     if Float.is_finite mean then Printf.sprintf "%.6f" mean else "nan")
+
+let to_json r =
+  let json_float v = if Float.is_finite v then Printf.sprintf "%.9g" v else "null" in
+  let ci_field f = match r.ci with Some ci -> json_float (f ci) | None -> "null" in
+  Printf.sprintf
+    "{\"geometry\": %S, \"bits\": %d, \"q\": %s, \"trials\": %d, \"failed_trials\": %d, \
+     \"delivered\": %d, \"attempted\": %d, \"routability\": %s, \"ci_lower\": %s, \
+     \"ci_upper\": %s, \"hops_mean\": %s}"
+    (Rcm.Geometry.name r.config.geometry)
+    r.config.bits (json_float r.config.q) r.config.trials r.failed_trials r.delivered
+    r.attempted
+    (ci_field Stats.Binomial_ci.point)
+    (ci_field Stats.Binomial_ci.lower)
+    (ci_field Stats.Binomial_ci.upper)
+    (json_float (Stats.Summary.mean r.hop_summary))

@@ -23,6 +23,13 @@ type result = {
           "no data" as certainty). *)
   hop_summary : Stats.Summary.t;  (** hop counts of delivered messages *)
   mean_alive_fraction : float;
+      (** Mean over surviving trials; [nan] when every trial failed. *)
+  failed_trials : int;
+      (** Trials that exhausted their retries under supervision (see
+          {!run_sweep}). The estimate covers the surviving trials only,
+          so the CI widens honestly with the lost sample size; always 0
+          on the unsupervised path, where a trial exception aborts the
+          sweep instead. *)
 }
 
 val config :
@@ -47,6 +54,10 @@ val run : ?pool:Exec.Pool.t -> ?cache:Overlay.Table_cache.t -> config -> result
 val run_sweep :
   ?pool:Exec.Pool.t ->
   ?cache:Overlay.Table_cache.t ->
+  ?supervise:bool ->
+  ?retries:int ->
+  ?fault:Exec.Fault.t ->
+  ?checkpoint:Checkpoint.t ->
   config ->
   float list ->
   (float * result) list
@@ -56,7 +67,28 @@ val run_sweep :
     at once, and — because trial seeds do not depend on [q] — paying
     [trials] overlay builds for the whole sweep when a [cache] is
     supplied instead of [|qs| × trials].
-    @raise Invalid_argument if any [q] is not a probability. *)
+
+    Supervision. When [supervise] is set (or implied by [retries > 0],
+    [fault] or [checkpoint]), trials run under
+    {!Exec.Pool.supervised}: a trial exception is retried up to
+    [retries] times — the retry re-derives its PRNG stream from the
+    trial index, so a transient fault replays bit-identically — then
+    recorded as failed, surfacing in {!result.failed_trials} instead
+    of aborting the sweep. [fault] injects deterministic trial
+    failures before the trial touches its PRNG (testing/chaos only).
+    [checkpoint] consults the store before each trial and records each
+    outcome after it, flushing before return; a resumed sweep replays
+    stored trials and produces byte-identical results to an
+    uninterrupted one. On cooperative cancellation
+    ({!Exec.Cancel.requested}) the sweep flushes the checkpoint and
+    raises {!Exec.Cancel.Cancelled} rather than returning partial
+    per-q results.
+
+    Without any of these options the historical fast path runs: trial
+    exceptions propagate and abort the sweep.
+    @raise Invalid_argument if any [q] is not a probability or
+    [retries < 0].
+    @raise Exec.Cancel.Cancelled when cancellation was requested. *)
 
 val routability : result -> float
 (** Point estimate, or [nan] when [ci = None] (no routable pairs to
@@ -67,3 +99,17 @@ val failed_percent : result -> float
 (** [100 * (1 - routability)]; [nan] when there is no estimate. *)
 
 val pp_result : Format.formatter -> result -> unit
+(** Human-readable one-liner; appends ["[k/n trials failed]"] whenever
+    supervision recorded failures, so a degraded estimate is never
+    silently presented as a full-sample one. *)
+
+val csv_header : string
+(** Column names matching {!to_csv_row}. *)
+
+val to_csv_row : result -> string
+(** One CSV row (no trailing newline). Missing estimates render as
+    ["nan"]. *)
+
+val to_json : result -> string
+(** One JSON object (no trailing newline). Missing estimates render as
+    [null]. *)

@@ -1,0 +1,89 @@
+#!/usr/bin/env sh
+# Chaos smoke: prove the fault-tolerant harness end to end.
+#
+#   1. Baseline --smoke sweep with deterministic fault injection.
+#   2. The same sweep, checkpointed, interrupted with SIGINT mid-run:
+#      must exit 130 (or finish with 0 if the machine outran the kill)
+#      and leave a loadable checkpoint, never a .tmp turd.
+#   3. --resume from whatever the interrupted run left behind: stdout
+#      must be byte-identical to the uninterrupted baseline.
+#   4. Deterministic mid-state resume: truncate the completed
+#      checkpoint to its first half and resume from that — covers the
+#      partial-resume path even when step 2's signal lost the race.
+#
+# Usage: scripts/chaos_smoke.sh [path-to-dhtlab]
+# Exits non-zero on the first violated invariant.
+
+set -eu
+
+DHTLAB=${1:-_build/default/bin/dhtlab.exe}
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/chaos_smoke.XXXXXX")
+trap 'rm -rf "$WORK"' EXIT INT TERM
+
+# One flag set everywhere: outputs must be comparable byte-for-byte.
+ARGS="simulate --smoke -g xor --seed 7 --jobs 2 --trial-retries 1 --inject-fault trial:0.2:9"
+
+fail() {
+    echo "chaos-smoke: FAIL: $1" >&2
+    exit 1
+}
+
+echo "chaos-smoke: 1/5 baseline sweep (faults + retries)"
+$DHTLAB $ARGS > "$WORK/baseline.txt"
+
+echo "chaos-smoke: 2/5 checkpointed run interrupted by SIGINT"
+$DHTLAB $ARGS --checkpoint "$WORK/ck.jsonl" --checkpoint-every 2 \
+    > "$WORK/interrupted.txt" 2> "$WORK/interrupted.err" &
+PID=$!
+# Land the signal mid-sweep if we can; a fast machine may legitimately
+# finish first, which step 4 compensates for.
+sleep 0.3
+kill -INT "$PID" 2>/dev/null || true
+STATUS=0
+wait "$PID" || STATUS=$?
+case "$STATUS" in
+    130) echo "chaos-smoke:     interrupted (exit 130), checkpoint flushed" ;;
+    0)   echo "chaos-smoke:     run outran the signal (exit 0); resume still covered below" ;;
+    *)   fail "interrupted run exited $STATUS (expected 130 or 0)" ;;
+esac
+[ -e "$WORK/ck.jsonl" ] || fail "no checkpoint file after interruption"
+[ -e "$WORK/ck.jsonl.tmp" ] && fail "atomic write left ck.jsonl.tmp behind"
+
+echo "chaos-smoke: 3/5 resume and diff against the baseline"
+$DHTLAB $ARGS --checkpoint "$WORK/ck.jsonl" --resume > "$WORK/resumed.txt"
+diff "$WORK/baseline.txt" "$WORK/resumed.txt" \
+    || fail "resumed stdout differs from the uninterrupted baseline"
+
+echo "chaos-smoke: 4/5 deterministic mid-state resume from a truncated checkpoint"
+TOTAL=$(wc -l < "$WORK/ck.jsonl")
+head -n $((TOTAL / 2)) "$WORK/ck.jsonl" > "$WORK/ck_half.jsonl"
+$DHTLAB $ARGS --checkpoint "$WORK/ck_half.jsonl" --resume > "$WORK/resumed_half.txt"
+diff "$WORK/baseline.txt" "$WORK/resumed_half.txt" \
+    || fail "half-checkpoint resume differs from the baseline"
+diff "$WORK/ck.jsonl" "$WORK/ck_half.jsonl" \
+    || fail "resumed checkpoint file differs from the complete one"
+
+echo "chaos-smoke: 5/5 heavier sweep so the signal reliably lands mid-run"
+HEAVY="simulate -g xor -d 12 --trials 6 --pairs 15000 --seed 7 --jobs 2"
+$DHTLAB $HEAVY > "$WORK/heavy_baseline.txt"
+$DHTLAB $HEAVY --checkpoint "$WORK/heavy.jsonl" --checkpoint-every 2 \
+    > "$WORK/heavy_int.txt" 2> "$WORK/heavy_int.err" &
+PID=$!
+sleep 0.5
+kill -INT "$PID" 2>/dev/null || true
+STATUS=0
+wait "$PID" || STATUS=$?
+case "$STATUS" in
+    130)
+        echo "chaos-smoke:     interrupted (exit 130)"
+        grep -q "interrupted" "$WORK/heavy_int.err" \
+            || fail "exit 130 without the interrupted message on stderr"
+        ;;
+    0)   echo "chaos-smoke:     heavy run still outran the signal; resume checked anyway" ;;
+    *)   fail "heavy interrupted run exited $STATUS (expected 130 or 0)" ;;
+esac
+$DHTLAB $HEAVY --checkpoint "$WORK/heavy.jsonl" --resume > "$WORK/heavy_resumed.txt"
+diff "$WORK/heavy_baseline.txt" "$WORK/heavy_resumed.txt" \
+    || fail "heavy resumed stdout differs from the uninterrupted baseline"
+
+echo "chaos-smoke: OK (interrupt, resume and mid-state resume all byte-identical)"

@@ -124,6 +124,63 @@ let test_metrics_flag_summary () =
         (Astring_contains.contains out fragment))
     [ "==== metrics ===="; "cache/misses"; "routing/xor/delivered"; "estimate/trial_s" ]
 
+let test_figure_blocks_smoke () =
+  let status, out = run_capture [ "figure"; "blocks"; "--quick"; "--csv" ] in
+  check_exit "figure blocks" status;
+  let lines = String.split_on_char '\n' out in
+  Alcotest.(check bool) "header has iid and blk series" true
+    (Astring_contains.contains (List.hd lines) "(iid)"
+    && Astring_contains.contains (List.hd lines) "(blk)");
+  Alcotest.(check bool) "has data rows" true (List.length lines > 2)
+
+let test_inject_fault_exhausts_retries_exit_zero () =
+  (* Acceptance: a run whose faults exhaust the retry budget still
+     exits 0, with the failures visible in the report and counted under
+     supervisor/* when --metrics is on. *)
+  let command =
+    Printf.sprintf "%s 2>&1"
+      (Filename.quote_command binary
+         ([ "simulate"; "-g"; "xor"; "--smoke"; "-q"; "0.2"; "--jobs"; "2"; "--metrics" ]
+         @ [ "--inject-fault"; "trial:0.5:9:5"; "--trial-retries"; "1" ]))
+  in
+  let status, out = run_capture_shell command in
+  check_exit "simulate with persistent faults" status;
+  Alcotest.(check bool) "failed trials visible" true
+    (Astring_contains.contains out "trials failed");
+  Alcotest.(check bool) "supervisor/failed_trials counted" true
+    (Astring_contains.contains out "supervisor/failed_trials");
+  Alcotest.(check bool) "supervisor/retries counted" true
+    (Astring_contains.contains out "supervisor/retries")
+
+let test_bad_fault_spec_rejected () =
+  match run_capture (tiny_simulate @ [ "--inject-fault"; "trial:2:1" ]) with
+  | Unix.WEXITED 0, _ -> Alcotest.fail "--inject-fault trial:2:1 accepted"
+  | _, _ -> ()
+
+let test_resume_requires_checkpoint () =
+  match run_capture (tiny_simulate @ [ "--resume" ]) with
+  | Unix.WEXITED 0, _ -> Alcotest.fail "--resume without --checkpoint accepted"
+  | _, _ -> ()
+
+let test_checkpoint_resume_roundtrip_stdout () =
+  let ck = Filename.temp_file "dhtlab" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove ck with Sys_error _ -> ())
+    (fun () ->
+      Sys.remove ck;
+      let args = [ "simulate"; "-g"; "ring"; "--smoke"; "--seed"; "5"; "--jobs"; "2" ] in
+      let status, baseline = run_capture args in
+      check_exit "baseline" status;
+      let status, first = run_capture (args @ [ "--checkpoint"; ck ]) in
+      check_exit "checkpointed" status;
+      Alcotest.(check string) "checkpointing is invisible on stdout" baseline first;
+      Alcotest.(check bool) "checkpoint written" true (Sys.file_exists ck);
+      (* Resuming from the complete checkpoint recomputes nothing and
+         reprints the identical report. *)
+      let status, resumed = run_capture (args @ [ "--checkpoint"; ck; "--resume" ]) in
+      check_exit "resumed" status;
+      Alcotest.(check string) "resume reproduces stdout byte-for-byte" baseline resumed)
+
 let suite =
   [
     ("binary present", `Quick, test_binary_present);
@@ -136,4 +193,10 @@ let suite =
     ("--jobs 0 rejected", `Quick, test_jobs_zero_rejected);
     ("bad DHT_RCM_JOBS warns on stderr", `Quick, test_bad_env_jobs_warns);
     ("--metrics prints summary", `Quick, test_metrics_flag_summary);
+    ("figure blocks smoke", `Quick, test_figure_blocks_smoke);
+    ("--inject-fault exhausting retries exits 0", `Quick,
+      test_inject_fault_exhausts_retries_exit_zero);
+    ("bad --inject-fault spec rejected", `Quick, test_bad_fault_spec_rejected);
+    ("--resume without --checkpoint rejected", `Quick, test_resume_requires_checkpoint);
+    ("checkpoint/resume stdout roundtrip", `Quick, test_checkpoint_resume_roundtrip_stdout);
   ]

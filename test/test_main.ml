@@ -4,6 +4,7 @@ let () =
       ("numerics", Test_numerics.suite);
       ("prng", Test_prng.suite);
       ("exec", Test_exec.suite);
+      ("resilience", Test_resilience.suite);
       ("obs", Test_obs.suite);
       ("idspace", Test_idspace.suite);
       ("stats", Test_stats.suite);

@@ -147,6 +147,62 @@ let test_failure_survivors_kill () =
   Alcotest.(check (array int)) "survivors" [| 0; 2; 4 |] (Overlay.Failure.survivors mask);
   Alcotest.(check int) "count" 3 (Overlay.Failure.alive_count mask)
 
+(* The dead region of a block sample must be one circular run: walking
+   the mask around the ring crosses at most one alive->dead edge. *)
+let circular_dead_runs mask =
+  let n = Array.length mask in
+  let transitions = ref 0 in
+  for i = 0 to n - 1 do
+    if mask.(i) && not (mask.((i + 1) mod n)) then incr transitions
+  done;
+  !transitions
+
+let test_block_failure_size_and_contiguity () =
+  List.iter
+    (fun (fraction, n) ->
+      let rng = Prng.Splitmix.create ~seed:(int_of_float (fraction *. 1000.) + n) in
+      let mask = Overlay.Failure.sample_block ~rng ~fraction n in
+      let dead = n - Overlay.Failure.alive_count mask in
+      Alcotest.(check int)
+        (Printf.sprintf "dead = round(%g * %d)" fraction n)
+        (int_of_float (Float.round (fraction *. float_of_int n)))
+        dead;
+      Alcotest.(check bool)
+        (Printf.sprintf "contiguous mod %d" n)
+        true
+        (circular_dead_runs mask <= 1))
+    [ (0.25, 64); (0.33, 100); (0.5, 7); (0.8, 250); (0.01, 10) ]
+
+let test_block_failure_wraparound () =
+  (* Force the wrap: a deterministic rng whose start offset lands near
+     the end of the ring still kills exactly round(fraction * n) ids,
+     in one circular run. *)
+  let n = 32 in
+  let found_wrap = ref false in
+  for seed = 0 to 63 do
+    let rng = Prng.Splitmix.create ~seed in
+    let mask = Overlay.Failure.sample_block ~rng ~fraction:0.5 n in
+    Alcotest.(check int) "dead count under wrap" 16 (n - Overlay.Failure.alive_count mask);
+    Alcotest.(check bool) "one circular run" true (circular_dead_runs mask <= 1);
+    if (not mask.(n - 1)) && not mask.(0) then found_wrap := true
+  done;
+  Alcotest.(check bool) "some seed wrapped past n-1" true !found_wrap
+
+let test_block_failure_deterministic_and_extreme () =
+  let sample seed =
+    Overlay.Failure.sample_block ~rng:(Prng.Splitmix.create ~seed) ~fraction:0.3 40
+  in
+  Alcotest.(check (array bool)) "same seed, same block" (sample 9) (sample 9);
+  Alcotest.(check int) "fraction 0 kills nobody" 20
+    (Overlay.Failure.alive_count
+       (Overlay.Failure.sample_block ~rng:(Prng.Splitmix.create ~seed:1) ~fraction:0.0 20));
+  Alcotest.(check int) "fraction 1 kills everyone" 0
+    (Overlay.Failure.alive_count
+       (Overlay.Failure.sample_block ~rng:(Prng.Splitmix.create ~seed:1) ~fraction:1.0 20));
+  Alcotest.check_raises "invalid fraction rejected"
+    (Invalid_argument "Failure.sample_block: invalid fraction") (fun () ->
+      ignore (Overlay.Failure.sample_block ~fraction:1.5 10))
+
 let neighbors_within_space =
   qcheck "all neighbours lie inside the id space"
     QCheck2.Gen.(int_range 0 1_000)
@@ -191,6 +247,10 @@ let suite =
     ("failure sampling", `Quick, test_failure_sampling);
     ("failure extremes", `Quick, test_failure_extremes);
     ("failure survivors/kill", `Quick, test_failure_survivors_kill);
+    ("block failure: size and contiguity", `Quick, test_block_failure_size_and_contiguity);
+    ("block failure: wraparound", `Quick, test_block_failure_wraparound);
+    ("block failure: deterministic + extremes", `Quick,
+      test_block_failure_deterministic_and_extreme);
     neighbors_within_space;
     no_self_loops;
   ]

@@ -1,0 +1,377 @@
+(* The fault-tolerance harness: supervised trials (capture + retry),
+   deterministic fault injection, checkpoint/resume and cooperative
+   cancellation. The recurring assertion is the strongest one the
+   design makes: whatever faults, retries or interruptions happen on
+   the way, the surviving numbers are bit-identical to an undisturbed
+   run. *)
+
+let check_float_bits name a b =
+  Alcotest.(check int64) name (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let check_same_estimate name (a : Sim.Estimate.result) (b : Sim.Estimate.result) =
+  Alcotest.(check int) (name ^ ": delivered") a.Sim.Estimate.delivered b.Sim.Estimate.delivered;
+  Alcotest.(check int) (name ^ ": attempted") a.Sim.Estimate.attempted b.Sim.Estimate.attempted;
+  Alcotest.(check int) (name ^ ": failed_trials") a.Sim.Estimate.failed_trials
+    b.Sim.Estimate.failed_trials;
+  check_float_bits (name ^ ": mean_alive_fraction") a.Sim.Estimate.mean_alive_fraction
+    b.Sim.Estimate.mean_alive_fraction;
+  check_float_bits (name ^ ": routability") (Sim.Estimate.routability a)
+    (Sim.Estimate.routability b);
+  check_float_bits (name ^ ": hop mean")
+    (Stats.Summary.mean a.Sim.Estimate.hop_summary)
+    (Stats.Summary.mean b.Sim.Estimate.hop_summary);
+  check_float_bits (name ^ ": hop variance")
+    (Stats.Summary.variance a.Sim.Estimate.hop_summary)
+    (Stats.Summary.variance b.Sim.Estimate.hop_summary)
+
+let check_same_sweep name baseline sweep =
+  Alcotest.(check int) (name ^ ": grid size") (List.length baseline) (List.length sweep);
+  List.iter2
+    (fun (q, expected) (q', got) ->
+      check_float_bits (name ^ ": grid point") q q';
+      check_same_estimate (Printf.sprintf "%s q=%g" name q) expected got)
+    baseline sweep
+
+let cfg =
+  Sim.Estimate.config ~trials:4 ~pairs_per_trial:300 ~seed:11 ~bits:8 ~q:0.3
+    Rcm.Geometry.Xor
+
+let qs = [ 0.0; 0.2; 0.4 ]
+
+let with_temp_file f =
+  let path = Filename.temp_file "dht_rcm" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* --- Exec.Fault ------------------------------------------------------------ *)
+
+let test_fault_parse_roundtrip () =
+  (match Exec.Fault.parse "trial:0.25:99" with
+  | Ok t ->
+      check_float_bits "p" 0.25 t.Exec.Fault.p;
+      Alcotest.(check int) "seed" 99 t.Exec.Fault.seed;
+      Alcotest.(check int) "attempts default" 1 t.Exec.Fault.attempts
+  | Error e -> Alcotest.failf "parse failed: %s" e);
+  (match Exec.Fault.parse "trial:1:7:3" with
+  | Ok t -> Alcotest.(check int) "attempts" 3 t.Exec.Fault.attempts
+  | Error e -> Alcotest.failf "parse failed: %s" e);
+  List.iter
+    (fun bad ->
+      match Exec.Fault.parse bad with
+      | Ok _ -> Alcotest.failf "accepted %S" bad
+      | Error _ -> ())
+    [ ""; "trial"; "trial:2:1"; "trial:-0.1:1"; "node:0.5:1"; "trial:0.5:x"; "trial:0.5:1:0" ]
+
+let test_fault_deterministic_and_attempt_bounded () =
+  match Exec.Fault.parse "trial:0.5:123:2" with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok t ->
+      let hits = ref 0 in
+      for task = 0 to 199 do
+        let a = Exec.Fault.should_fail t ~task ~attempt:1 in
+        let b = Exec.Fault.should_fail t ~task ~attempt:1 in
+        Alcotest.(check bool) "pure function of (seed, task, attempt)" a b;
+        (* Within the attempt budget the decision is per-task constant;
+           past it the fault clears (transient). *)
+        Alcotest.(check bool) "attempt 2 same as 1" a
+          (Exec.Fault.should_fail t ~task ~attempt:2);
+        Alcotest.(check bool) "attempt 3 clears" false
+          (Exec.Fault.should_fail t ~task ~attempt:3);
+        if a then incr hits
+      done;
+      (* p = 0.5 over 200 tasks: a degenerate plan (none or all faulted)
+         would make every chaos test vacuous. *)
+      Alcotest.(check bool) "plan is non-degenerate" true (!hits > 20 && !hits < 180)
+
+(* --- Exec.Pool supervision ------------------------------------------------- *)
+
+let test_supervised_retry_replays_bit_identically () =
+  (* A task that fails on its first attempt and succeeds on the second
+     must produce exactly the value of an undisturbed run: attempts
+     re-derive everything from the task index. *)
+  let value k = Printf.sprintf "task-%d" k in
+  let task ~attempt k = if k mod 3 = 0 && attempt = 1 then failwith "transient" else value k in
+  Exec.Pool.with_pool ~domains:2 (fun pool ->
+      let outcomes = Exec.Pool.map_supervised ~retries:1 pool 10 task in
+      Array.iteri
+        (fun k outcome ->
+          match outcome with
+          | Exec.Pool.Done v -> Alcotest.(check string) "retried value" (value k) v
+          | Exec.Pool.Failed { error; _ } -> Alcotest.failf "task %d failed: %s" k error
+          | Exec.Pool.Cancelled -> Alcotest.failf "task %d cancelled" k)
+        outcomes)
+
+let test_supervised_exhausted_retries_fail () =
+  let task ~attempt:_ k = if k = 2 then failwith "persistent" else k in
+  let outcomes =
+    Exec.Pool.with_pool ~domains:1 (fun pool -> Exec.Pool.map_supervised ~retries:2 pool 4 task)
+  in
+  (match outcomes.(2) with
+  | Exec.Pool.Failed { attempts; error } ->
+      Alcotest.(check int) "attempts = retries + 1" 3 attempts;
+      Alcotest.(check bool) "error names the exception" true
+        (Astring_contains.contains error "persistent")
+  | Exec.Pool.Done _ | Exec.Pool.Cancelled -> Alcotest.fail "task 2 should have failed");
+  List.iter
+    (fun k ->
+      match outcomes.(k) with
+      | Exec.Pool.Done v -> Alcotest.(check int) "unaffected task" k v
+      | _ -> Alcotest.failf "task %d should have succeeded" k)
+    [ 0; 1; 3 ]
+
+let test_supervised_cancellation_at_task_boundaries () =
+  (* domains:1 runs tasks in index order on the caller: task 2 requests
+     cancellation (and still completes); tasks after it never start. *)
+  Fun.protect ~finally:Exec.Cancel.reset (fun () ->
+      Exec.Cancel.reset ();
+      let task ~attempt:_ k =
+        if k = 2 then Exec.Cancel.request ();
+        k
+      in
+      let outcomes =
+        Exec.Pool.with_pool ~domains:1 (fun pool ->
+            Exec.Pool.map_supervised pool 5 task)
+      in
+      let shape =
+        Array.to_list outcomes
+        |> List.map (function
+             | Exec.Pool.Done _ -> "done"
+             | Exec.Pool.Failed _ -> "failed"
+             | Exec.Pool.Cancelled -> "cancelled")
+      in
+      Alcotest.(check (list string)) "boundary semantics"
+        [ "done"; "done"; "done"; "cancelled"; "cancelled" ]
+        shape)
+
+let test_map_after_shutdown_raises () =
+  let pool = Exec.Pool.create ~domains:2 () in
+  Exec.Pool.shutdown pool;
+  Alcotest.check_raises "map on a shut-down pool"
+    (Invalid_argument "Exec.Pool.map: pool is shut down") (fun () ->
+      ignore (Exec.Pool.map pool 4 Fun.id))
+
+(* --- Sim.Checkpoint -------------------------------------------------------- *)
+
+let sample_key trial =
+  { Sim.Checkpoint.geometry = "xor"; bits = 8; q = 0.2; pairs = 300; seed = 11; trial }
+
+let test_checkpoint_store_roundtrip () =
+  with_temp_file (fun path ->
+      let ck = Sim.Checkpoint.create ~interval:100 ~path () in
+      let ok =
+        Sim.Checkpoint.Trial
+          { Sim.Checkpoint.delivered = 280; attempted = 300; alive_fraction = 0.8125;
+            hops = [ 3; 4; 5 ] }
+      in
+      let failed =
+        Sim.Checkpoint.Failed
+          { attempts = 2; error = "bad \"quote\" and\nnewline" }
+      in
+      Sim.Checkpoint.record ck (sample_key 0) ok;
+      Sim.Checkpoint.record ck (sample_key 1) failed;
+      Sim.Checkpoint.flush ck;
+      let reloaded = Sim.Checkpoint.load ~path () in
+      Alcotest.(check int) "two entries" 2 (Sim.Checkpoint.length reloaded);
+      Alcotest.(check bool) "trial round-trips" true
+        (Sim.Checkpoint.find reloaded (sample_key 0) = Some ok);
+      Alcotest.(check bool) "failure round-trips (escaped error)" true
+        (Sim.Checkpoint.find reloaded (sample_key 1) = Some failed);
+      (* Rewriting the reloaded store must reproduce the file byte for
+         byte: entry order is canonical, floats are exact. *)
+      let first = read_file path in
+      Sim.Checkpoint.flush reloaded;
+      Alcotest.(check string) "stable bytes across reload + rewrite" first (read_file path))
+
+let test_checkpoint_missing_and_corrupt () =
+  with_temp_file (fun path ->
+      Sys.remove path;
+      let ck = Sim.Checkpoint.load ~path () in
+      Alcotest.(check int) "missing file = empty store" 0 (Sim.Checkpoint.length ck);
+      let oc = open_out path in
+      output_string oc "{\"v\": 1, \"kind\": \"dht_rcm-checkpoint\"}\nnot json at all\n";
+      close_out oc;
+      (match Sim.Checkpoint.load ~path () with
+      | _ -> Alcotest.fail "corrupt checkpoint accepted"
+      | exception Failure msg ->
+          Alcotest.(check bool) "error names the file and line" true
+            (Astring_contains.contains msg path && Astring_contains.contains msg "line 2"));
+      let oc = open_out path in
+      output_string oc "{\"v\": 999, \"kind\": \"dht_rcm-checkpoint\"}\n";
+      close_out oc;
+      match Sim.Checkpoint.load ~path () with
+      | _ -> Alcotest.fail "future version accepted"
+      | exception Failure _ -> ())
+
+(* --- Sim.Estimate under supervision ---------------------------------------- *)
+
+let test_sweep_transient_fault_plus_retry_bit_identical () =
+  let baseline = Sim.Estimate.run_sweep cfg qs in
+  match Exec.Fault.parse "trial:0.4:5" with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok fault ->
+      List.iter
+        (fun domains ->
+          Exec.Pool.with_pool ~domains (fun pool ->
+              let sweep = Sim.Estimate.run_sweep ~pool ~retries:1 ~fault cfg qs in
+              check_same_sweep (Printf.sprintf "%d domains" domains) baseline sweep;
+              List.iter
+                (fun (_, r) ->
+                  Alcotest.(check int) "no failures survive one retry" 0
+                    r.Sim.Estimate.failed_trials)
+                sweep))
+        [ 1; 2 ]
+
+let test_sweep_persistent_fault_counts_failures_exactly () =
+  match Exec.Fault.parse "trial:0.5:77:3" with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok fault ->
+      let retries = 1 in
+      let sweep = Sim.Estimate.run_sweep ~retries ~fault cfg qs in
+      List.iteri
+        (fun qi (_, r) ->
+          (* The failing subset is a pure function of the task index, so
+             the supervisor's accounting can be predicted exactly. *)
+          let predicted = ref 0 in
+          for j = 0 to cfg.Sim.Estimate.trials - 1 do
+            if
+              Exec.Fault.should_fail fault
+                ~task:((qi * cfg.Sim.Estimate.trials) + j)
+                ~attempt:(retries + 1)
+            then incr predicted
+          done;
+          Alcotest.(check int) "failed_trials matches the fault plan" !predicted
+            r.Sim.Estimate.failed_trials;
+          Alcotest.(check int) "attempted covers surviving trials only"
+            ((cfg.Sim.Estimate.trials - !predicted) * cfg.Sim.Estimate.pairs_per_trial)
+            r.Sim.Estimate.attempted)
+        sweep
+
+let test_sweep_all_trials_failed_reports_no_estimate () =
+  match Exec.Fault.parse "trial:1:1:5" with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok fault ->
+      let sweep = Sim.Estimate.run_sweep ~fault cfg [ 0.2 ] in
+      (match sweep with
+      | [ (_, r) ] ->
+          Alcotest.(check int) "all trials failed" cfg.Sim.Estimate.trials
+            r.Sim.Estimate.failed_trials;
+          Alcotest.(check bool) "no fabricated CI" true (r.Sim.Estimate.ci = None);
+          Alcotest.(check bool) "alive fraction is nan" true
+            (Float.is_nan r.Sim.Estimate.mean_alive_fraction);
+          let rendered = Fmt.str "%a" Sim.Estimate.pp_result r in
+          Alcotest.(check bool) "pp names the failure" true
+            (Astring_contains.contains rendered "every trial failed")
+      | _ -> Alcotest.fail "expected one grid point")
+
+let test_sweep_checkpoint_resume_bit_identical () =
+  let baseline = Sim.Estimate.run_sweep cfg qs in
+  with_temp_file (fun path ->
+      (* Full checkpointed run: same numbers, file on disk. *)
+      let ck = Sim.Checkpoint.create ~interval:3 ~path () in
+      check_same_sweep "checkpointed" baseline
+        (Sim.Estimate.run_sweep ~checkpoint:ck cfg qs);
+      let full_file = read_file path in
+      let entries = List.length qs * cfg.Sim.Estimate.trials in
+      Alcotest.(check int) "every trial recorded" entries (Sim.Checkpoint.length ck);
+      (* Simulate an interruption: keep the header and the first half of
+         the entries, as if the process died between flushes. *)
+      let lines = String.split_on_char '\n' full_file in
+      let truncated =
+        List.filteri (fun i _ -> i <= (entries / 2)) lines |> String.concat "\n"
+      in
+      let oc = open_out path in
+      output_string oc truncated;
+      close_out oc;
+      let resumed = Sim.Checkpoint.load ~path () in
+      Alcotest.(check bool) "resume starts from a partial store" true
+        (Sim.Checkpoint.length resumed < entries);
+      Exec.Pool.with_pool ~domains:2 (fun pool ->
+          check_same_sweep "resumed" baseline
+            (Sim.Estimate.run_sweep ~pool ~checkpoint:resumed cfg qs));
+      (* And the completed checkpoint file is restored byte for byte. *)
+      Alcotest.(check string) "final checkpoint file identical" full_file (read_file path))
+
+let test_sweep_resume_replays_failures () =
+  (* Failed trials are stored too: resuming under the same fault plan
+     replays them from the store (same report, no wasted recompute). *)
+  match Exec.Fault.parse "trial:0.5:77:5" with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok fault ->
+      with_temp_file (fun path ->
+          let ck = Sim.Checkpoint.create ~path () in
+          let first = Sim.Estimate.run_sweep ~fault ~checkpoint:ck cfg qs in
+          let reloaded = Sim.Checkpoint.load ~path () in
+          (* No [~fault]: anything re-run would now succeed, so identical
+             results prove every outcome was replayed from the store. *)
+          let second = Sim.Estimate.run_sweep ~checkpoint:reloaded cfg qs in
+          check_same_sweep "replayed" first second;
+          Alcotest.(check bool) "some trials did fail" true
+            (List.exists (fun (_, r) -> r.Sim.Estimate.failed_trials > 0) first))
+
+let test_sweep_cancellation_raises_and_flushes () =
+  Fun.protect ~finally:Exec.Cancel.reset (fun () ->
+      Exec.Cancel.reset ();
+      Exec.Cancel.request ();
+      with_temp_file (fun path ->
+          let ck = Sim.Checkpoint.create ~path () in
+          (match Sim.Estimate.run_sweep ~supervise:true ~checkpoint:ck cfg qs with
+          | _ -> Alcotest.fail "cancelled sweep returned results"
+          | exception Exec.Cancel.Cancelled -> ());
+          (* The checkpoint was flushed on the way out: the file exists
+             and is a loadable (empty) store. *)
+          Alcotest.(check bool) "checkpoint file written" true (Sys.file_exists path);
+          Alcotest.(check int) "no trials ran" 0
+            (Sim.Checkpoint.length (Sim.Checkpoint.load ~path ()))))
+
+let test_unsupervised_sweep_still_raises () =
+  (* Without any supervision option the historical contract holds: a
+     trial exception aborts the sweep. *)
+  match Exec.Fault.parse "trial:1:1:5" with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok fault ->
+      let task_exn = ref false in
+      (try
+         ignore
+           (Sim.Estimate.run_sweep
+              { cfg with Sim.Estimate.trials = 1 }
+              ~retries:0
+              ~fault (* fault implies supervision; this checks the flag wiring *)
+              [ 0.2 ])
+       with Exec.Fault.Injected _ -> task_exn := true);
+      Alcotest.(check bool) "fault implies supervision (no raise)" false !task_exn
+
+let suite =
+  [
+    ("fault: parse round-trip and rejection", `Quick, test_fault_parse_roundtrip);
+    ("fault: deterministic, attempt-bounded", `Quick,
+      test_fault_deterministic_and_attempt_bounded);
+    ("supervised: retry replays bit-identically", `Quick,
+      test_supervised_retry_replays_bit_identically);
+    ("supervised: exhausted retries fail with attempts", `Quick,
+      test_supervised_exhausted_retries_fail);
+    ("supervised: cancellation at task boundaries", `Quick,
+      test_supervised_cancellation_at_task_boundaries);
+    ("pool: map after shutdown raises", `Quick, test_map_after_shutdown_raises);
+    ("checkpoint: store round-trip, stable bytes", `Quick, test_checkpoint_store_roundtrip);
+    ("checkpoint: missing file empty, corrupt rejected", `Quick,
+      test_checkpoint_missing_and_corrupt);
+    ("sweep: transient fault + retry bit-identical", `Quick,
+      test_sweep_transient_fault_plus_retry_bit_identical);
+    ("sweep: persistent fault counts failures exactly", `Quick,
+      test_sweep_persistent_fault_counts_failures_exactly);
+    ("sweep: all trials failed -> no estimate", `Quick,
+      test_sweep_all_trials_failed_reports_no_estimate);
+    ("sweep: checkpoint interrupt/resume bit-identical", `Quick,
+      test_sweep_checkpoint_resume_bit_identical);
+    ("sweep: resume replays stored failures", `Quick, test_sweep_resume_replays_failures);
+    ("sweep: cancellation raises and flushes", `Quick,
+      test_sweep_cancellation_raises_and_flushes);
+    ("sweep: fault alone implies supervision", `Quick, test_unsupervised_sweep_still_raises);
+  ]
