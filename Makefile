@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-smoke chaos-smoke clean
+.PHONY: all build test check bench bench-smoke chaos-smoke trace-smoke clean
 
 all: build
 
@@ -30,6 +30,12 @@ bench-smoke:
 # diffed byte-for-byte against an uninterrupted baseline.
 chaos-smoke: build
 	sh scripts/chaos_smoke.sh
+
+# Observability smoke: traced --smoke sweep (stdout byte-identical to
+# an untraced one), trace report aggregates, Chrome export, and
+# validated manifest/metrics/Prometheus sinks.
+trace-smoke: build
+	sh scripts/trace_smoke.sh
 
 clean:
 	dune clean

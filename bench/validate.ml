@@ -1,195 +1,84 @@
-(* Schema check for the BENCH_<date>.json files written by bench/main.
-   Dependency-free on purpose: a tiny recursive-descent JSON parser is
-   enough to prove the file is well-formed and carries the sections the
-   perf-tracking tooling reads (date, ns_per_run, fig6_sim_sweep,
-   metrics). Exits non-zero with a message naming the first problem.
+(* Schema checks for the JSON artefacts this repository's tools write:
 
-   Usage: validate.exe [FILE]
-   Without an argument, picks the newest BENCH_*.json in the current
-   directory. *)
+     validate.exe [FILE]            BENCH_<date>.json (bench/main); without
+                                    FILE, the newest BENCH_*.json in the
+                                    current directory
+     validate.exe --manifest FILE   provenance manifest (dhtlab --manifest /
+                                    dhtlab export): schema plus recomputing
+                                    the MD5 of every artefact still on disk
+     validate.exe --metrics FILE    metrics snapshot (dhtlab --metrics-out)
 
-type json =
-  | Null
-  | Bool of bool
-  | Number of float
-  | String of string
-  | List of json list
-  | Obj of (string * json) list
+   Exits non-zero with a message naming the first problem. Parsing is
+   Obs.Tiny_json — real JSON, so a truncated or hand-edited file fails
+   loudly instead of being half-read. *)
 
-exception Parse_error of string
+open Obs.Tiny_json
 
-let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+exception Check_error of string
 
-type state = { src : string; mutable pos : int }
+let fail fmt = Printf.ksprintf (fun s -> raise (Check_error s)) fmt
 
-let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
-
-let advance st = st.pos <- st.pos + 1
-
-let skip_ws st =
-  let rec go () =
-    match peek st with
-    | Some (' ' | '\t' | '\n' | '\r') ->
-        advance st;
-        go ()
-    | _ -> ()
-  in
-  go ()
-
-let expect st c =
-  match peek st with
-  | Some x when x = c -> advance st
-  | Some x -> fail "at byte %d: expected %c, found %c" st.pos c x
-  | None -> fail "at byte %d: expected %c, found end of input" st.pos c
-
-let literal st word value =
-  let n = String.length word in
-  if st.pos + n <= String.length st.src && String.sub st.src st.pos n = word then begin
-    st.pos <- st.pos + n;
-    value
-  end
-  else fail "at byte %d: expected %s" st.pos word
-
-let parse_string st =
-  expect st '"';
-  let buffer = Buffer.create 16 in
-  let rec go () =
-    match peek st with
-    | None -> fail "unterminated string"
-    | Some '"' -> advance st
-    | Some '\\' -> (
-        advance st;
-        match peek st with
-        | Some '"' -> advance st; Buffer.add_char buffer '"'; go ()
-        | Some '\\' -> advance st; Buffer.add_char buffer '\\'; go ()
-        | Some '/' -> advance st; Buffer.add_char buffer '/'; go ()
-        | Some 'n' -> advance st; Buffer.add_char buffer '\n'; go ()
-        | Some 't' -> advance st; Buffer.add_char buffer '\t'; go ()
-        | Some 'r' -> advance st; Buffer.add_char buffer '\r'; go ()
-        | Some 'b' -> advance st; Buffer.add_char buffer '\b'; go ()
-        | Some 'f' -> advance st; Buffer.add_char buffer '\012'; go ()
-        | Some 'u' ->
-            (* Our writer never emits \u escapes; accept and keep them
-               verbatim so the validator stays a strict superset. *)
-            advance st;
-            Buffer.add_string buffer "\\u";
-            go ()
-        | Some c -> fail "bad escape \\%c" c
-        | None -> fail "unterminated escape")
-    | Some c ->
-        advance st;
-        Buffer.add_char buffer c;
-        go ()
-  in
-  go ();
-  Buffer.contents buffer
-
-let parse_number st =
-  let start = st.pos in
-  let is_number_char = function
-    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-    | _ -> false
-  in
-  while (match peek st with Some c when is_number_char c -> true | _ -> false) do
-    advance st
-  done;
-  let text = String.sub st.src start (st.pos - start) in
-  match float_of_string_opt text with
-  | Some v -> v
-  | None -> fail "at byte %d: bad number %S" start text
-
-let rec parse_value st =
-  skip_ws st;
-  match peek st with
-  | Some '{' -> parse_obj st
-  | Some '[' -> parse_list st
-  | Some '"' -> String (parse_string st)
-  | Some 't' -> literal st "true" (Bool true)
-  | Some 'f' -> literal st "false" (Bool false)
-  | Some 'n' -> literal st "null" Null
-  | Some ('-' | '0' .. '9') -> Number (parse_number st)
-  | Some c -> fail "at byte %d: unexpected %c" st.pos c
-  | None -> fail "unexpected end of input"
-
-and parse_obj st =
-  expect st '{';
-  skip_ws st;
-  if peek st = Some '}' then begin
-    advance st;
-    Obj []
-  end
-  else begin
-    let fields = ref [] in
-    let rec go () =
-      skip_ws st;
-      let key = parse_string st in
-      skip_ws st;
-      expect st ':';
-      let value = parse_value st in
-      fields := (key, value) :: !fields;
-      skip_ws st;
-      match peek st with
-      | Some ',' -> advance st; go ()
-      | Some '}' -> advance st
-      | _ -> fail "at byte %d: expected , or } in object" st.pos
-    in
-    go ();
-    Obj (List.rev !fields)
-  end
-
-and parse_list st =
-  expect st '[';
-  skip_ws st;
-  if peek st = Some ']' then begin
-    advance st;
-    List []
-  end
-  else begin
-    let items = ref [] in
-    let rec go () =
-      let value = parse_value st in
-      items := value :: !items;
-      skip_ws st;
-      match peek st with
-      | Some ',' -> advance st; go ()
-      | Some ']' -> advance st
-      | _ -> fail "at byte %d: expected , or ] in array" st.pos
-    in
-    go ();
-    List (List.rev !items)
-  end
-
-let parse src =
-  let st = { src; pos = 0 } in
-  let value = parse_value st in
-  skip_ws st;
-  if st.pos <> String.length src then fail "trailing garbage at byte %d" st.pos;
-  value
-
-(* --- schema assertions ---------------------------------------------------- *)
+(* --- schema helpers -------------------------------------------------------- *)
 
 let field path obj key =
-  match obj with
-  | Obj fields -> (
-      match List.assoc_opt key fields with
-      | Some v -> v
-      | None -> fail "%s: missing field %S" path key)
-  | _ -> fail "%s: expected an object" path
+  match member key obj with
+  | Some v -> v
+  | None -> (
+      match obj with
+      | Obj _ -> fail "%s: missing field %S" path key
+      | _ -> fail "%s: expected an object" path)
 
-let as_number path = function
-  | Number v -> v
-  | _ -> fail "%s: expected a number" path
+let as_number path v =
+  match to_num v with Some n -> n | None -> fail "%s: expected a number" path
 
-let as_obj_fields path = function
-  | Obj fields -> fields
-  | _ -> fail "%s: expected an object" path
+let as_int path v =
+  match to_int v with Some n -> n | None -> fail "%s: expected an integer" path
+
+let as_string path v =
+  match to_str v with Some s -> s | None -> fail "%s: expected a string" path
+
+let as_obj_fields path v =
+  match to_obj v with Some fields -> fields | None -> fail "%s: expected an object" path
+
+let as_list path v =
+  match to_list v with Some items -> items | None -> fail "%s: expected an array" path
 
 let check_finite path v = if not (Float.is_finite v) then fail "%s: not finite" path
 
-let validate json =
+(* --- metrics snapshot (shared by BENCH files and --metrics-out) ------------ *)
+
+(* Counters are integers; histograms carry count plus the summary
+   stats, each a number or null (the JSON spelling of nan/inf and of
+   an empty histogram's stats). *)
+let validate_metrics path metrics =
+  let counters = as_obj_fields (path ^ ".counters") (field path metrics "counters") in
+  List.iter
+    (fun (name, v) ->
+      match to_int v with
+      | Some _ -> ()
+      | None -> fail "%s.counters[%S]: expected an integer" path name)
+    counters;
+  let histograms = as_obj_fields (path ^ ".histograms") (field path metrics "histograms") in
+  List.iter
+    (fun (name, h) ->
+      let hpath = Printf.sprintf "%s.histograms[%S]" path name in
+      let count = as_int (hpath ^ ".count") (field hpath h "count") in
+      if count < 0 then fail "%s.count: negative" hpath;
+      List.iter
+        (fun key ->
+          match field hpath h key with
+          | Num _ | Null -> ()
+          | _ -> fail "%s.%s: expected a number or null" hpath key)
+        [ "sum"; "min"; "max"; "mean"; "p50"; "p90"; "p99" ])
+    histograms;
+  (counters, histograms)
+
+(* --- BENCH_<date>.json ------------------------------------------------------ *)
+
+let validate_bench json =
   (match field "$" json "date" with
-  | String s when String.length s = 10 -> ()
-  | String s -> fail "$.date: expected YYYY-MM-DD, found %S" s
+  | Str s when String.length s = 10 -> ()
+  | Str s -> fail "$.date: expected YYYY-MM-DD, found %S" s
   | _ -> fail "$.date: expected a string");
   List.iter
     (fun (name, v) ->
@@ -207,31 +96,74 @@ let validate json =
       check_finite path v;
       if v <= 0.0 then fail "%s: expected > 0" path)
     [ "sequential_s"; "parallel_s"; "speedup" ];
-  let metrics = field "$" json "metrics" in
-  let counters = as_obj_fields "$.metrics.counters" (field "$.metrics" metrics "counters") in
-  List.iter
-    (fun (name, v) ->
-      match v with
-      | Number n when Float.rem n 1.0 = 0.0 -> ()
-      | _ -> fail "$.metrics.counters[%S]: expected an integer" name)
-    counters;
-  let histograms = as_obj_fields "$.metrics.histograms" (field "$.metrics" metrics "histograms") in
-  List.iter
-    (fun (name, h) ->
-      let path = Printf.sprintf "$.metrics.histograms[%S]" name in
-      ignore (as_number (path ^ ".count") (field path h "count"));
-      List.iter
-        (fun key ->
-          match field path h key with
-          | Number _ | Null -> ()
-          | _ -> fail "%s.%s: expected a number or null" path key)
-        [ "sum"; "min"; "max"; "mean"; "p50"; "p90"; "p99" ])
-    histograms;
+  let counters, histograms = validate_metrics "$.metrics" (field "$" json "metrics") in
   (* The smoke sweep always routes through the pool and the overlay
      cache: an empty metrics section means the instrumentation was
      never switched on, which is exactly the regression this guards. *)
   if counters = [] then fail "$.metrics.counters: empty (metrics were not enabled?)";
-  List.length counters + List.length histograms
+  Printf.sprintf "%d metric series" (List.length counters + List.length histograms)
+
+(* --- metrics snapshot file (--metrics-out) ---------------------------------- *)
+
+let validate_metrics_file json =
+  let counters, histograms = validate_metrics "$" json in
+  Printf.sprintf "%d counters, %d histograms" (List.length counters) (List.length histograms)
+
+(* --- provenance manifest (--manifest) --------------------------------------- *)
+
+(* Hex MD5 of a file's current bytes, as Obs.Manifest records it. *)
+let md5_hex path = Digest.to_hex (Digest.file path)
+
+let validate_manifest ~dir json =
+  if as_int "$.v" (field "$" json "v") <> 1 then fail "$.v: expected manifest version 1";
+  if as_string "$.kind" (field "$" json "kind") <> "dht_rcm-manifest" then
+    fail "$.kind: expected \"dht_rcm-manifest\"";
+  (match as_list "$.argv" (field "$" json "argv") with
+  | [] -> fail "$.argv: empty"
+  | argv -> List.iteri (fun i v -> ignore (as_string (Printf.sprintf "$.argv[%d]" i) v)) argv);
+  ignore (as_string "$.hostname" (field "$" json "hostname"));
+  ignore (as_string "$.ocaml_version" (field "$" json "ocaml_version"));
+  let started = as_number "$.started" (field "$" json "started") in
+  let finished = as_number "$.finished" (field "$" json "finished") in
+  let wall = as_number "$.wall_s" (field "$" json "wall_s") in
+  check_finite "$.started" started;
+  check_finite "$.finished" finished;
+  if finished < started then fail "$.finished: before $.started";
+  if wall < 0.0 then fail "$.wall_s: negative";
+  ignore (as_int "$.exit_status" (field "$" json "exit_status"));
+  ignore (as_obj_fields "$.notes" (field "$" json "notes"));
+  let artefacts = as_list "$.artefacts" (field "$" json "artefacts") in
+  (* Re-checksum every artefact the manifest claims exists. Paths are
+     as the run recorded them — usually relative to where it ran, so
+     resolve against the manifest's own directory. *)
+  let checked =
+    List.mapi
+      (fun i entry ->
+        let path = Printf.sprintf "$.artefacts[%d]" i in
+        ignore (as_string (path ^ ".kind") (field path entry "kind"));
+        let file = as_string (path ^ ".path") (field path entry "path") in
+        let resolved = if Filename.is_relative file then Filename.concat dir file else file in
+        match field path entry "exists" with
+        | Bool false -> 0
+        | Bool true ->
+            let bytes = as_int (path ^ ".bytes") (field path entry "bytes") in
+            let recorded = as_string (path ^ ".md5") (field path entry "md5") in
+            if not (Sys.file_exists resolved) then
+              fail "%s: %s recorded as existing but missing on disk" path file;
+            let actual_bytes = (Unix.stat resolved).Unix.st_size in
+            if actual_bytes <> bytes then
+              fail "%s: %s is %d bytes, manifest records %d" path file actual_bytes bytes;
+            let actual = md5_hex resolved in
+            if not (String.equal actual recorded) then
+              fail "%s: %s checksum %s does not match recorded %s" path file actual recorded;
+            1
+        | _ -> fail "%s.exists: expected a boolean" path)
+      artefacts
+  in
+  Printf.sprintf "%d artefacts (%d checksummed)" (List.length artefacts)
+    (List.fold_left ( + ) 0 checked)
+
+(* --- entry point ------------------------------------------------------------ *)
 
 let newest_bench_json () =
   Sys.readdir "."
@@ -262,10 +194,30 @@ let read_file path =
       if n = 0 then fail "empty file (truncated or interrupted write?)";
       really_input_string ic n)
 
+let usage () =
+  prerr_endline "usage: validate.exe [FILE | --manifest FILE | --metrics FILE]";
+  exit 2
+
 let () =
-  let path = if Array.length Sys.argv > 1 then Sys.argv.(1) else newest_bench_json () in
-  match validate (parse (read_file path)) with
-  | n -> Printf.printf "validate: %s ok (%d metric series)\n" path n
-  | exception Parse_error msg ->
+  let mode, path =
+    match Array.to_list Sys.argv with
+    | [ _ ] -> (`Bench, newest_bench_json ())
+    | [ _; "--manifest"; file ] -> (`Manifest, file)
+    | [ _; "--metrics"; file ] -> (`Metrics, file)
+    | [ _; file ] when String.length file > 0 && file.[0] <> '-' -> (`Bench, file)
+    | _ -> usage ()
+  in
+  match
+    let json = parse (read_file path) in
+    match mode with
+    | `Bench -> validate_bench json
+    | `Metrics -> validate_metrics_file json
+    | `Manifest -> validate_manifest ~dir:(Filename.dirname path) json
+  with
+  | summary -> Printf.printf "validate: %s ok (%s)\n" path summary
+  | exception Check_error msg | exception Error msg ->
       Printf.eprintf "validate: %s: %s\n" path msg;
+      exit 1
+  | exception Sys_error msg ->
+      Printf.eprintf "validate: %s\n" msg;
       exit 1

@@ -56,10 +56,24 @@ let jobs_arg =
 
 (* Run [f] with a domain pool sized from --jobs / DHT_RCM_JOBS /
    Domain.recommended_domain_count, or with no pool when that size
-   is 1 (the sequential path). *)
+   is 1 (the sequential path). The resolved count lands in the
+   provenance manifest when one is open. *)
 let with_jobs jobs f =
   let domains = match jobs with Some n -> n | None -> Exec.Pool.default_domains () in
+  Obs.Manifest.note "jobs" (Obs.Manifest.Int domains);
   if domains <= 1 then f None else Exec.Pool.with_pool ~domains (fun pool -> f (Some pool))
+
+(* --- Observability options (one shared block for every subcommand) --------- *)
+
+type obs_opts = {
+  metrics : bool;  (* human summary on stderr *)
+  trace_out : string option;
+  metrics_out : string option;  (* JSON snapshot sink *)
+  metrics_prom : string option;  (* Prometheus textfile sink *)
+  manifest : string option;
+  progress : bool option;  (* None = auto (TTY detection) *)
+  obs_interval : float option;  (* heartbeat period, seconds *)
+}
 
 let metrics_arg =
   let doc =
@@ -72,26 +86,141 @@ let metrics_arg =
 let trace_arg =
   let doc =
     "Write a JSONL trace (one object per line: overlay-build, failure-injection and \
-     estimation spans with wall-clock durations) to $(docv). See README, \
-     \"Observability\", for the schema."
+     estimation spans with wall-clock durations) to $(docv); analyse it afterwards with \
+     $(b,dhtlab trace report). See README, \"Observability\", for the schema."
   in
   Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
 
-(* Enable the requested observability sinks around [f]: metrics summary
-   to stderr (stdout stays byte-identical to an uninstrumented run),
-   trace JSONL to the requested file. The trace goes through
-   [Obs.Trace.open_file] (write temp, rename on close), and the
-   [Fun.protect] finally runs on any unwind — including cooperative
-   cancellation — so an interrupted run still leaves a complete,
-   renamed trace file and prints its metrics summary. *)
-let with_obs ~metrics ~trace_out f =
-  if metrics then Obs.Metrics.set_enabled true;
-  (match trace_out with Some path -> Obs.Trace.open_file path | None -> ());
-  Fun.protect
-    ~finally:(fun () ->
-      Obs.Trace.close ();
-      if metrics then Fmt.epr "%a@." Obs.Metrics.pp_summary ())
-    f
+let metrics_out_arg =
+  let doc =
+    "Write the metrics snapshot as JSON to $(docv) when the run ends (atomically; also \
+     re-written on every $(b,--obs-interval) heartbeat). Implies metrics collection \
+     without the stderr summary."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
+let metrics_prom_arg =
+  let doc =
+    "Write the metrics snapshot in the Prometheus text exposition format to $(docv) \
+     (atomically; re-written on every heartbeat) — point the node_exporter textfile \
+     collector at it to scrape long runs. Implies metrics collection."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics-prom" ] ~docv:"FILE" ~doc)
+
+let manifest_arg =
+  let doc =
+    "Write a JSON provenance manifest to $(docv) when the run ends: argv, resolved \
+     jobs, seed and geometry parameters, hostname, OCaml version, wall-clock start/end, \
+     exit status, and the path, size and MD5 checksum of every artefact the run \
+     produced. $(b,export) writes one automatically."
+  in
+  Arg.(value & opt (some string) None & info [ "manifest" ] ~docv:"FILE" ~doc)
+
+let progress_term =
+  let progress =
+    Arg.(value & flag
+         & info [ "progress" ]
+             ~doc:"Force the live progress line on, even when stderr is not a TTY.")
+  in
+  let no_progress =
+    Arg.(value & flag
+         & info [ "no-progress" ]
+             ~doc:"Force the live progress line off (default: on iff stderr is a TTY).")
+  in
+  let resolve on off = if off then Some false else if on then Some true else None in
+  Term.(const resolve $ progress $ no_progress)
+
+let obs_interval_arg =
+  let doc =
+    "Heartbeat period in seconds: every $(docv) seconds re-flush the \
+     $(b,--metrics-out) / $(b,--metrics-prom) sinks and the trace (emitting a trace \
+     $(b,heartbeat) event), so a run that dies hard still leaves telemetry at most one \
+     period old."
+  in
+  Arg.(value & opt (some float) None & info [ "obs-interval" ] ~docv:"SECS" ~doc)
+
+let obs_term =
+  let make metrics trace_out metrics_out metrics_prom manifest progress obs_interval =
+    { metrics; trace_out; metrics_out; metrics_prom; manifest; progress; obs_interval }
+  in
+  Term.(
+    const make $ metrics_arg $ trace_arg $ metrics_out_arg $ metrics_prom_arg
+    $ manifest_arg $ progress_term $ obs_interval_arg)
+
+(* Both sinks are rewritten from one snapshot so a heartbeat cannot
+   publish two different views of the same instant. *)
+let write_metric_sinks opts =
+  if opts.metrics_out <> None || opts.metrics_prom <> None then begin
+    let snapshot = Obs.Metrics.snapshot () in
+    Option.iter
+      (fun path ->
+        Obs.Atomic_file.write path (fun oc ->
+            output_string oc (Obs.Metrics.json_of_snapshot snapshot)))
+      opts.metrics_out;
+    Option.iter
+      (fun path ->
+        Obs.Atomic_file.write path (fun oc ->
+            output_string oc (Obs.Metrics.prometheus_of_snapshot snapshot)))
+      opts.metrics_prom
+  end
+
+(* Enable the requested observability around [f]: metrics (stderr
+   summary and/or file sinks), JSONL trace, live progress line,
+   provenance manifest and the heartbeat that keeps the file sinks
+   fresh. Teardown runs on every exit path — normal return, cooperative
+   cancellation, any other exception — in dependency order: stop the
+   heartbeat (so nothing races the final writes), erase the progress
+   line, close the trace (rename .tmp into place), rewrite the metric
+   sinks, print the summary, and only then finalise the manifest so its
+   checksums cover the finished artefacts. Everything here observes the
+   run: stdout and every exported artefact are byte-identical whatever
+   combination of these options is enabled (pinned by test/test_cli.ml). *)
+let with_obs opts f =
+  if opts.metrics || opts.metrics_out <> None || opts.metrics_prom <> None then
+    Obs.Metrics.set_enabled true;
+  Obs.Progress.set_mode
+    (match opts.progress with
+    | Some true -> Obs.Progress.On
+    | Some false -> Obs.Progress.Off
+    | None -> Obs.Progress.Auto);
+  (match opts.manifest with
+  | Some path -> Obs.Manifest.start ~argv:(Array.to_list Sys.argv) ~path
+  | None -> ());
+  (match opts.trace_out with
+  | Some path ->
+      Obs.Trace.open_file path;
+      Obs.Manifest.add_artefact ~kind:"trace" path
+  | None -> ());
+  Option.iter (fun p -> Obs.Manifest.add_artefact ~kind:"metrics-json" p) opts.metrics_out;
+  Option.iter (fun p -> Obs.Manifest.add_artefact ~kind:"metrics-prom" p) opts.metrics_prom;
+  (match opts.obs_interval with
+  | Some secs ->
+      Obs.Heartbeat.start ~interval_s:secs (fun () ->
+          write_metric_sinks opts;
+          if Obs.Trace.enabled () then begin
+            Obs.Trace.event "heartbeat" ();
+            Obs.Trace.flush ()
+          end)
+  | None -> ());
+  let finish exit_status =
+    Obs.Heartbeat.stop ();
+    Obs.Progress.finish ();
+    Obs.Progress.set_mode Obs.Progress.Off;
+    Obs.Trace.close ();
+    write_metric_sinks opts;
+    if opts.metrics then Fmt.epr "%a@." Obs.Metrics.pp_summary ();
+    Obs.Manifest.finish ~exit_status
+  in
+  match f () with
+  | v ->
+      finish 0;
+      v
+  | exception (Exec.Cancel.Cancelled as e) ->
+      finish Exec.Cancel.exit_code;
+      raise e
+  | exception e ->
+      finish 1;
+      raise e
 
 let csv_arg =
   let doc = "Emit CSV instead of an aligned table." in
@@ -197,7 +326,21 @@ let json_arg =
   let doc = "Emit one JSON object per grid point instead of the human-readable lines." in
   Arg.(value & flag & info [ "json" ] ~doc)
 
-let simulate geometry bits q trials pairs seed jobs metrics trace_out csv json smoke retries
+(* Record the simulation parameters the output depends on, so a
+   manifest alone is enough to reproduce the run. No-ops without
+   --manifest. *)
+let note_sim_params ~subcommand ~geometries ~bits ~trials ~pairs ~seed ~qs =
+  Obs.Manifest.note "subcommand" (Obs.Manifest.String subcommand);
+  Obs.Manifest.note "geometries"
+    (Obs.Manifest.Strings (List.map Rcm.Geometry.name geometries));
+  Obs.Manifest.note "bits" (Obs.Manifest.Int bits);
+  Obs.Manifest.note "trials" (Obs.Manifest.Int trials);
+  Obs.Manifest.note "pairs" (Obs.Manifest.Int pairs);
+  Obs.Manifest.note "seed" (Obs.Manifest.Int seed);
+  Obs.Manifest.note "qs"
+    (Obs.Manifest.Strings (List.map (Printf.sprintf "%g") qs))
+
+let simulate geometry bits q trials pairs seed jobs obs csv json smoke retries
     fault checkpoint_path resume checkpoint_every =
   let bits, trials, pairs = if smoke then (8, 6, 200) else (bits, trials, pairs) in
   let geometries = geometries_of_opt geometry in
@@ -218,7 +361,11 @@ let simulate geometry bits q trials pairs seed jobs metrics trace_out csv json s
   in
   Exec.Cancel.install ();
   match
-    with_obs ~metrics ~trace_out @@ fun () ->
+    with_obs obs @@ fun () ->
+    note_sim_params ~subcommand:"simulate" ~geometries ~bits ~trials ~pairs ~seed ~qs;
+    Option.iter
+      (fun path -> Obs.Manifest.add_artefact ~kind:"checkpoint" path)
+      checkpoint_path;
     with_jobs jobs (fun pool ->
         if csv then print_endline Sim.Estimate.csv_header;
         List.iter
@@ -261,7 +408,7 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc)
     Term.(
       const simulate $ geometry_arg $ bits_arg ~default:12 $ q_arg $ trials_arg $ pairs_arg
-      $ seed_arg $ jobs_arg $ metrics_arg $ trace_arg $ csv_arg $ json_arg $ smoke_arg
+      $ seed_arg $ jobs_arg $ obs_term $ csv_arg $ json_arg $ smoke_arg
       $ retries_arg $ inject_fault_arg $ checkpoint_arg $ resume_arg $ checkpoint_every_arg)
 
 (* --- figure ------------------------------------------------------------------- *)
@@ -339,9 +486,12 @@ let figure_series ?pool name quick =
       Fmt.failwith "unknown figure %S (expected one of %s)" other
         (String.concat ", " figure_names)
 
-let figure name quick csv plot jobs metrics trace_out =
+let figure name quick csv plot jobs obs =
   let series =
-    with_obs ~metrics ~trace_out (fun () ->
+    with_obs obs (fun () ->
+        Obs.Manifest.note "subcommand" (Obs.Manifest.String "figure");
+        Obs.Manifest.note "figure" (Obs.Manifest.String name);
+        Obs.Manifest.note "quick" (Obs.Manifest.Bool quick);
         with_jobs jobs (fun pool -> figure_series ?pool name quick))
   in
   print_series ~csv series;
@@ -355,28 +505,37 @@ let figure_cmd =
   in
   Cmd.v (Cmd.info "figure" ~doc)
     Term.(
-      const figure $ figure_name $ quick_arg $ csv_arg $ plot_arg $ jobs_arg $ metrics_arg
-      $ trace_arg)
+      const figure $ figure_name $ quick_arg $ csv_arg $ plot_arg $ jobs_arg $ obs_term)
 
 (* --- export ----------------------------------------------------------------- *)
 
-let export dir quick jobs metrics trace_out =
+let export dir quick jobs obs =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  (* Every export gets a provenance manifest next to its CSVs unless
+     the caller pointed --manifest elsewhere. *)
+  let obs =
+    match obs.manifest with
+    | Some _ -> obs
+    | None -> { obs with manifest = Some (Filename.concat dir "manifest.json") }
+  in
+  with_obs obs @@ fun () ->
+  Obs.Manifest.note "subcommand" (Obs.Manifest.String "export");
+  Obs.Manifest.note "quick" (Obs.Manifest.Bool quick);
   let written =
-    with_obs ~metrics ~trace_out @@ fun () ->
     with_jobs jobs (fun pool ->
-    List.map
-      (fun name ->
-        let series = figure_series ?pool name quick in
-        let path = Filename.concat dir (name ^ ".csv") in
-        (* Atomic (temp + rename): a crash mid-export leaves either the
-           previous file or the new one, never a truncated CSV that a
-           plotting script would silently read. *)
-        Obs.Atomic_file.write path (fun oc ->
-            output_string oc (Experiments.Series.to_csv series));
-        Fmt.pr "wrote %s@." path;
-        (name, series))
-      figure_names)
+        List.map
+          (fun name ->
+            let series = figure_series ?pool name quick in
+            let path = Filename.concat dir (name ^ ".csv") in
+            (* Atomic (temp + rename): a crash mid-export leaves either the
+               previous file or the new one, never a truncated CSV that a
+               plotting script would silently read. *)
+            Obs.Atomic_file.write path (fun oc ->
+                output_string oc (Experiments.Series.to_csv series));
+            Obs.Manifest.add_artefact ~kind:"csv" path;
+            Fmt.pr "wrote %s@." path;
+            (name, series))
+          figure_names)
   in
   (* A gnuplot driver that renders every exported CSV. *)
   let gp = Filename.concat dir "plots.gp" in
@@ -394,29 +553,41 @@ let export dir quick jobs metrics trace_out =
           done;
           output_string oc "\npause -1 'press enter'\n")
         written);
+  Obs.Manifest.add_artefact ~kind:"gnuplot" gp;
   Fmt.pr "wrote %s@." gp
 
 let export_cmd =
-  let doc = "Export every figure as CSV plus a gnuplot script." in
+  let doc =
+    "Export every figure as CSV plus a gnuplot script and a provenance manifest."
+  in
   let dir =
     Arg.(value & opt string "results" & info [ "o"; "out" ] ~docv:"DIR" ~doc:"Output directory.")
   in
   Cmd.v (Cmd.info "export" ~doc)
-    Term.(const export $ dir $ quick_arg $ jobs_arg $ metrics_arg $ trace_arg)
+    Term.(const export $ dir $ quick_arg $ jobs_arg $ obs_term)
 
 (* --- scalability ----------------------------------------------------------------- *)
 
-let scalability q =
+let scalability q obs =
   let q = Option.value ~default:0.1 q in
-  let report = Experiments.Classification.run ~q () in
-  Fmt.pr "%a@." Experiments.Classification.pp report;
-  Fmt.pr "%a@." Experiments.Critical_q.pp_rows (Experiments.Critical_q.run ());
-  Fmt.pr "%a@." Experiments.Thresholds.pp_rows (Experiments.Thresholds.run ());
-  if not (Experiments.Classification.all_agree report) then exit 1
+  (* [exit 1] must not bypass with_obs teardown, so the agreement check
+     runs after the observed section finishes (manifest exit_status 0:
+     the run itself completed; disagreement is a verdict, not a crash). *)
+  let ok =
+    with_obs obs @@ fun () ->
+    Obs.Manifest.note "subcommand" (Obs.Manifest.String "scalability");
+    Obs.Manifest.note "q" (Obs.Manifest.Float q);
+    let report = Experiments.Classification.run ~q () in
+    Fmt.pr "%a@." Experiments.Classification.pp report;
+    Fmt.pr "%a@." Experiments.Critical_q.pp_rows (Experiments.Critical_q.run ());
+    Fmt.pr "%a@." Experiments.Thresholds.pp_rows (Experiments.Thresholds.run ());
+    Experiments.Classification.all_agree report
+  in
+  if not ok then exit 1
 
 let scalability_cmd =
   let doc = "Scalability classification of all geometries (section 5 of the paper)." in
-  Cmd.v (Cmd.info "scalability" ~doc) Term.(const scalability $ q_arg)
+  Cmd.v (Cmd.info "scalability" ~doc) Term.(const scalability $ q_arg $ obs_term)
 
 (* --- validate ----------------------------------------------------------------- *)
 
@@ -448,15 +619,17 @@ let validate_cmd =
 
 (* --- percolation ----------------------------------------------------------------- *)
 
-let percolation geometry bits trials pairs seed csv jobs metrics trace_out =
+let percolation geometry bits trials pairs seed csv jobs obs =
   let cfg =
     { Experiments.Connectivity.default_config with bits; trials; pairs; seed }
   in
-  with_obs ~metrics ~trace_out @@ fun () ->
+  let geometries = geometries_of_opt geometry in
+  with_obs obs @@ fun () ->
+  note_sim_params ~subcommand:"percolation" ~geometries ~bits ~trials ~pairs ~seed ~qs:[];
   with_jobs jobs (fun pool ->
       List.iter
         (fun g -> print_series ~csv (Experiments.Connectivity.run ?pool cfg g))
-        (geometries_of_opt geometry))
+        geometries)
 
 let percolation_cmd =
   let doc = "Pair-connectivity vs routability on identical failed overlays (experiment A1)." in
@@ -464,7 +637,7 @@ let percolation_cmd =
     (Cmd.info "percolation" ~doc)
     Term.(
       const percolation $ geometry_arg $ bits_arg ~default:12 $ trials_arg $ pairs_arg
-      $ seed_arg $ csv_arg $ jobs_arg $ metrics_arg $ trace_arg)
+      $ seed_arg $ csv_arg $ jobs_arg $ obs_term)
 
 (* --- churn ----------------------------------------------------------------- *)
 
@@ -532,6 +705,74 @@ let route_cmd =
     (Cmd.info "route" ~doc)
     Term.(const route $ geometry_arg $ bits_arg ~default:8 $ q_arg $ src $ dst $ seed_arg)
 
+(* --- trace ----------------------------------------------------------------- *)
+
+let allow_partial_arg =
+  let doc =
+    "Tolerate unparseable lines (counted and reported on stderr) instead of failing on \
+     the first one. Needed to read the $(b,.tmp) file a hard-killed run leaves behind, \
+     whose final line may be cut off mid-record."
+  in
+  Arg.(value & flag & info [ "allow-partial" ] ~doc)
+
+let trace_file_arg =
+  Arg.(required & pos 0 (some string) None
+       & info [] ~docv:"TRACE" ~doc:"JSONL trace written with $(b,--trace-out).")
+
+(* Load a trace, translating the two expected failure modes into
+   messages and exit 1 rather than a backtrace. *)
+let load_trace ~allow_partial file =
+  match Obs.Trace_reader.load ~allow_partial file with
+  | { Obs.Trace_reader.records; skipped } ->
+      if skipped > 0 then
+        Fmt.epr "dhtlab trace: skipped %d unparseable line(s) in %s@." skipped file;
+      records
+  | exception Obs.Trace_reader.Corrupt msg ->
+      Fmt.epr "dhtlab trace: %s: %s@." file msg;
+      Fmt.epr "(a trace cut off mid-write can be read with --allow-partial)@.";
+      exit 1
+  | exception Sys_error msg ->
+      Fmt.epr "dhtlab trace: %s@." msg;
+      exit 1
+
+let trace_report file allow_partial top =
+  let records = load_trace ~allow_partial file in
+  Fmt.pr "%a@?" Obs.Trace_reader.pp_report (Obs.Trace_reader.analyze ~top records)
+
+let trace_report_cmd =
+  let doc =
+    "Aggregate a JSONL trace: per-span count/total/p50/p99, per-domain utilisation and \
+     imbalance, per-geometry hop-count distributions, slowest spans."
+  in
+  let top =
+    Arg.(value & opt int 5
+         & info [ "top" ] ~docv:"K" ~doc:"How many of the slowest spans to list.")
+  in
+  Cmd.v (Cmd.info "report" ~doc)
+    Term.(const trace_report $ trace_file_arg $ allow_partial_arg $ top)
+
+let trace_export_chrome file out allow_partial =
+  let records = load_trace ~allow_partial file in
+  Obs.Atomic_file.write out (fun oc -> Obs.Trace_reader.export_chrome records oc);
+  Fmt.pr "wrote %s@." out
+
+let trace_export_chrome_cmd =
+  let doc =
+    "Convert a JSONL trace to the Chrome trace-event format, viewable in Perfetto \
+     (ui.perfetto.dev) or chrome://tracing."
+  in
+  let out =
+    Arg.(required & opt (some string) None
+         & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output JSON file.")
+  in
+  Cmd.v
+    (Cmd.info "export-chrome" ~doc)
+    Term.(const trace_export_chrome $ trace_file_arg $ out $ allow_partial_arg)
+
+let trace_cmd =
+  let doc = "Analyse JSONL traces recorded with $(b,--trace-out)." in
+  Cmd.group (Cmd.info "trace" ~doc) [ trace_report_cmd; trace_export_chrome_cmd ]
+
 (* --- main ----------------------------------------------------------------- *)
 
 let main_cmd =
@@ -548,6 +789,7 @@ let main_cmd =
       churn_cmd;
       route_cmd;
       export_cmd;
+      trace_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -224,6 +224,7 @@ let supervised ?(retries = 0) ~task k =
       | exception e ->
           let error = Printexc.to_string e in
           if i <= retries then begin
+            Obs.Progress.note_retry ();
             if Obs.Metrics.enabled () then Obs.Metrics.incr_named "supervisor/retries";
             if Obs.Trace.enabled () then
               Obs.Trace.event "supervisor/retry"
@@ -241,6 +242,7 @@ let supervised ?(retries = 0) ~task k =
             attempt (i + 1)
           end
           else begin
+            Obs.Progress.note_failed ();
             if Obs.Metrics.enabled () then Obs.Metrics.incr_named "supervisor/failed_trials";
             if Obs.Trace.enabled () then
               Obs.Trace.event "supervisor/failed"

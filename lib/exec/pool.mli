@@ -66,7 +66,10 @@ val map_reduce : t -> n:int -> map:(int -> 'a) -> init:'b -> fold:('b -> 'a -> '
     When {!Obs.Metrics} is enabled, supervisors count
     [supervisor/retries], [supervisor/failed_trials] and
     [supervisor/cancelled]; {!Obs.Trace} receives [supervisor/retry]
-    and [supervisor/failed] events naming the task and error. *)
+    and [supervisor/failed] events naming the task and error. Retries
+    and exhausted tasks are also reported to {!Obs.Progress} (the live
+    progress line's failed/retried counters); like the rest of the
+    instrumentation this is observation-only. *)
 
 type 'a outcome =
   | Done of 'a

@@ -1,0 +1,52 @@
+type runner = { stop_flag : bool Atomic.t; domain : unit Domain.t }
+
+let lock = Mutex.create ()
+
+let current : runner option ref = ref None
+
+(* The stdlib has no timed condition wait, so the loop sleeps in short
+   slices and re-checks the stop flag: [stop] returns within ~50 ms of
+   the request instead of up to a whole interval later. *)
+let poll_slice = 0.05
+
+let loop ~interval_s ~stop_flag beat =
+  let rec wait remaining =
+    if not (Atomic.get stop_flag) then begin
+      let slice = Float.min poll_slice remaining in
+      Unix.sleepf slice;
+      let remaining = remaining -. slice in
+      if remaining <= 0.0 then begin
+        if not (Atomic.get stop_flag) then begin
+          (try beat () with _ -> () (* a failing beat must not kill the run *));
+          wait interval_s
+        end
+      end
+      else wait remaining
+    end
+  in
+  wait interval_s
+
+let stop_locked () =
+  match !current with
+  | None -> ()
+  | Some { stop_flag; domain } ->
+      Atomic.set stop_flag true;
+      Domain.join domain;
+      current := None
+
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let stop () = with_lock stop_locked
+
+let active () = with_lock (fun () -> !current <> None)
+
+let start ~interval_s beat =
+  if not (Float.is_finite interval_s) || interval_s <= 0.0 then
+    invalid_arg "Obs.Heartbeat.start: interval must be positive";
+  with_lock (fun () ->
+      stop_locked ();
+      let stop_flag = Atomic.make false in
+      let domain = Domain.spawn (fun () -> loop ~interval_s ~stop_flag beat) in
+      current := Some { stop_flag; domain })

@@ -1,0 +1,25 @@
+(** Periodic telemetry re-flush on a background domain.
+
+    A multi-hour run that dies hard (SIGKILL, OOM) should still leave
+    fresh telemetry behind: the heartbeat re-runs a caller-supplied
+    beat — typically "rewrite the metrics sinks, emit a trace
+    [heartbeat] event, flush the trace channel" — every [interval_s]
+    seconds on its own domain, independent of how long trials take.
+
+    Process-wide singleton. The beat callback runs on the heartbeat's
+    domain, so it must only call domain-safe observability entry points
+    ({!Metrics}, {!Trace}, {!Atomic_file} writes to paths nothing else
+    writes concurrently). Observation-only, like everything in this
+    library. *)
+
+val start : interval_s:float -> (unit -> unit) -> unit
+(** Start beating every [interval_s] seconds (the first beat happens
+    one interval after [start]). Replaces (stops) a running heartbeat.
+    @raise Invalid_argument if [interval_s <= 0]. *)
+
+val active : unit -> bool
+
+val stop : unit -> unit
+(** Stop and join the heartbeat domain; returns once no further beat
+    can run. Idempotent. Call before final sink flushes so the
+    heartbeat cannot race them. *)

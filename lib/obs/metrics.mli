@@ -105,3 +105,17 @@ val json_of_snapshot : snapshot -> string
 
 val to_json : unit -> string
 (** [json_of_snapshot (snapshot ())]. *)
+
+val prometheus_of_snapshot : snapshot -> string
+(** The snapshot in the Prometheus text exposition format (what the
+    node_exporter textfile collector scrapes). Counters become
+    [dhtlab_<name>_total] counter families; histograms become summary
+    families with [quantile="0.5"|"0.9"|"0.99"] samples plus [_sum] and
+    [_count]. Internal names are sanitised to legal metric names
+    ([/ -> _], "dhtlab_" prefix) and a trailing ["[k=v]"] suffix (the
+    per-q latency series) becomes a real [k="v"] label, so a q-grid
+    stays one metric family. Non-finite values render as
+    [NaN]/[+Inf]/[-Inf], which the format supports natively. *)
+
+val to_prometheus : unit -> string
+(** [prometheus_of_snapshot (snapshot ())]. *)

@@ -7,7 +7,19 @@ type value = String of string | Int of int | Float of float | Bool of bool
    truncated trace at the requested path. *)
 let lock = Mutex.create ()
 
-type target = { oc : out_channel; rename_to : (string * string) option }
+type target = {
+  oc : out_channel;
+  rename_to : (string * string) option;
+  mutable unflushed : int;
+}
+
+(* A hard-killed run never runs [close]: without periodic flushing the
+   whole trace would sit in the channel buffer and the ".tmp" file on
+   disk would stay empty. Flushing every [flush_interval] records (and
+   on every heartbeat, via [flush]) bounds the loss to the last few
+   records; "dhtlab trace report --allow-partial" reads the possibly
+   mid-line ".tmp" that such a kill leaves behind. *)
+let flush_interval = 32
 
 let sink : target option ref = ref None
 
@@ -33,13 +45,26 @@ let install target =
       sink := target;
       Atomic.set active (target <> None))
 
-let set_sink oc = install (Option.map (fun oc -> { oc; rename_to = None }) oc)
+let set_sink oc = install (Option.map (fun oc -> { oc; rename_to = None; unflushed = 0 }) oc)
 
 let open_file path =
   let tmp = Atomic_file.temp_path path in
-  install (Some { oc = open_out tmp; rename_to = Some (tmp, path) })
+  install (Some { oc = open_out tmp; rename_to = Some (tmp, path); unflushed = 0 })
 
 let close () = install None
+
+let flush () =
+  if Atomic.get active then begin
+    Mutex.lock lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock lock)
+      (fun () ->
+        match !sink with
+        | Some target ->
+            target.unflushed <- 0;
+            (try Stdlib.flush target.oc with Sys_error _ -> ())
+        | None -> ())
+  end
 
 let with_file path f =
   open_file path;
@@ -86,7 +111,13 @@ let emit ~kind ~name ?dur_s attrs =
     ~finally:(fun () -> Mutex.unlock lock)
     (fun () ->
       match !sink with
-      | Some { oc; _ } -> Buffer.output_buffer oc buffer
+      | Some target ->
+          Buffer.output_buffer target.oc buffer;
+          target.unflushed <- target.unflushed + 1;
+          if target.unflushed >= flush_interval then begin
+            target.unflushed <- 0;
+            try Stdlib.flush target.oc with Sys_error _ -> ()
+          end
       | None -> () (* sink removed since the atomic check: drop the record *))
 
 let span name ?(attrs = []) f =

@@ -47,5 +47,16 @@ val span : string -> ?attrs:(string * value) list -> (unit -> 'a) -> 'a
 val event : string -> ?attrs:(string * value) list -> unit -> unit
 (** Emit an instant event (no duration). No-op when disabled. *)
 
+val flush : unit -> unit
+(** Flush the sink's channel to disk without closing it. Records are
+    also auto-flushed every {!flush_interval} records, so a hard-killed
+    run (SIGKILL, OOM) leaves at most the last few records in the
+    channel buffer. The on-disk file is still the staging ["<path>.tmp"]
+    until {!close} renames it; recover such a file with
+    [dhtlab trace report --allow-partial]. *)
+
+val flush_interval : int
+(** Records between automatic channel flushes (a constant). *)
+
 val close : unit -> unit
 (** [set_sink None]. *)

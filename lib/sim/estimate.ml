@@ -82,8 +82,28 @@ type trial_stats = {
    All instrumentation below observes after the fact: it reads clocks
    and counters, never [rng], so metrics/tracing cannot shift a single
    PRNG draw (the bit-identity contract of DESIGN.md). *)
+(* Hop counts of one trial as the compact "hops:count,..." string the
+   estimate/trial trace event carries — the per-geometry hop-count
+   distributions [dhtlab trace report] aggregates (the Roos et al.
+   lens on routing behaviour) are rebuilt from these. *)
+let hops_attr hops =
+  let table = Hashtbl.create 16 in
+  List.iter
+    (fun h ->
+      let h = int_of_float h in
+      Hashtbl.replace table h (1 + Option.value ~default:0 (Hashtbl.find_opt table h)))
+    hops;
+  Hashtbl.fold (fun h c acc -> (h, c) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.map (fun (h, c) -> Printf.sprintf "%d:%d" h c)
+  |> String.concat ","
+
 let run_trial cfg cache build_seed =
-  let t0 = Obs.Metrics.now () in
+  (* The clock is read when either subsystem observes this trial;
+     tracing alone must not depend on metrics being enabled. *)
+  let t0 =
+    if Obs.Metrics.enabled () || Obs.Trace.enabled () then Unix.gettimeofday () else 0.0
+  in
   let table, rng = table_for cfg cache build_seed in
   let alive =
     Obs.Trace.span "failure/inject"
@@ -117,13 +137,15 @@ let run_trial cfg cache build_seed =
     end
   in
   if Obs.Metrics.enabled () then begin
-    let elapsed = Obs.Metrics.now () -. t0 in
+    let elapsed = Unix.gettimeofday () -. t0 in
     Obs.Metrics.incr_named "estimate/trials";
     Obs.Metrics.observe_named "estimate/alive_fraction" alive_fraction;
     Obs.Metrics.observe_named "estimate/trial_s" elapsed;
     (* Per-grid-point task latency, keyed by q: the sweep scheduler's
        unit of work is one (trial, q) task. *)
-    Obs.Metrics.observe_named (Printf.sprintf "estimate/task_s[q=%g]" cfg.q) elapsed;
+    Obs.Metrics.observe_named (Printf.sprintf "estimate/task_s[q=%g]" cfg.q) elapsed
+  end;
+  if Obs.Trace.enabled () then
     Obs.Trace.event "estimate/trial"
       ~attrs:
         [
@@ -132,10 +154,10 @@ let run_trial cfg cache build_seed =
           ("alive_fraction", Obs.Trace.Float alive_fraction);
           ("delivered", Obs.Trace.Int stats.t_delivered);
           ("attempted", Obs.Trace.Int stats.t_attempted);
-          ("dur_s", Obs.Trace.Float elapsed);
+          ("dur_s", Obs.Trace.Float (Unix.gettimeofday () -. t0));
+          ("hops", Obs.Trace.String (hops_attr stats.t_hops));
         ]
-      ()
-  end;
+      ();
   stats
 
 (* Reduce trial contributions in index order (the determinism
@@ -234,6 +256,15 @@ let run_sweep ?pool ?cache ?(supervise = false) ?(retries = 0) ?fault ?checkpoin
        [trials] overlays (via [cache]) and the whole grid parallelises
        at once instead of 3 trials at a time. *)
     let n = Array.length qarr * cfg.trials in
+    (* One progress group per grid point; completion ticks come from
+       every path a trial can take (fresh, retried, replayed from a
+       checkpoint), so the live line's count matches the sweep total. *)
+    let group_names = Array.map (fun q -> Printf.sprintf "q=%g" q) qarr in
+    Obs.Progress.start
+      ~label:(Rcm.Geometry.name cfg.geometry)
+      ~groups:(Array.to_list (Array.map (fun g -> (g, cfg.trials)) group_names))
+      ~total:n ();
+    let tick k = Obs.Progress.tick ~group:group_names.(k / cfg.trials) () in
     let task ~attempt k =
       Exec.Fault.inject fault ~task:k ~attempt;
       run_trial configs.(k / cfg.trials) cache seeds.(k mod cfg.trials)
@@ -243,7 +274,11 @@ let run_sweep ?pool ?cache ?(supervise = false) ?(retries = 0) ?fault ?checkpoin
       if not supervised then begin
         (* The historical fast path: trial exceptions propagate and
            abort the sweep, exactly as before this layer existed. *)
-        let plain k = task ~attempt:1 k in
+        let plain k =
+          let s = task ~attempt:1 k in
+          tick k;
+          s
+        in
         let stats =
           match pool with
           | Some pool when Exec.Pool.size pool > 1 -> Exec.Pool.map pool n plain
@@ -259,8 +294,11 @@ let run_sweep ?pool ?cache ?(supervise = false) ?(retries = 0) ?fault ?checkpoin
             Option.bind checkpoint (fun ck -> Checkpoint.find ck (key_of cfg_k ~trial))
           in
           match stored with
-          | Some (Checkpoint.Trial s) -> Exec.Pool.Done (stats_of_stored s)
+          | Some (Checkpoint.Trial s) ->
+              tick k;
+              Exec.Pool.Done (stats_of_stored s)
           | Some (Checkpoint.Failed { attempts; error }) ->
+              tick k;
               Exec.Pool.Failed { attempts; error }
           | None ->
               let outcome = Exec.Pool.supervised ~retries ~task k in
@@ -272,6 +310,9 @@ let run_sweep ?pool ?cache ?(supervise = false) ?(retries = 0) ?fault ?checkpoin
                   Checkpoint.record ck (key_of cfg_k ~trial)
                     (Checkpoint.Failed { attempts; error })
               | (Some _ | None), _ -> ());
+              (match outcome with
+              | Exec.Pool.Cancelled -> () (* not completed: keep the count honest *)
+              | Exec.Pool.Done _ | Exec.Pool.Failed _ -> tick k);
               outcome
         in
         match pool with
@@ -280,6 +321,9 @@ let run_sweep ?pool ?cache ?(supervise = false) ?(retries = 0) ?fault ?checkpoin
       end
     in
     Option.iter Checkpoint.flush checkpoint;
+    (* Erase the live line before anything prints results, also on the
+       cancelled unwind below. *)
+    Obs.Progress.finish ();
     if Array.exists (function Exec.Pool.Cancelled -> true | _ -> false) outcomes then
       (* Completed trials are safe in the checkpoint (flushed above);
          partial per-q results would be misleading, so unwind. *)

@@ -79,10 +79,18 @@ let run_trial ~bits ~q geometry cache build_seed ~pairs =
 let run ?pool ?cache ?(trials = 3) ?(pairs = 2_000) ?(seed = 42) ~bits ~q geometry =
   if trials < 1 then invalid_arg "Percolation.run: need at least one trial";
   let seeds = trial_seeds ~seed ~trials in
+  let group = Printf.sprintf "q=%g" q in
+  Obs.Progress.start
+    ~label:(Rcm.Geometry.name geometry)
+    ~groups:[ (group, trials) ] ~total:trials ();
   let all =
     Array.to_list
-      (map_trials pool trials (fun i -> run_trial ~bits ~q geometry cache seeds.(i) ~pairs))
+      (map_trials pool trials (fun i ->
+           let trial = run_trial ~bits ~q geometry cache seeds.(i) ~pairs in
+           Obs.Progress.tick ~group ();
+           trial))
   in
+  Obs.Progress.finish ();
   let mean f = List.fold_left (fun acc t -> acc +. f t) 0.0 all /. float_of_int trials in
   {
     geometry;

@@ -11,14 +11,28 @@
 #      checkpoint to its first half and resume from that — covers the
 #      partial-resume path even when step 2's signal lost the race.
 #
-# Usage: scripts/chaos_smoke.sh [path-to-dhtlab]
-# Exits non-zero on the first violated invariant.
+# The interrupted and resumed runs also write --manifest/--metrics-out
+# telemetry: both files must exist afterwards (even after SIGINT),
+# leave no .tmp turds, and pass bench/validate.exe's schema and
+# checksum checks — while stdout stays byte-identical to the
+# observability-free baseline.
+#
+# Usage: scripts/chaos_smoke.sh [path-to-dhtlab] [path-to-validate]
+# CHAOS_WORK, when set, names the work directory to use (and keep):
+# CI points it somewhere uploadable so a failure leaves the artefacts
+# behind for inspection. Exits non-zero on the first violated invariant.
 
 set -eu
 
 DHTLAB=${1:-_build/default/bin/dhtlab.exe}
-WORK=$(mktemp -d "${TMPDIR:-/tmp}/chaos_smoke.XXXXXX")
-trap 'rm -rf "$WORK"' EXIT INT TERM
+VALIDATE=${2:-_build/default/bench/validate.exe}
+if [ -n "${CHAOS_WORK:-}" ]; then
+    WORK=$CHAOS_WORK
+    mkdir -p "$WORK"
+else
+    WORK=$(mktemp -d "${TMPDIR:-/tmp}/chaos_smoke.XXXXXX")
+    trap 'rm -rf "$WORK"' EXIT INT TERM
+fi
 
 # One flag set everywhere: outputs must be comparable byte-for-byte.
 ARGS="simulate --smoke -g xor --seed 7 --jobs 2 --trial-retries 1 --inject-fault trial:0.2:9"
@@ -33,6 +47,7 @@ $DHTLAB $ARGS > "$WORK/baseline.txt"
 
 echo "chaos-smoke: 2/5 checkpointed run interrupted by SIGINT"
 $DHTLAB $ARGS --checkpoint "$WORK/ck.jsonl" --checkpoint-every 2 \
+    --manifest "$WORK/int.manifest.json" --metrics-out "$WORK/int.metrics.json" \
     > "$WORK/interrupted.txt" 2> "$WORK/interrupted.err" &
 PID=$!
 # Land the signal mid-sweep if we can; a fast machine may legitimately
@@ -48,11 +63,33 @@ case "$STATUS" in
 esac
 [ -e "$WORK/ck.jsonl" ] || fail "no checkpoint file after interruption"
 [ -e "$WORK/ck.jsonl.tmp" ] && fail "atomic write left ck.jsonl.tmp behind"
+# Even a SIGINT'ed run must leave complete, schema-valid telemetry
+# whose recorded checksums match what is on disk right now.
+[ -e "$WORK/int.manifest.json" ] || fail "no manifest after interruption"
+[ -e "$WORK/int.metrics.json" ] || fail "no metrics snapshot after interruption"
+[ -e "$WORK/int.manifest.json.tmp" ] && fail "atomic write left int.manifest.json.tmp behind"
+[ -e "$WORK/int.metrics.json.tmp" ] && fail "atomic write left int.metrics.json.tmp behind"
+$VALIDATE --manifest "$WORK/int.manifest.json" \
+    || fail "interrupted run's manifest failed validation"
+$VALIDATE --metrics "$WORK/int.metrics.json" \
+    || fail "interrupted run's metrics snapshot failed validation"
+if [ "$STATUS" = 130 ]; then
+    grep -q '"exit_status": 130' "$WORK/int.manifest.json" \
+        || fail "interrupted manifest does not record exit_status 130"
+fi
 
 echo "chaos-smoke: 3/5 resume and diff against the baseline"
-$DHTLAB $ARGS --checkpoint "$WORK/ck.jsonl" --resume > "$WORK/resumed.txt"
+$DHTLAB $ARGS --checkpoint "$WORK/ck.jsonl" --resume \
+    --manifest "$WORK/res.manifest.json" --metrics-out "$WORK/res.metrics.json" \
+    > "$WORK/resumed.txt"
 diff "$WORK/baseline.txt" "$WORK/resumed.txt" \
     || fail "resumed stdout differs from the uninterrupted baseline"
+$VALIDATE --manifest "$WORK/res.manifest.json" \
+    || fail "resumed run's manifest failed validation"
+$VALIDATE --metrics "$WORK/res.metrics.json" \
+    || fail "resumed run's metrics snapshot failed validation"
+grep -q '"exit_status": 0' "$WORK/res.manifest.json" \
+    || fail "resumed manifest does not record exit_status 0"
 
 echo "chaos-smoke: 4/5 deterministic mid-state resume from a truncated checkpoint"
 TOTAL=$(wc -l < "$WORK/ck.jsonl")

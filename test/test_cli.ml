@@ -52,6 +52,12 @@ let test_route_trace () =
   Alcotest.(check bool) "delivered" true (Astring_contains.contains out "delivered");
   Alcotest.(check bool) "hop trace" true (Astring_contains.contains out "hop  0")
 
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
 let test_export_writes_files () =
   let dir = Filename.temp_file "dhtlab" "export" in
   Sys.remove dir;
@@ -61,14 +67,34 @@ let test_export_writes_files () =
     (fun file ->
       let path = Filename.concat dir file in
       if not (Sys.file_exists path) then Alcotest.failf "export missing %s" file)
-    [ "f6a.csv"; "f7b.csv"; "dims.csv"; "plots.gp" ];
+    [ "f6a.csv"; "f7b.csv"; "dims.csv"; "plots.gp"; "manifest.json" ];
   (* The CSVs parse as header + at least one data row. *)
   let ic = open_in (Filename.concat dir "f7b.csv") in
   let header = input_line ic in
   let first = input_line ic in
   close_in ic;
   Alcotest.(check bool) "header has columns" true (String.contains header ',');
-  Alcotest.(check bool) "data row has columns" true (String.contains first ',')
+  Alcotest.(check bool) "data row has columns" true (String.contains first ',');
+  (* The automatic manifest records every CSV with a checksum that
+     matches the bytes on disk. *)
+  let manifest = Obs.Tiny_json.parse (read_file (Filename.concat dir "manifest.json")) in
+  let open Obs.Tiny_json in
+  Alcotest.(check (option int)) "manifest exit status" (Some 0)
+    (Option.bind (member "exit_status" manifest) to_int);
+  let artefacts = Option.get (to_list (Option.get (member "artefacts" manifest))) in
+  Alcotest.(check bool) "one artefact per csv + plots.gp" true
+    (List.length artefacts >= 18);
+  let f6a =
+    List.find
+      (fun a ->
+        match Option.bind (member "path" a) to_str with
+        | Some p -> Filename.basename p = "f6a.csv"
+        | None -> false)
+      artefacts
+  in
+  Alcotest.(check (option string)) "manifest checksum matches disk"
+    (Some (Digest.to_hex (Digest.file (Filename.concat dir "f6a.csv"))))
+    (Option.bind (member "md5" f6a) to_str)
 
 let test_unknown_figure_rejected () =
   match run_capture [ "figure"; "nonsense" ] with
@@ -181,6 +207,106 @@ let test_checkpoint_resume_roundtrip_stdout () =
       check_exit "resumed" status;
       Alcotest.(check string) "resume reproduces stdout byte-for-byte" baseline resumed)
 
+(* The tentpole acceptance criterion: any combination of observability
+   flags leaves stdout byte-identical, while every requested sink file
+   appears, validates, and no .tmp staging file survives. *)
+let test_obs_flags_preserve_stdout () =
+  let dir = Filename.temp_file "dhtlab" "obs" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  let path name = Filename.concat dir name in
+  let args = [ "simulate"; "-g"; "ring"; "--smoke"; "--seed"; "11"; "--jobs"; "2" ] in
+  let status, baseline = run_capture args in
+  check_exit "baseline" status;
+  let status, observed =
+    run_capture
+      (args
+      @ [
+          "--trace-out"; path "t.jsonl"; "--metrics-out"; path "m.json";
+          "--metrics-prom"; path "m.prom"; "--manifest"; path "man.json";
+          "--obs-interval"; "0.05"; "--no-progress";
+        ])
+  in
+  check_exit "observed" status;
+  Alcotest.(check string) "all obs flags leave stdout byte-identical" baseline observed;
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " written") true (Sys.file_exists (path name));
+      Alcotest.(check bool) (name ^ " left no .tmp") false
+        (Sys.file_exists (path name ^ ".tmp")))
+    [ "t.jsonl"; "m.json"; "m.prom"; "man.json" ];
+  let open Obs.Tiny_json in
+  let manifest = parse (read_file (path "man.json")) in
+  Alcotest.(check (option int)) "manifest exit status" (Some 0)
+    (Option.bind (member "exit_status" manifest) to_int);
+  (match member "notes" manifest with
+  | Some notes ->
+      Alcotest.(check (option int)) "manifest resolved jobs" (Some 2)
+        (Option.bind (member "jobs" notes) to_int);
+      Alcotest.(check (option int)) "manifest seed" (Some 11)
+        (Option.bind (member "seed" notes) to_int)
+  | None -> Alcotest.fail "manifest has no notes");
+  (match parse (read_file (path "m.json")) with
+  | Obj _ -> ()
+  | _ -> Alcotest.fail "metrics snapshot is not a JSON object");
+  Alcotest.(check bool) "prometheus sink carries dhtlab_ families" true
+    (Astring_contains.contains (read_file (path "m.prom")) "# TYPE dhtlab_");
+  (* A forced progress line goes to stderr and never stdout. *)
+  let command =
+    Printf.sprintf "%s 2>&1 >/dev/null"
+      (Filename.quote_command binary (args @ [ "--progress" ]))
+  in
+  let status, err = run_capture_shell command in
+  check_exit "simulate --progress" status;
+  Alcotest.(check bool) "progress line painted on stderr" true
+    (Astring_contains.contains err "trials")
+
+let test_trace_cli_report_and_chrome () =
+  let dir = Filename.temp_file "dhtlab" "trace" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  let trace = Filename.concat dir "t.jsonl" in
+  let chrome = Filename.concat dir "t.chrome.json" in
+  let status, _ =
+    run_capture
+      [
+        "simulate"; "-g"; "xor"; "--smoke"; "--seed"; "3"; "--jobs"; "2";
+        "--trace-out"; trace;
+      ]
+  in
+  check_exit "traced simulate" status;
+  let status, report = run_capture [ "trace"; "report"; trace ] in
+  check_exit "trace report" status;
+  List.iter
+    (fun fragment ->
+      Alcotest.(check bool)
+        (Printf.sprintf "report has %s" fragment)
+        true
+        (Astring_contains.contains report fragment))
+    [
+      "==== trace ====";
+      "==== spans ====";
+      "==== domains ====";
+      "==== hops (per geometry) ====";
+      "==== slowest spans ====";
+      "estimate/sweep";
+      "overlay/build";
+      "xor";
+    ];
+  let status, _ = run_capture [ "trace"; "export-chrome"; trace; "-o"; chrome ] in
+  check_exit "trace export-chrome" status;
+  let open Obs.Tiny_json in
+  let json = parse (read_file chrome) in
+  Alcotest.(check (option string)) "chrome time unit" (Some "ms")
+    (Option.bind (member "displayTimeUnit" json) to_str);
+  (match Option.bind (member "traceEvents" json) to_list with
+  | Some events -> Alcotest.(check bool) "chrome export non-empty" true (events <> [])
+  | None -> Alcotest.fail "chrome export has no traceEvents");
+  (* Reading a missing trace is a clean error, not a backtrace. *)
+  match run_capture [ "trace"; "report"; Filename.concat dir "absent.jsonl" ] with
+  | Unix.WEXITED 0, _ -> Alcotest.fail "trace report on a missing file exited 0"
+  | _, _ -> ()
+
 let suite =
   [
     ("binary present", `Quick, test_binary_present);
@@ -199,4 +325,6 @@ let suite =
     ("bad --inject-fault spec rejected", `Quick, test_bad_fault_spec_rejected);
     ("--resume without --checkpoint rejected", `Quick, test_resume_requires_checkpoint);
     ("checkpoint/resume stdout roundtrip", `Quick, test_checkpoint_resume_roundtrip_stdout);
+    ("obs flags preserve stdout + sinks validate", `Quick, test_obs_flags_preserve_stdout);
+    ("trace report/export-chrome CLI", `Quick, test_trace_cli_report_and_chrome);
   ]

@@ -6,6 +6,7 @@ let () =
       ("exec", Test_exec.suite);
       ("resilience", Test_resilience.suite);
       ("obs", Test_obs.suite);
+      ("trace-report", Test_trace_report.suite);
       ("idspace", Test_idspace.suite);
       ("stats", Test_stats.suite);
       ("graph", Test_graph.suite);
