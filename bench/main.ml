@@ -266,6 +266,96 @@ let sweep_speedup ?(trials = 4) ?(pairs_per_trial = 600) () =
     (sequential_s /. parallel_s) sequential_s domains parallel_s;
   (domains, sequential_s, parallel_s)
 
+(* --- Part 4: overlay backend comparison ---------------------------------- *)
+
+(* Classic (per-node heap arrays) versus flat (shared CSR Bigarrays) at
+   large N: build time, routing throughput over one failed instance, the
+   table's payload size, and the kernel's peak-RSS reading for the
+   phase. The flat backend exists to make bits >= 20 runs fit in
+   memory; these records are the evidence. *)
+type overlay_record = {
+  ob_geometry : string;
+  ob_backend : string;
+  ob_bits : int;
+  ob_build_s : float;
+  ob_routes_per_s : float;
+  ob_table_bytes : int;
+  ob_peak_rss_kb : int;
+}
+
+let overlay_backend_bench ~bits ~pairs geometry backend =
+  (* Shrink the heap and reset the watermark so the reading reflects
+     this (geometry, backend) phase, not an earlier one's high water. *)
+  Gc.compact ();
+  Obs.Rss.reset_peak ();
+  let rng = Prng.Splitmix.create ~seed:99 in
+  let t0 = Unix.gettimeofday () in
+  let table = Overlay.Table.build ~rng ~backend ~bits geometry in
+  let build_s = Unix.gettimeofday () -. t0 in
+  let alive = Overlay.Failure.sample ~rng ~q:0.2 (Overlay.Table.node_count table) in
+  let pool = Overlay.Failure.survivors alive in
+  let t1 = Unix.gettimeofday () in
+  let delivered = ref 0 in
+  for _ = 1 to pairs do
+    let src, dst = Stats.Sampler.ordered_pair rng pool in
+    if Routing.Outcome.is_delivered (Routing.Router.route table ~rng ~alive ~src ~dst)
+    then incr delivered
+  done;
+  let route_s = Unix.gettimeofday () -. t1 in
+  {
+    ob_geometry = Rcm.Geometry.name geometry;
+    ob_backend = Overlay.Table.backend_name backend;
+    ob_bits = bits;
+    ob_build_s = build_s;
+    ob_routes_per_s = (if route_s > 0.0 then float_of_int pairs /. route_s else 0.0);
+    ob_table_bytes = Overlay.Table.memory_bytes table;
+    ob_peak_rss_kb = Option.value ~default:0 (Obs.Rss.peak_kb ());
+  }
+
+let overlay_bench ~bits ~pairs () =
+  Fmt.pr "@.==== Overlay backends (classic vs flat, d=%d) ====@.@." bits;
+  let records =
+    List.concat_map
+      (fun geometry ->
+        List.map
+          (fun backend -> overlay_backend_bench ~bits ~pairs geometry backend)
+          [ Overlay.Table.Classic; Overlay.Table.Flat ])
+      [ Rcm.Geometry.Ring; Rcm.Geometry.Xor ]
+  in
+  List.iter
+    (fun r ->
+      Fmt.pr "%-9s %-8s build %7.3fs  %9.0f routes/s  table %8.1f MiB  peak RSS %7.1f MiB@."
+        r.ob_geometry r.ob_backend r.ob_build_s r.ob_routes_per_s
+        (float_of_int r.ob_table_bytes /. 1048576.0)
+        (float_of_int r.ob_peak_rss_kb /. 1024.0))
+    records;
+  records
+
+(* The headline capacity claim: a full Estimate q-sweep over ring and
+   xor on the flat backend at [bits], with the kernel watermark around
+   it. At bits = 20 this is the run that exhausts memory without the
+   flat backend and must stay under 8 GiB with it. *)
+let flat_sweep_bench ~bits ~trials ~pairs () =
+  Gc.compact ();
+  Obs.Rss.reset_peak ();
+  let qs = [ 0.1; 0.3 ] in
+  let geometries = [ Rcm.Geometry.Ring; Rcm.Geometry.Xor ] in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun geometry ->
+      let cache = Overlay.Table_cache.create () in
+      let cfg =
+        Sim.Estimate.config ~trials ~pairs_per_trial:pairs ~seed:1006 ~bits ~q:0.0 geometry
+      in
+      ignore (Sim.Estimate.run_sweep ~cache ~backend:Overlay.Table.Flat cfg qs))
+    geometries;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let peak_rss_kb = Option.value ~default:0 (Obs.Rss.peak_kb ()) in
+  Fmt.pr "@.flat sweep d=%d (ring+xor, %d trials x %d qs x %d pairs): %.3fs, peak RSS %.1f MiB@."
+    bits trials (List.length qs) pairs wall_s
+    (float_of_int peak_rss_kb /. 1024.0);
+  (bits, trials, wall_s, peak_rss_kb)
+
 (* --- Machine-readable output --------------------------------------------- *)
 
 let json_escape s =
@@ -278,7 +368,7 @@ let json_escape s =
     s;
   Buffer.contents buffer
 
-let write_json rows ~domains ~sequential_s ~parallel_s =
+let write_json rows ~domains ~sequential_s ~parallel_s ~overlay ~flat_sweep =
   let tm = Unix.localtime (Unix.time ()) in
   let date =
     Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
@@ -300,6 +390,22 @@ let write_json rows ~domains ~sequential_s ~parallel_s =
       Printf.fprintf oc "    \"sequential_s\": %.6f,\n" sequential_s;
       Printf.fprintf oc "    \"parallel_s\": %.6f,\n" parallel_s;
       Printf.fprintf oc "    \"speedup\": %.4f\n  },\n" (sequential_s /. parallel_s);
+      Printf.fprintf oc "  \"overlay\": [\n";
+      List.iteri
+        (fun i r ->
+          Printf.fprintf oc
+            "    {\"geometry\": %S, \"backend\": %S, \"bits\": %d, \"build_s\": %.6f, \
+             \"routes_per_s\": %.1f, \"table_bytes\": %d, \"peak_rss_kb\": %d}%s\n"
+            r.ob_geometry r.ob_backend r.ob_bits r.ob_build_s r.ob_routes_per_s
+            r.ob_table_bytes r.ob_peak_rss_kb
+            (if i = List.length overlay - 1 then "" else ","))
+        overlay;
+      Printf.fprintf oc "  ],\n";
+      let sweep_bits, sweep_trials, sweep_wall_s, sweep_rss_kb = flat_sweep in
+      Printf.fprintf oc
+        "  \"flat_sweep\": {\"bits\": %d, \"trials\": %d, \"wall_s\": %.6f, \
+         \"peak_rss_kb\": %d},\n"
+        sweep_bits sweep_trials sweep_wall_s sweep_rss_kb;
       Printf.fprintf oc "  \"metrics\": %s\n}\n" (Obs.Metrics.to_json ()));
   Fmt.pr "wrote %s@." path
 
@@ -322,4 +428,24 @@ let () =
   let domains, sequential_s, parallel_s =
     if smoke then sweep_speedup ~trials:2 ~pairs_per_trial:150 () else sweep_speedup ()
   in
-  write_json rows ~domains ~sequential_s ~parallel_s
+  (* Backend comparison at 2^20 nodes by default (CI smoke shrinks to
+     2^12); DHT_RCM_BENCH_BITS overrides either way. *)
+  let overlay_bits =
+    match Option.bind (Sys.getenv_opt "DHT_RCM_BENCH_BITS") int_of_string_opt with
+    | Some b when b >= 4 && b <= Idspace.Space.max_bits -> b
+    | Some _ | None -> if smoke then 12 else 20
+  in
+  let overlay =
+    overlay_bench ~bits:overlay_bits ~pairs:(if smoke then 300 else 2_000) ()
+  in
+  let flat_sweep =
+    if smoke then flat_sweep_bench ~bits:overlay_bits ~trials:1 ~pairs:100 ()
+    else flat_sweep_bench ~bits:overlay_bits ~trials:2 ~pairs:500 ()
+  in
+  (* The cumulative process watermark lands in the metrics section as a
+     counter, so the JSON's "metrics" block records peak memory even
+     where the per-phase resets are unsupported. *)
+  Option.iter
+    (fun kb -> Obs.Metrics.incr_named ~by:kb "process/peak_rss_kb")
+    (Obs.Rss.peak_kb ());
+  write_json rows ~domains ~sequential_s ~parallel_s ~overlay ~flat_sweep

@@ -96,6 +96,43 @@ let validate_bench json =
       check_finite path v;
       if v <= 0.0 then fail "%s: expected > 0" path)
     [ "sequential_s"; "parallel_s"; "speedup" ];
+  (* Overlay backend records: one per (geometry, backend), each carrying
+     the build/route timings, the table payload size and the kernel's
+     peak-RSS reading (0 where /proc is unavailable). *)
+  (match as_list "$.overlay" (field "$" json "overlay") with
+  | [] -> fail "$.overlay: empty (backend bench did not run?)"
+  | records ->
+      List.iteri
+        (fun i r ->
+          let path = Printf.sprintf "$.overlay[%d]" i in
+          let backend = as_string (path ^ ".backend") (field path r "backend") in
+          if backend <> "classic" && backend <> "flat" then
+            fail "%s.backend: expected \"classic\" or \"flat\", found %S" path backend;
+          ignore (as_string (path ^ ".geometry") (field path r "geometry"));
+          if as_int (path ^ ".bits") (field path r "bits") < 1 then
+            fail "%s.bits: expected >= 1" path;
+          List.iter
+            (fun key ->
+              let p = path ^ "." ^ key in
+              let v = as_number p (field path r key) in
+              check_finite p v;
+              if v < 0.0 then fail "%s: negative" p)
+            [ "build_s"; "routes_per_s" ];
+          if as_int (path ^ ".table_bytes") (field path r "table_bytes") <= 0 then
+            fail "%s.table_bytes: expected > 0" path;
+          if as_int (path ^ ".peak_rss_kb") (field path r "peak_rss_kb") < 0 then
+            fail "%s.peak_rss_kb: negative" path)
+        records);
+  let fsweep = field "$" json "flat_sweep" in
+  if as_int "$.flat_sweep.bits" (field "$.flat_sweep" fsweep "bits") < 1 then
+    fail "$.flat_sweep.bits: expected >= 1";
+  if as_int "$.flat_sweep.trials" (field "$.flat_sweep" fsweep "trials") < 1 then
+    fail "$.flat_sweep.trials: expected >= 1";
+  let wall = as_number "$.flat_sweep.wall_s" (field "$.flat_sweep" fsweep "wall_s") in
+  check_finite "$.flat_sweep.wall_s" wall;
+  if wall <= 0.0 then fail "$.flat_sweep.wall_s: expected > 0";
+  if as_int "$.flat_sweep.peak_rss_kb" (field "$.flat_sweep" fsweep "peak_rss_kb") < 0 then
+    fail "$.flat_sweep.peak_rss_kb: negative";
   let counters, histograms = validate_metrics "$.metrics" (field "$" json "metrics") in
   (* The smoke sweep always routes through the pool and the overlay
      cache: an empty metrics section means the instrumentation was

@@ -54,6 +54,24 @@ let jobs_arg =
   in
   Arg.(value & opt (some positive_int_conv) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
+let overlay_arg =
+  let doc =
+    "Overlay table representation: $(b,flat) (the default; one compact read-only \
+     struct-of-arrays block per overlay, shared zero-copy across worker domains — \
+     use it for large $(b,--bits) runs) or $(b,classic) (one heap array per node). \
+     Simulated numbers and stdout are byte-identical either way; ablation figures \
+     that build specialised overlays (suffix, fingers, rep-*, sparse, base-*, dims, \
+     sym-bidir, hops, blocks) ignore the flag. The resolved choice lands in the \
+     provenance manifest."
+  in
+  Arg.(value
+       & opt (enum [ ("flat", Overlay.Table.Flat); ("classic", Overlay.Table.Classic) ])
+           Overlay.Table.Flat
+       & info [ "overlay" ] ~docv:"BACKEND" ~doc)
+
+let note_overlay backend =
+  Obs.Manifest.note "overlay" (Obs.Manifest.String (Overlay.Table.backend_name backend))
+
 (* Run [f] with a domain pool sized from --jobs / DHT_RCM_JOBS /
    Domain.recommended_domain_count, or with no pool when that size
    is 1 (the sequential path). The resolved count lands in the
@@ -340,7 +358,7 @@ let note_sim_params ~subcommand ~geometries ~bits ~trials ~pairs ~seed ~qs =
   Obs.Manifest.note "qs"
     (Obs.Manifest.Strings (List.map (Printf.sprintf "%g") qs))
 
-let simulate geometry bits q trials pairs seed jobs obs csv json smoke retries
+let simulate geometry bits q trials pairs seed jobs backend obs csv json smoke retries
     fault checkpoint_path resume checkpoint_every =
   let bits, trials, pairs = if smoke then (8, 6, 200) else (bits, trials, pairs) in
   let geometries = geometries_of_opt geometry in
@@ -363,6 +381,7 @@ let simulate geometry bits q trials pairs seed jobs obs csv json smoke retries
   match
     with_obs obs @@ fun () ->
     note_sim_params ~subcommand:"simulate" ~geometries ~bits ~trials ~pairs ~seed ~qs;
+    note_overlay backend;
     Option.iter
       (fun path -> Obs.Manifest.add_artefact ~kind:"checkpoint" path)
       checkpoint_path;
@@ -375,7 +394,8 @@ let simulate geometry bits q trials pairs seed jobs obs csv json smoke retries
               (* Always supervised: the install'ed SIGINT handler only
                  sets a flag, so the sweep must check it at trial
                  boundaries for Ctrl-C to stop a plain run too. *)
-              Sim.Estimate.run_sweep ?pool ~cache ~supervise:true ~retries ?fault ?checkpoint
+              Sim.Estimate.run_sweep ?pool ~cache ~backend ~supervise:true ~retries ?fault
+                ?checkpoint
                 (Sim.Estimate.config ~trials ~pairs_per_trial:pairs ~seed ~bits
                    ~q:(List.hd qs) g)
                 qs
@@ -408,7 +428,7 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc)
     Term.(
       const simulate $ geometry_arg $ bits_arg ~default:12 $ q_arg $ trials_arg $ pairs_arg
-      $ seed_arg $ jobs_arg $ obs_term $ csv_arg $ json_arg $ smoke_arg
+      $ seed_arg $ jobs_arg $ overlay_arg $ obs_term $ csv_arg $ json_arg $ smoke_arg
       $ retries_arg $ inject_fault_arg $ checkpoint_arg $ resume_arg $ checkpoint_every_arg)
 
 (* --- figure ------------------------------------------------------------------- *)
@@ -419,13 +439,13 @@ let figure_names =
     "rep-ring"; "sparse"; "hops"; "blocks"; "base-tree"; "base-xor"; "dims"; "sym-bidir";
   ]
 
-let figure_series ?pool name quick =
+let figure_series ?pool ?backend name quick =
   let fig6_config =
     if quick then Experiments.Fig6a.quick_config else Experiments.Fig6a.default_config
   in
   match name with
-    | "f6a" -> Experiments.Fig6a.run ?pool fig6_config
-    | "f6b" -> Experiments.Fig6b.run ?pool fig6_config
+    | "f6a" -> Experiments.Fig6a.run ?pool ?backend fig6_config
+    | "f6b" -> Experiments.Fig6b.run ?pool ?backend fig6_config
     | "f7a" -> Experiments.Fig7a.run Experiments.Fig7a.default_config
     | "f7b" -> Experiments.Fig7b.run Experiments.Fig7b.default_config
     | "sym-knobs" ->
@@ -486,13 +506,14 @@ let figure_series ?pool name quick =
       Fmt.failwith "unknown figure %S (expected one of %s)" other
         (String.concat ", " figure_names)
 
-let figure name quick csv plot jobs obs =
+let figure name quick csv plot jobs backend obs =
   let series =
     with_obs obs (fun () ->
         Obs.Manifest.note "subcommand" (Obs.Manifest.String "figure");
         Obs.Manifest.note "figure" (Obs.Manifest.String name);
         Obs.Manifest.note "quick" (Obs.Manifest.Bool quick);
-        with_jobs jobs (fun pool -> figure_series ?pool name quick))
+        note_overlay backend;
+        with_jobs jobs (fun pool -> figure_series ?pool ~backend name quick))
   in
   print_series ~csv series;
   if plot then Experiments.Ascii_plot.print series
@@ -505,11 +526,12 @@ let figure_cmd =
   in
   Cmd.v (Cmd.info "figure" ~doc)
     Term.(
-      const figure $ figure_name $ quick_arg $ csv_arg $ plot_arg $ jobs_arg $ obs_term)
+      const figure $ figure_name $ quick_arg $ csv_arg $ plot_arg $ jobs_arg $ overlay_arg
+      $ obs_term)
 
 (* --- export ----------------------------------------------------------------- *)
 
-let export dir quick jobs obs =
+let export dir quick jobs backend obs =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   (* Every export gets a provenance manifest next to its CSVs unless
      the caller pointed --manifest elsewhere. *)
@@ -521,11 +543,12 @@ let export dir quick jobs obs =
   with_obs obs @@ fun () ->
   Obs.Manifest.note "subcommand" (Obs.Manifest.String "export");
   Obs.Manifest.note "quick" (Obs.Manifest.Bool quick);
+  note_overlay backend;
   let written =
     with_jobs jobs (fun pool ->
         List.map
           (fun name ->
-            let series = figure_series ?pool name quick in
+            let series = figure_series ?pool ~backend name quick in
             let path = Filename.concat dir (name ^ ".csv") in
             (* Atomic (temp + rename): a crash mid-export leaves either the
                previous file or the new one, never a truncated CSV that a
@@ -564,7 +587,7 @@ let export_cmd =
     Arg.(value & opt string "results" & info [ "o"; "out" ] ~docv:"DIR" ~doc:"Output directory.")
   in
   Cmd.v (Cmd.info "export" ~doc)
-    Term.(const export $ dir $ quick_arg $ jobs_arg $ obs_term)
+    Term.(const export $ dir $ quick_arg $ jobs_arg $ overlay_arg $ obs_term)
 
 (* --- scalability ----------------------------------------------------------------- *)
 
@@ -619,16 +642,17 @@ let validate_cmd =
 
 (* --- percolation ----------------------------------------------------------------- *)
 
-let percolation geometry bits trials pairs seed csv jobs obs =
+let percolation geometry bits trials pairs seed csv jobs backend obs =
   let cfg =
     { Experiments.Connectivity.default_config with bits; trials; pairs; seed }
   in
   let geometries = geometries_of_opt geometry in
   with_obs obs @@ fun () ->
   note_sim_params ~subcommand:"percolation" ~geometries ~bits ~trials ~pairs ~seed ~qs:[];
+  note_overlay backend;
   with_jobs jobs (fun pool ->
       List.iter
-        (fun g -> print_series ~csv (Experiments.Connectivity.run ?pool cfg g))
+        (fun g -> print_series ~csv (Experiments.Connectivity.run ?pool ~backend cfg g))
         geometries)
 
 let percolation_cmd =
@@ -637,7 +661,7 @@ let percolation_cmd =
     (Cmd.info "percolation" ~doc)
     Term.(
       const percolation $ geometry_arg $ bits_arg ~default:12 $ trials_arg $ pairs_arg
-      $ seed_arg $ csv_arg $ jobs_arg $ obs_term)
+      $ seed_arg $ csv_arg $ jobs_arg $ overlay_arg $ obs_term)
 
 (* --- churn ----------------------------------------------------------------- *)
 
@@ -677,10 +701,10 @@ let churn_cmd =
 
 (* --- route ----------------------------------------------------------------- *)
 
-let route geometry bits q src dst seed =
+let route geometry bits q src dst seed backend =
   let geometry = Option.value ~default:Rcm.Geometry.Ring geometry in
   let rng = Prng.Splitmix.create ~seed in
-  let table = Overlay.Table.build ~rng ~bits geometry in
+  let table = Overlay.Table.build ~rng ~backend ~bits geometry in
   let q = Option.value ~default:0.0 q in
   let alive = Overlay.Failure.sample ~rng ~q (Overlay.Table.node_count table) in
   alive.(src) <- true;
@@ -703,7 +727,9 @@ let route_cmd =
   in
   Cmd.v
     (Cmd.info "route" ~doc)
-    Term.(const route $ geometry_arg $ bits_arg ~default:8 $ q_arg $ src $ dst $ seed_arg)
+    Term.(
+      const route $ geometry_arg $ bits_arg ~default:8 $ q_arg $ src $ dst $ seed_arg
+      $ overlay_arg)
 
 (* --- trace ----------------------------------------------------------------- *)
 

@@ -14,6 +14,14 @@
     not mutate state shared with other tasks. Tasks must not submit
     nested work to the pool they run on.
 
+    Sharing read-only data with tasks is free: OCaml 5 domains share
+    one heap, so closing over a large immutable structure (an overlay
+    table, say) hands every domain the same physical object — no
+    copying, no serialisation. Flat overlays ([Overlay.Flat]) go one
+    step further: their Bigarray blocks live outside the OCaml heap
+    entirely, so sharing them across domains also adds nothing to any
+    domain's GC marking work.
+
     When {!Obs.Metrics} is enabled, every [map] records per-member
     task counts ([pool/domain<i>/tasks], member 0 being the caller),
     queue wait ([pool/queue_wait_s]) and block runtimes

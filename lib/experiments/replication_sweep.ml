@@ -37,7 +37,7 @@ let simulate_kbucket cfg ~mode ~k q =
 let simulate_ring_successors cfg ~successors q =
   Stats.Binomial_ci.point
     (Table_sim.routability
-       ~build:(fun _rng -> Overlay.Table.build_ring_with_successors ~bits:cfg.bits ~successors)
+       ~build:(fun _rng -> Overlay.Table.build_ring_with_successors ~bits:cfg.bits ~successors ())
        ~q ~trials:cfg.trials ~pairs:cfg.pairs ~seed:cfg.seed)
 
 let xor_series cfg =

@@ -20,7 +20,7 @@ let run cfg =
     [
       ("analysis", fun q -> Rcm.Model.routability Rcm.Geometry.Xor ~d:cfg.bits ~q);
       ( "det-suffix",
-        sim ~build:(fun _rng -> Overlay.Table.build_deterministic_xor ~bits:cfg.bits) );
+        sim ~build:(fun _rng -> Overlay.Table.build_deterministic_xor ~bits:cfg.bits ()) );
       ( "rand-suffix",
         sim ~build:(fun rng -> Overlay.Table.build ~rng ~bits:cfg.bits Rcm.Geometry.Xor) );
     ]

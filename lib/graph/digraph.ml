@@ -32,6 +32,27 @@ let of_adjacency adjacency =
     adjacency;
   { offsets; targets }
 
+(* CSR construction driven by caller-supplied iteration — used to
+   convert flat overlay blocks without materialising per-node rows. *)
+let of_iter ~nodes ~degree ~iter =
+  if nodes < 0 then invalid_arg "Digraph.of_iter: negative node count";
+  let offsets = Array.make (nodes + 1) 0 in
+  for v = 0 to nodes - 1 do
+    offsets.(v + 1) <- offsets.(v) + degree v
+  done;
+  let targets = Array.make offsets.(nodes) 0 in
+  let k = ref 0 in
+  for v = 0 to nodes - 1 do
+    iter v (fun u ->
+        if u < 0 || u >= nodes then
+          invalid_arg "Digraph.of_iter: successor outside node range";
+        targets.(!k) <- u;
+        incr k);
+    if !k <> offsets.(v + 1) then
+      invalid_arg "Digraph.of_iter: iter disagrees with degree"
+  done;
+  { offsets; targets }
+
 let of_edges ~nodes edges =
   if nodes < 0 then invalid_arg "Digraph.of_edges: negative node count";
   let degree = Array.make nodes 0 in

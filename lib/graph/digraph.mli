@@ -11,6 +11,13 @@ val of_adjacency : int array array -> t
 val of_edges : nodes:int -> (int * int) list -> t
 (** @raise Invalid_argument on endpoints outside [0, nodes). *)
 
+val of_iter : nodes:int -> degree:(int -> int) -> iter:(int -> (int -> unit) -> unit) -> t
+(** [of_iter ~nodes ~degree ~iter] builds the graph from caller-supplied
+    per-node iteration, without an intermediate adjacency matrix (used
+    to convert flat overlay blocks).
+    @raise Invalid_argument if [iter v] visits a number of successors
+    other than [degree v], or one outside [0, nodes). *)
+
 val node_count : t -> int
 val edge_count : t -> int
 val out_degree : t -> int -> int

@@ -1,0 +1,63 @@
+(** Flat struct-of-arrays neighbour storage (compressed sparse rows).
+
+    A flat block stores an entire overlay's adjacency in two contiguous
+    Bigarrays — [offsets] (one [int] per node, plus a sentinel) and
+    [targets] (one [int32] per edge, row-major) — instead of one heap
+    array per node. Consequences that the rest of the tree relies on:
+
+    - {b Zero-copy sharing.} Bigarray payloads live outside the OCaml
+      heap, so a block built once is read concurrently by every domain
+      of an {!Exec.Pool} without copying and without adding GC scanning
+      work. Per-trial failures never touch the block: they are an
+      alive-bitset ([bool array]) overlaid at routing time.
+    - {b Compactness.} 4 bytes per edge + 8 per node, versus ~3 heap
+      words per edge-containing row for the classic representation —
+      about 5× smaller at bits = 20, which is what makes 2^20–2^22-node
+      sweeps fit in memory.
+    - {b Immutability by convention.} Nothing in this module mutates a
+      block after construction, and no accessor exposes the underlying
+      Bigarrays. Callers must preserve this: a shared block that one
+      domain mutates would race every other domain. Overlays that need
+      in-place repair (churn) use the classic representation via
+      {!Table.of_neighbors}.
+
+    Node ids fit [int32] because {!Idspace.Space.max_bits} is 30. Blocks
+    are usually built and consumed through {!Table} (backend [Flat])
+    rather than directly. *)
+
+type t
+
+val init : nodes:int -> degree:int -> (int -> int -> int) -> t
+(** [init ~nodes ~degree f] builds a uniform-degree block whose entry
+    [(v, i)] is [f v i]. [f] is evaluated for [v] ascending and, within
+    each node, [i] ascending — exactly the order of the classic
+    [Array.init size (fun v -> Array.init degree (f v))] builders, so a
+    PRNG threaded through [f] ends in the same state under either
+    backend (the bit-identity contract of {!Table.build}).
+    @raise Invalid_argument if a produced id falls outside [0, nodes). *)
+
+val of_rows : int array array -> t
+(** Copies a classic per-node adjacency into a flat block (supports
+    variable-degree rows, e.g. the bidirectional Symphony overlay).
+    Later mutation of [rows] is {e not} reflected in the block.
+    @raise Invalid_argument if an entry falls outside the node range. *)
+
+val node_count : t -> int
+val edge_count : t -> int
+
+val degree : t -> int -> int
+(** [degree t v] is the number of neighbours of [v]. *)
+
+val neighbor : t -> int -> int -> int
+(** [neighbor t v i] is entry [i] of [v]'s row. Bounds are {e not}
+    checked on [i]; callers index below [degree t v]. *)
+
+val iter_neighbors : t -> int -> (int -> unit) -> unit
+(** Applies [f] to [v]'s neighbours in table order. *)
+
+val row : t -> int -> int array
+(** [row t v] is a fresh copy of [v]'s row (mutating it does not affect
+    the block). *)
+
+val memory_bytes : t -> int
+(** Bigarray payload size in bytes: [8 * (nodes + 1) + 4 * edges]. *)

@@ -1,110 +1,159 @@
-type t = {
-  space : Idspace.Space.t;
-  geometry : Rcm.Geometry.t;
-  neighbors : int array array;
-}
+type backend = Classic | Flat
+
+let backend_name = function Classic -> "classic" | Flat -> "flat"
+
+let backend_of_string = function
+  | "classic" -> Some Classic
+  | "flat" -> Some Flat
+  | _ -> None
+
+(* Classic keeps one heap array per node (mutable, so the churn
+   simulator can repair rows in place); Csr is the shared read-only
+   struct-of-arrays block of [Flat]. *)
+type repr = Rows of int array array | Csr of Flat.t
+
+type t = { space : Idspace.Space.t; geometry : Rcm.Geometry.t; repr : repr }
 
 let space t = t.space
 
 let geometry t = t.geometry
 
+let backend t = match t.repr with Rows _ -> Classic | Csr _ -> Flat
+
 let node_count t = Idspace.Space.size t.space
 
 let bits t = Idspace.Space.bits t.space
 
-let neighbors t v = t.neighbors.(v)
+let neighbors t v =
+  match t.repr with Rows rows -> rows.(v) | Csr f -> Flat.row f v
 
-let neighbor t v i = t.neighbors.(v).(i)
+let neighbor t v i =
+  match t.repr with Rows rows -> rows.(v).(i) | Csr f -> Flat.neighbor f v i
 
-let degree t v = Array.length t.neighbors.(v)
+let degree t v =
+  match t.repr with Rows rows -> Array.length rows.(v) | Csr f -> Flat.degree f v
 
-let iter_neighbors t v f = Array.iter f t.neighbors.(v)
+let iter_neighbors t v f =
+  match t.repr with Rows rows -> Array.iter f rows.(v) | Csr fl -> Flat.iter_neighbors fl v f
 
-(* Tree (Plaxton): the level-i neighbour of v matches v on bits 1..i-1,
+let edge_count t =
+  match t.repr with
+  | Rows rows -> Array.fold_left (fun acc row -> acc + Array.length row) 0 rows
+  | Csr f -> Flat.edge_count f
+
+(* Rows: one boxed array per node (header word + elements) under the
+   outer array; an OCaml word is 8 bytes. Csr: Bigarray payloads. *)
+let memory_bytes t =
+  match t.repr with
+  | Rows rows ->
+      let n = Array.length rows in
+      8 * (1 + n + Array.fold_left (fun acc row -> acc + 1 + Array.length row) 0 rows)
+  | Csr f -> Flat.memory_bytes f
+
+(* Per-geometry table entries, shared verbatim by both backends: entry
+   [(v, i)] is evaluated for v ascending then i ascending either way, so
+   randomized constructions consume PRNG draws in the same order and the
+   two backends are bit-identical (tables and post-build resume state).
+
+   Tree (Plaxton): the level-i neighbour of v matches v on bits 1..i-1,
    differs on bit i, and — so that every successful hop corrects exactly
    one differing bit, as the paper's n(h) = C(d,h), p = (1-q)^h model
-   requires — agrees with v on all lower-order bits. *)
-let build_tree space =
-  let bits = Idspace.Space.bits space in
-  let table v = Array.init bits (fun i -> Idspace.Id.flip_bit ~bits v (i + 1)) in
-  Array.init (Idspace.Space.size space) table
-
-(* Hypercube (CAN): identical topology to the tree table — the d nodes
-   at Hamming distance one — but routed greedily in any bit order. *)
-let build_hypercube = build_tree
+   requires — agrees with v on all lower-order bits. The hypercube (CAN)
+   table is topologically identical (the d nodes at Hamming distance
+   one) but routed greedily in any bit order. *)
+let tree_entry ~bits v i = Idspace.Id.flip_bit ~bits v (i + 1)
 
 (* XOR (Kademlia): the level-i bucket contact matches v on bits 1..i-1,
    differs on bit i, and has uniformly random lower-order bits — the
    construction of section 3.3. *)
-let build_xor space rng =
+let xor_entry space rng v i =
   let bits = Idspace.Space.bits space in
-  let table v =
-    Array.init bits (fun i ->
-        let level = i + 1 in
-        let flipped = Idspace.Id.flip_bit ~bits v level in
-        let suffix = Prng.Splitmix.int rng (Idspace.Space.size space) in
-        Idspace.Id.with_suffix ~bits flipped ~prefix_len:level ~suffix)
-  in
-  Array.init (Idspace.Space.size space) table
+  let level = i + 1 in
+  let flipped = Idspace.Id.flip_bit ~bits v level in
+  let suffix = Prng.Splitmix.int rng (Idspace.Space.size space) in
+  Idspace.Id.with_suffix ~bits flipped ~prefix_len:level ~suffix
 
 (* Ring (Chord): finger i of node v points at clockwise distance exactly
    2^i (classic Chord over a fully-populated ring; finger 0 is the
    successor). With deterministic fingers a node at phase m always has m
    usable fingers, matching the paper's q^m failure probability and
    keeping the analysis a true lower bound on routability. *)
-let build_ring space =
-  let bits = Idspace.Space.bits space in
-  let size = Idspace.Space.size space in
-  let table v = Array.init bits (fun i -> (v + (1 lsl i)) land (size - 1)) in
-  Array.init size table
+let ring_entry ~size v i = (v + (1 lsl i)) land (size - 1)
 
 (* Randomized Chord (ablation A4): finger i drawn uniformly from
    clockwise distance [2^i, 2^(i+1)). Near the destination the top
    finger can overshoot, so routability is slightly below the
    deterministic variant. *)
-let build_ring_randomized space rng =
-  let bits = Idspace.Space.bits space in
-  let size = Idspace.Space.size space in
-  let table v =
-    Array.init bits (fun i ->
-        let lo = 1 lsl i in
-        let dist = lo + Prng.Splitmix.int rng lo in
-        (v + dist) land (size - 1))
-  in
-  Array.init size table
+let ring_randomized_entry ~size rng v i =
+  let lo = 1 lsl i in
+  let dist = lo + Prng.Splitmix.int rng lo in
+  (v + dist) land (size - 1)
 
 (* Symphony: k_n clockwise near neighbours (successors) followed by k_s
    shortcuts whose clockwise distance follows the harmonic ~1/x law. *)
-let build_symphony space rng ~k_n ~k_s =
+let symphony_entry ~size rng ~k_n v i =
+  if i < k_n then (v + i + 1) land (size - 1)
+  else begin
+    let dist = Prng.Splitmix.harmonic_int rng ~n:(size - 1) in
+    (v + dist) land (size - 1)
+  end
+
+(* Chord with a successor list: the next [successors] nodes clockwise
+   (distances 1..successors), as in real Chord. Distances that are
+   powers of two duplicate existing fingers and add nothing; the greedy
+   router treats the rest as short fallback fingers. *)
+let ring_with_successors_entry ~bits ~size v i =
+  if i < bits then (v + (1 lsl i)) land (size - 1)
+  else (v + (i - bits) + 1) land (size - 1)
+
+let make ~space ~geometry ~backend ~degree entry =
   let size = Idspace.Space.size space in
-  if k_n + k_s >= size then invalid_arg "Table.build_symphony: degree exceeds ring size";
-  let table v =
-    Array.init (k_n + k_s) (fun i ->
-        if i < k_n then (v + i + 1) land (size - 1)
-        else begin
-          let dist = Prng.Splitmix.harmonic_int rng ~n:(size - 1) in
-          (v + dist) land (size - 1)
-        end)
+  let repr =
+    match backend with
+    | Classic -> Rows (Array.init size (fun v -> Array.init degree (entry v)))
+    | Flat -> Csr (Flat.init ~nodes:size ~degree entry)
   in
-  Array.init size table
+  { space; geometry; repr }
+
+let build ?(rng = Prng.Splitmix.create ~seed:0x5eed) ?(backend = Classic) ~bits geometry =
+  let space = Idspace.Space.create ~bits in
+  let size = Idspace.Space.size space in
+  let degree, entry =
+    match geometry with
+    | Rcm.Geometry.Tree | Rcm.Geometry.Hypercube -> (bits, tree_entry ~bits)
+    | Rcm.Geometry.Xor -> (bits, xor_entry space rng)
+    | Rcm.Geometry.Ring -> (bits, ring_entry ~size)
+    | Rcm.Geometry.Symphony { k_n; k_s } ->
+        if k_n + k_s >= size then invalid_arg "Table.build_symphony: degree exceeds ring size";
+        (k_n + k_s, symphony_entry ~size rng ~k_n)
+  in
+  make ~space ~geometry ~backend ~degree entry
 
 (* Wrap an externally managed neighbour matrix (no copy): the churn
    simulator repairs rows in place and routes through the shared
-   table. *)
+   table. Always classic — a mutable-by-design overlay must not be
+   flattened into a shared read-only block. *)
 let of_neighbors ~bits geometry neighbors =
   let space = Idspace.Space.create ~bits in
   if Array.length neighbors <> Idspace.Space.size space then
     invalid_arg "Table.of_neighbors: row count differs from the space size";
   Array.iter (fun row -> Array.iter (Idspace.Space.check space) row) neighbors;
-  { space; geometry; neighbors }
+  { space; geometry; repr = Rows neighbors }
+
+let flatten t =
+  match t.repr with
+  | Csr _ -> t
+  | Rows rows -> { t with repr = Csr (Flat.of_rows rows) }
 
 (* Real Symphony links are bidirectional: a node routes over its own
    near neighbours and shortcuts in both directions *and* over the
    shortcuts that chose it as an endpoint. The paper's model (and
    [build]) is the unidirectional basic geometry; this variant is the
-   deployed protocol, used by ablation A9. *)
-let build_symphony_bidirectional ?(rng = Prng.Splitmix.create ~seed:0x51de) ~bits ~k_n ~k_s
-    () =
+   deployed protocol, used by ablation A9. Rows are built classically
+   (degrees vary per node) and converted when the flat backend is
+   requested — PRNG consumption is identical either way. *)
+let build_symphony_bidirectional ?(rng = Prng.Splitmix.create ~seed:0x51de)
+    ?(backend = Classic) ~bits ~k_n ~k_s () =
   let space = Idspace.Space.create ~bits in
   let size = Idspace.Space.size space in
   if (2 * k_n) + k_s >= size then
@@ -130,46 +179,37 @@ let build_symphony_bidirectional ?(rng = Prng.Splitmix.create ~seed:0x51de) ~bit
   let neighbors =
     Array.map (fun links -> Array.of_list (List.sort_uniq compare links)) buckets
   in
-  { space; geometry = Rcm.Geometry.Symphony { k_n; k_s }; neighbors }
-
-let build ?(rng = Prng.Splitmix.create ~seed:0x5eed) ~bits geometry =
-  let space = Idspace.Space.create ~bits in
-  let neighbors =
-    match geometry with
-    | Rcm.Geometry.Tree -> build_tree space
-    | Rcm.Geometry.Hypercube -> build_hypercube space
-    | Rcm.Geometry.Xor -> build_xor space rng
-    | Rcm.Geometry.Ring -> build_ring space
-    | Rcm.Geometry.Symphony { k_n; k_s } -> build_symphony space rng ~k_n ~k_s
+  let t =
+    { space; geometry = Rcm.Geometry.Symphony { k_n; k_s }; repr = Rows neighbors }
   in
-  { space; geometry; neighbors }
+  match backend with Classic -> t | Flat -> flatten t
 
-(* Chord with a successor list: the next [successors] nodes clockwise
-   (distances 1..successors), as in real Chord. Distances that are
-   powers of two duplicate existing fingers and add nothing; the greedy
-   router treats the rest as short fallback fingers. *)
-let build_ring_with_successors ~bits ~successors =
+let build_ring_with_successors ?(backend = Classic) ~bits ~successors () =
   if successors < 0 then invalid_arg "Table.build_ring_with_successors: negative count";
   if successors >= 1 lsl bits then
     invalid_arg "Table.build_ring_with_successors: list longer than the ring";
   let space = Idspace.Space.create ~bits in
   let size = Idspace.Space.size space in
-  let table v =
-    Array.init (bits + successors) (fun i ->
-        if i < bits then (v + (1 lsl i)) land (size - 1)
-        else (v + (i - bits) + 1) land (size - 1))
-  in
-  { space; geometry = Rcm.Geometry.Ring; neighbors = Array.init size table }
+  make ~space ~geometry:Rcm.Geometry.Ring ~backend ~degree:(bits + successors)
+    (ring_with_successors_entry ~bits ~size)
 
-let build_randomized_ring ?(rng = Prng.Splitmix.create ~seed:0x5eed) ~bits () =
+let build_randomized_ring ?(rng = Prng.Splitmix.create ~seed:0x5eed) ?(backend = Classic)
+    ~bits () =
   let space = Idspace.Space.create ~bits in
-  { space; geometry = Rcm.Geometry.Ring; neighbors = build_ring_randomized space rng }
+  let size = Idspace.Space.size space in
+  make ~space ~geometry:Rcm.Geometry.Ring ~backend ~degree:bits
+    (ring_randomized_entry ~size rng)
 
 (* Ablation A3: Kademlia bucket contacts without suffix randomisation —
    the level-i contact differs from the owner in bit i only. Under XOR
    routing this realises the Markov chain of Fig. 5(b) exactly. *)
-let build_deterministic_xor ~bits =
+let build_deterministic_xor ?(backend = Classic) ~bits () =
   let space = Idspace.Space.create ~bits in
-  { space; geometry = Rcm.Geometry.Xor; neighbors = build_tree space }
+  make ~space ~geometry:Rcm.Geometry.Xor ~backend ~degree:bits (tree_entry ~bits)
 
-let to_digraph t = Graph.Digraph.of_adjacency t.neighbors
+let to_digraph t =
+  match t.repr with
+  | Rows rows -> Graph.Digraph.of_adjacency rows
+  | Csr f ->
+      Graph.Digraph.of_iter ~nodes:(Flat.node_count f) ~degree:(Flat.degree f)
+        ~iter:(Flat.iter_neighbors f)

@@ -1,66 +1,131 @@
 (** Concrete neighbour tables for the five DHT geometries over a
-    fully-populated 2^bits identifier space (the simulation counterpart
-    of the analytical model).
+    fully-populated [2^bits] identifier space (the simulation
+    counterpart of the analytical model).
+
+    {1 Layout}
 
     Neighbour-array layout per geometry:
-    - tree / hypercube / xor: index i holds the level-(i+1) neighbour
-      (the one differing on bit i+1, counting from the MSB);
-    - ring: index i holds finger i, at clockwise distance in
-      [2^i, 2^(i+1));
-    - symphony (k_n, k_s): indices 0..k_n-1 are the clockwise near
-      neighbours, the rest are harmonic-distance shortcuts. *)
+    - tree / hypercube / xor: index [i] holds the level-[(i+1)]
+      neighbour (the one differing on bit [i+1], counting from the MSB);
+    - ring: index [i] holds finger [i], at clockwise distance in
+      [[2^i, 2^(i+1))];
+    - symphony [(k_n, k_s)]: indices [0..k_n-1] are the clockwise near
+      neighbours, the rest are harmonic-distance shortcuts.
+
+    {1 Backends}
+
+    A table is stored in one of two physical representations selected at
+    build time:
+
+    - {!Classic} — one heap [int array] per node. Rows are mutable, so
+      overlays that repair themselves in place (churn) use this backend
+      via {!of_neighbors}.
+    - {!Flat} — a single {!Flat.t} struct-of-arrays block (CSR over
+      Bigarrays). Immutable, ~5× smaller at bits = 20, and shared
+      read-only across {!Exec.Pool} domains with zero copying; the
+      backend for large ([bits >= 20]) simulations.
+
+    The two backends are {b bit-identical}: for the same [(geometry,
+    bits, rng)] every accessor returns the same values, and randomized
+    builders leave [rng] in the same state (draws happen for node [v]
+    ascending, then entry [i] ascending, under both backends). Routing
+    and simulation results therefore do not depend on the backend —
+    a property pinned by the [flat] test suite and by byte-identical
+    CLI output checks.
+
+    Per-trial node failures never modify a table of either backend: they
+    are sampled into an alive-bitset ([bool array], see {!Failure}) and
+    overlaid at routing time by the routers. *)
 
 type t
 
-val build : ?rng:Prng.Splitmix.t -> bits:int -> Rcm.Geometry.t -> t
+type backend = Classic | Flat  (** Physical representation (see above). *)
+
+val backend_name : backend -> string
+(** ["classic"] or ["flat"] (the CLI [--overlay] spelling). *)
+
+val backend_of_string : string -> backend option
+(** Inverse of {!backend_name}. *)
+
+val build : ?rng:Prng.Splitmix.t -> ?backend:backend -> bits:int -> Rcm.Geometry.t -> t
 (** Builds the overlay. Randomized constructions (xor bucket suffixes,
     symphony shortcuts) draw from [rng]; ring fingers are the classic
-    deterministic Chord fingers at distance 2^i. *)
+    deterministic Chord fingers at distance [2^i]. [backend] (default
+    {!Classic}) selects the physical representation and does not affect
+    any observable value, including the post-build [rng] state. *)
 
 val of_neighbors : bits:int -> Rcm.Geometry.t -> int array array -> t
-(** Wraps an externally managed neighbour matrix *without copying*:
+(** Wraps an externally managed neighbour matrix {e without copying}:
     later in-place mutation of the rows is visible to routing. Used by
-    the churn simulator, whose repair process rewrites rows.
+    the churn simulator, whose repair process rewrites rows. The result
+    is always {!Classic} — a mutable overlay must not be flattened into
+    a shared read-only block.
     @raise Invalid_argument on a wrong row count or out-of-space id. *)
 
-val build_ring_with_successors : bits:int -> successors:int -> t
+val flatten : t -> t
+(** [flatten t] is [t] converted to the {!Flat} backend (a copy of the
+    adjacency; identity if already flat). The result does not alias
+    [t]'s rows, so subsequent mutation of a {!of_neighbors} matrix is
+    not reflected. *)
+
+val build_ring_with_successors : ?backend:backend -> bits:int -> successors:int -> unit -> t
 (** Chord fingers plus an extra [successors]-entry successor list
     (clockwise distances 2 .. successors+1; distance 1 is already
     finger 0). The greedy router uses them as fallback hops — the
     "additional sequential neighbors" knob of the paper's
     introduction. *)
 
-val build_randomized_ring : ?rng:Prng.Splitmix.t -> bits:int -> unit -> t
+val build_randomized_ring : ?rng:Prng.Splitmix.t -> ?backend:backend -> bits:int -> unit -> t
 (** Ablation variant: Chord fingers drawn uniformly from distance
-    [2^i, 2^(i+1)) — the randomized construction the analysis section
+    [[2^i, 2^(i+1))] — the randomized construction the analysis section
     describes. Slightly less routable near the destination because the
     top finger can overshoot. *)
 
 val build_symphony_bidirectional :
-  ?rng:Prng.Splitmix.t -> bits:int -> k_n:int -> k_s:int -> unit -> t
+  ?rng:Prng.Splitmix.t -> ?backend:backend -> bits:int -> k_n:int -> k_s:int -> unit -> t
 (** The deployed Symphony: near neighbours on both sides and shortcuts
     usable from either endpoint (links are undirected, so nodes also
-    route over incoming shortcuts). Mean degree 2(k_n + k_s). Route it
-    with {!Routing.Bidirectional_ring}, not the clockwise router. *)
+    route over incoming shortcuts). Mean degree [2 (k_n + k_s)]. Route
+    it with {!Routing.Bidirectional_ring}, not the clockwise router. *)
 
-val build_deterministic_xor : bits:int -> t
+val build_deterministic_xor : ?backend:backend -> bits:int -> unit -> t
 (** Ablation variant: Kademlia bucket contacts with preserved suffixes
     (the level-i contact differs in bit i only). Realises the Fig. 5(b)
     Markov chain exactly. *)
 
 val space : t -> Idspace.Space.t
 val geometry : t -> Rcm.Geometry.t
+
+val backend : t -> backend
+(** The physical representation of this table. *)
+
 val node_count : t -> int
 val bits : t -> int
 
+val edge_count : t -> int
+(** Total number of table entries, summed over all nodes. *)
+
+val memory_bytes : t -> int
+(** Approximate resident size of the adjacency payload: exact Bigarray
+    bytes for {!Flat}; header-word accounting (8-byte words) for
+    {!Classic} rows. GC bookkeeping is not included. *)
+
 val neighbors : t -> int -> int array
-(** The neighbour array of a node (not a copy; do not mutate). *)
+(** The neighbour array of a node. For a {!Classic} table this is the
+    live row ({e not} a copy; do not mutate unless the table was made by
+    {!of_neighbors} and you own it). For a {!Flat} table it is a fresh
+    copy. Hot paths should prefer {!neighbor}/{!iter_neighbors}, which
+    never allocate. *)
 
 val neighbor : t -> int -> int -> int
 (** [neighbor t v i] is entry [i] of [v]'s table. *)
 
 val degree : t -> int -> int
+(** Number of table entries of a node. *)
+
 val iter_neighbors : t -> int -> (int -> unit) -> unit
+(** Applies a function to each entry of [v]'s table, in table order
+    (the order routers scan). *)
 
 val to_digraph : t -> Graph.Digraph.t
 (** The overlay as a directed graph (for connectivity analysis). *)

@@ -32,12 +32,17 @@ val create : ?capacity:int -> unit -> t
     deterministically rebuilds the identical table.
     @raise Invalid_argument if [capacity < 1]. *)
 
-val get : t -> bits:int -> build_seed:int64 -> Rcm.Geometry.t -> Table.t * int64
+val get :
+  t -> ?backend:Table.backend -> bits:int -> build_seed:int64 -> Rcm.Geometry.t ->
+  Table.t * int64
 (** [get cache ~bits ~build_seed geometry] is [(table, resume)] where
     [table] is the overlay that [Table.build] produces from a
     generator in state [build_seed], and [resume] is the generator's
     state after that build. Repeated calls with the same key return
-    the physically same table. *)
+    the physically same table. [backend] (default [Classic]) selects
+    the physical representation and is part of the cache key; [resume]
+    is the same for both backends (builds consume identical draws), so
+    downstream trial streams do not depend on the backend. *)
 
 val locked : t -> (unit -> 'a) -> 'a
 (** [locked t f] runs [f] while holding the cache's lock, releasing it

@@ -1,7 +1,13 @@
 (** Greedy clockwise routing over any ring-structured table — Chord
     fingers (section 3.4) and Symphony near neighbours plus shortcuts
     (section 3.5). A hop is taken to the alive neighbour minimising the
-    remaining clockwise distance, never overshooting. *)
+    remaining clockwise distance, never overshooting.
+
+    Progress measure: the clockwise distance [(dst - v) mod 2^bits].
+    Never overshooting keeps it strictly decreasing, which gives the
+    no-backtracking and termination guarantees of {!Router}; a node
+    whose every forward contact (including its successor) is dead is a
+    dead end, even if an anticlockwise neighbour survives. *)
 
 val route :
   ?on_hop:(int -> unit) ->
@@ -10,3 +16,5 @@ val route :
   src:int ->
   dst:int ->
   Outcome.t
+(** [on_hop] is called with every node reached after [src], the final
+    one included. *)

@@ -1,6 +1,12 @@
 (** CAN hypercube routing under failures (section 3.2): greedy bit
     correction in any order, choosing uniformly among alive useful
-    neighbours. Delivered paths take exactly Hamming-distance hops. *)
+    neighbours. Delivered paths take exactly Hamming-distance hops.
+
+    Progress measure: the Hamming distance to [dst], down by exactly
+    one per hop ({!Router} invariants follow). The uniform choice is
+    the only randomized forwarding rule in the library — it draws from
+    the trial's [rng], which is why {!Router.route} threads a generator
+    even for the deterministic geometries. *)
 
 val route :
   ?on_hop:(int -> unit) ->

@@ -1,7 +1,11 @@
 (** Plaxton-tree prefix routing under failures (section 3.1).
 
     Deterministic: each hop must use the single neighbour that corrects
-    the highest-order differing bit. *)
+    the highest-order differing bit. The matched-prefix length strictly
+    grows every hop — the strictest of the progress measures in
+    {!Router} — so a single dead contact on the unique path is already
+    a dead end; this is why the tree is the paper's most
+    failure-fragile geometry. *)
 
 val route :
   ?on_hop:(int -> unit) ->

@@ -1,6 +1,12 @@
 (** Kademlia XOR routing under failures (section 3.3): greedy in the
     XOR metric, preferring the highest-order bit correction and falling
-    back to lower-order corrections when contacts are dead. *)
+    back to lower-order corrections when contacts are dead.
+
+    Progress measure: the XOR distance [v lxor dst], read as an
+    integer. Clearing any set bit [i] — even while dirtying bits below
+    [i] — strictly decreases it, so falling back to a lower-order
+    correction still makes greedy progress and routing terminates
+    without back-tracking (see {!Router} for the shared invariants). *)
 
 val route :
   ?on_hop:(int -> unit) ->

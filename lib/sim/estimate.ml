@@ -42,7 +42,7 @@ let trial_seeds cfg =
    post-build PRNG state, so the draws that follow are identical.
    Cached builds are traced inside [Table_cache.get]; the uncached
    path emits the same [overlay/build] span here. *)
-let table_for cfg cache build_seed =
+let table_for cfg ~backend cache build_seed =
   match cache with
   | None ->
       Obs.Trace.span "overlay/build"
@@ -51,14 +51,15 @@ let table_for cfg cache build_seed =
              [
                ("geometry", Obs.Trace.String (Rcm.Geometry.name cfg.geometry));
                ("bits", Obs.Trace.Int cfg.bits);
+               ("backend", Obs.Trace.String (Overlay.Table.backend_name backend));
              ]
            else [])
         (fun () ->
           let rng = Prng.Splitmix.of_int64 build_seed in
-          (Overlay.Table.build ~rng ~bits:cfg.bits cfg.geometry, rng))
+          (Overlay.Table.build ~rng ~backend ~bits:cfg.bits cfg.geometry, rng))
   | Some cache ->
       let table, resume =
-        Overlay.Table_cache.get cache ~bits:cfg.bits ~build_seed cfg.geometry
+        Overlay.Table_cache.get cache ~backend ~bits:cfg.bits ~build_seed cfg.geometry
       in
       (table, Prng.Splitmix.of_int64 resume)
 
@@ -98,13 +99,13 @@ let hops_attr hops =
   |> List.map (fun (h, c) -> Printf.sprintf "%d:%d" h c)
   |> String.concat ","
 
-let run_trial cfg cache build_seed =
+let run_trial cfg ~backend cache build_seed =
   (* The clock is read when either subsystem observes this trial;
      tracing alone must not depend on metrics being enabled. *)
   let t0 =
     if Obs.Metrics.enabled () || Obs.Trace.enabled () then Unix.gettimeofday () else 0.0
   in
-  let table, rng = table_for cfg cache build_seed in
+  let table, rng = table_for cfg ~backend cache build_seed in
   let alive =
     Obs.Trace.span "failure/inject"
       ~attrs:(if Obs.Trace.enabled () then [ ("q", Obs.Trace.Float cfg.q) ] else [])
@@ -230,7 +231,8 @@ let stored_of_stats s =
     hops = List.map int_of_float s.t_hops;
   }
 
-let run_sweep ?pool ?cache ?(supervise = false) ?(retries = 0) ?fault ?checkpoint cfg qs =
+let run_sweep ?pool ?cache ?(backend = Overlay.Table.Classic) ?(supervise = false)
+    ?(retries = 0) ?fault ?checkpoint cfg qs =
   if retries < 0 then invalid_arg "Estimate.run_sweep: negative retries";
   if qs = [] then []
   else begin
@@ -267,7 +269,7 @@ let run_sweep ?pool ?cache ?(supervise = false) ?(retries = 0) ?fault ?checkpoin
     let tick k = Obs.Progress.tick ~group:group_names.(k / cfg.trials) () in
     let task ~attempt k =
       Exec.Fault.inject fault ~task:k ~attempt;
-      run_trial configs.(k / cfg.trials) cache seeds.(k mod cfg.trials)
+      run_trial configs.(k / cfg.trials) ~backend cache seeds.(k mod cfg.trials)
     in
     let supervised = supervise || retries > 0 || fault <> None || checkpoint <> None in
     let outcomes =
@@ -332,8 +334,8 @@ let run_sweep ?pool ?cache ?(supervise = false) ?(retries = 0) ?fault ?checkpoin
         (qarr.(qi), collect configs.(qi) (Array.sub outcomes (qi * cfg.trials) cfg.trials)))
   end
 
-let run ?pool ?cache cfg =
-  match run_sweep ?pool ?cache cfg [ cfg.q ] with
+let run ?pool ?cache ?backend cfg =
+  match run_sweep ?pool ?cache ?backend cfg [ cfg.q ] with
   | [ (_, r) ] -> r
   | _ -> assert false
 

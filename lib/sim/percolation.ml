@@ -21,13 +21,15 @@ let trial_seeds ~seed ~trials =
   let master = Prng.Splitmix.create ~seed in
   Array.init trials (fun _ -> Prng.Splitmix.next_int64 master)
 
-let table_for ~bits geometry cache build_seed =
+let table_for ~bits ~backend geometry cache build_seed =
   match cache with
   | None ->
       let rng = Prng.Splitmix.of_int64 build_seed in
-      (Overlay.Table.build ~rng ~bits geometry, rng)
+      (Overlay.Table.build ~rng ~backend ~bits geometry, rng)
   | Some cache ->
-      let table, resume = Overlay.Table_cache.get cache ~bits ~build_seed geometry in
+      let table, resume =
+        Overlay.Table_cache.get cache ~backend ~bits ~build_seed geometry
+      in
       (table, Prng.Splitmix.of_int64 resume)
 
 (* Run tasks over trial indices, on the pool when one is supplied. *)
@@ -41,9 +43,9 @@ let map_trials pool trials task =
    (section 4.1), so measured routability must not exceed
    pair-connectivity. The experiment quantifies the gap the paper's
    introduction argues makes percolation theory insufficient. *)
-let run_trial ~bits ~q geometry cache build_seed ~pairs =
+let run_trial ~bits ~backend ~q geometry cache build_seed ~pairs =
   let t0 = Obs.Metrics.now () in
-  let table, rng = table_for ~bits geometry cache build_seed in
+  let table, rng = table_for ~bits ~backend geometry cache build_seed in
   let alive =
     Obs.Trace.span "failure/inject"
       ~attrs:(if Obs.Trace.enabled () then [ ("q", Obs.Trace.Float q) ] else [])
@@ -76,7 +78,8 @@ let run_trial ~bits ~q geometry cache build_seed ~pairs =
   end;
   trial
 
-let run ?pool ?cache ?(trials = 3) ?(pairs = 2_000) ?(seed = 42) ~bits ~q geometry =
+let run ?pool ?cache ?(backend = Overlay.Table.Classic) ?(trials = 3) ?(pairs = 2_000)
+    ?(seed = 42) ~bits ~q geometry =
   if trials < 1 then invalid_arg "Percolation.run: need at least one trial";
   let seeds = trial_seeds ~seed ~trials in
   let group = Printf.sprintf "q=%g" q in
@@ -86,7 +89,7 @@ let run ?pool ?cache ?(trials = 3) ?(pairs = 2_000) ?(seed = 42) ~bits ~q geomet
   let all =
     Array.to_list
       (map_trials pool trials (fun i ->
-           let trial = run_trial ~bits ~q geometry cache seeds.(i) ~pairs in
+           let trial = run_trial ~bits ~backend ~q geometry cache seeds.(i) ~pairs in
            Obs.Progress.tick ~group ();
            trial))
   in
@@ -106,11 +109,12 @@ let routing_gap r = r.mean_pair_connectivity -. r.mean_routability
 
 (* Mean giant-component fraction among survivors at one failure level,
    without routing (for threshold estimation). *)
-let giant_fraction ?pool ?cache ?(trials = 3) ?(seed = 42) ~bits ~q geometry =
+let giant_fraction ?pool ?cache ?(backend = Overlay.Table.Classic) ?(trials = 3)
+    ?(seed = 42) ~bits ~q geometry =
   let seeds = trial_seeds ~seed ~trials in
   let fractions =
     map_trials pool trials (fun i ->
-        let table, rng = table_for ~bits geometry cache seeds.(i) in
+        let table, rng = table_for ~bits ~backend geometry cache seeds.(i) in
         let alive = Overlay.Failure.sample ~rng ~q (Overlay.Table.node_count table) in
         let report = Graph.Components.analyze ~alive (Overlay.Table.to_digraph table) in
         report.Graph.Components.giant_fraction)
@@ -123,12 +127,14 @@ let giant_fraction ?pool ?cache ?(trials = 3) ?(seed = 42) ~bits ~q geometry =
    monotone) giant-fraction curve. Every probe reuses the same trial
    seeds, so with a cache the [steps + 1] probes of the bisection pay
    for [trials] overlay builds in total. *)
-let giant_threshold ?pool ?cache ?(trials = 3) ?(target = 0.5) ?(steps = 12) ?(seed = 42)
-    ~bits geometry =
+let giant_threshold ?pool ?cache ?backend ?(trials = 3) ?(target = 0.5) ?(steps = 12)
+    ?(seed = 42) ~bits geometry =
   if target <= 0.0 || target >= 1.0 then
     invalid_arg "Percolation.giant_threshold: target outside (0,1)";
   let cache = match cache with Some c -> c | None -> Overlay.Table_cache.create () in
-  let covered q = giant_fraction ?pool ~cache ~trials ~seed ~bits ~q geometry >= target in
+  let covered q =
+    giant_fraction ?pool ~cache ?backend ~trials ~seed ~bits ~q geometry >= target
+  in
   if not (covered 0.0) then 0.0
   else begin
     let rec bisect lo hi i =

@@ -25,6 +25,7 @@ type report = {
 val run :
   ?pool:Exec.Pool.t ->
   ?cache:Overlay.Table_cache.t ->
+  ?backend:Overlay.Table.backend ->
   ?trials:int ->
   ?pairs:int ->
   ?seed:int ->
@@ -34,9 +35,10 @@ val run :
   report
 (** Deterministic in [seed] alone: per-trial generators are derived by
     index and trial results reduced in index order, so the report is
-    bit-identical for every [pool] size and with or without [cache].
-    [cache] shares overlay builds across calls with the same seed
-    (e.g. the points of a q-sweep). *)
+    bit-identical for every [pool] size, with or without [cache], and
+    for either overlay [backend] (default [Classic]). [cache] shares
+    overlay builds across calls with the same seed (e.g. the points of
+    a q-sweep). *)
 
 val routing_gap : report -> float
 (** pair-connectivity minus routability; non-negative up to Monte-Carlo
@@ -45,6 +47,7 @@ val routing_gap : report -> float
 val giant_fraction :
   ?pool:Exec.Pool.t ->
   ?cache:Overlay.Table_cache.t ->
+  ?backend:Overlay.Table.backend ->
   ?trials:int ->
   ?seed:int ->
   bits:int ->
@@ -56,6 +59,7 @@ val giant_fraction :
 val giant_threshold :
   ?pool:Exec.Pool.t ->
   ?cache:Overlay.Table_cache.t ->
+  ?backend:Overlay.Table.backend ->
   ?trials:int ->
   ?target:float ->
   ?steps:int ->

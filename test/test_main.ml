@@ -24,5 +24,6 @@ let () =
       ("digits", Test_digits.suite);
       ("torus", Test_torus.suite);
       ("symphony-deployment", Test_symphony_deployment.suite);
+      ("flat", Test_flat.suite);
       ("cli", Test_cli.suite);
     ]

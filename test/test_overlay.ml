@@ -98,7 +98,7 @@ let test_symphony_structure () =
   done
 
 let test_deterministic_xor_table () =
-  let t = Overlay.Table.build_deterministic_xor ~bits in
+  let t = Overlay.Table.build_deterministic_xor ~bits () in
   Alcotest.(check bool) "geometry tag" true
     (Rcm.Geometry.equal (Overlay.Table.geometry t) Rcm.Geometry.Xor);
   for v = 0 to 255 do

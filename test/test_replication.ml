@@ -211,7 +211,7 @@ let bucket_routing_improves_with_k =
 (* --- Successor lists ------------------------------------------------------------ *)
 
 let test_successor_table_layout () =
-  let t = Overlay.Table.build_ring_with_successors ~bits ~successors:4 in
+  let t = Overlay.Table.build_ring_with_successors ~bits ~successors:4 () in
   Alcotest.(check int) "degree" (bits + 4) (Overlay.Table.degree t 0);
   (* Extra entries are the next nodes clockwise. *)
   for j = 0 to 3 do
@@ -235,7 +235,7 @@ let test_successor_routing_beats_plain_ring () =
     !delivered
   in
   let plain = count (Overlay.Table.build ~rng:(rng_of_seed 1) ~bits Rcm.Geometry.Ring) in
-  let with_successors = count (Overlay.Table.build_ring_with_successors ~bits ~successors:8) in
+  let with_successors = count (Overlay.Table.build_ring_with_successors ~bits ~successors:8 ()) in
   Alcotest.(check bool)
     (Printf.sprintf "%d >= %d" with_successors plain)
     true
