@@ -1,4 +1,4 @@
-.PHONY: all build test check doc docs-smoke bench bench-smoke chaos-smoke trace-smoke clean
+.PHONY: all build test check doc docs-smoke bench bench-smoke batch-smoke chaos-smoke trace-smoke clean
 
 all: build
 
@@ -34,6 +34,13 @@ bench:
 bench-smoke:
 	dune exec bench/main.exe -- --smoke
 	dune exec bench/validate.exe
+
+# Batch-kernel smoke: flat-backend sweeps routed through the batched
+# per-geometry kernels diffed byte-for-byte against --no-batch (the
+# scalar router), plus schema validation of the bench batch section.
+# Expects bench-smoke to have written BENCH_<date>.json first.
+batch-smoke: build
+	sh scripts/batch_smoke.sh
 
 # Fault-tolerance smoke: fault-injected --smoke sweep, SIGINT mid-run,
 # --resume, and a deterministic truncated-checkpoint resume — each

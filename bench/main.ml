@@ -8,7 +8,11 @@
       cost of the analysis and of the simulator are tracked; then
    3. times the Fig. 6(a)-style simulation sweep sequentially and on
       the domain pool, printing the wall-clock speedup line that tracks
-      the perf trajectory across PRs.
+      the perf trajectory across PRs; then
+   4. compares the overlay backends (classic vs flat) at large N; then
+   5. compares the batch routing kernel against the scalar router:
+      routes/s per geometry and the end-to-end sweep wall clock, with
+      the batch results asserted equal to the scalar ones.
 
    Besides the human-readable tables, the measurements land in
    BENCH_<date>.json (name -> ns/run, the sweep timings, and a
@@ -356,6 +360,120 @@ let flat_sweep_bench ~bits ~trials ~pairs () =
     (float_of_int peak_rss_kb /. 1024.0);
   (bits, trials, wall_s, peak_rss_kb)
 
+(* --- Part 5: batch kernel vs scalar router -------------------------------- *)
+
+(* The headline of the batch-kernel PR: per-geometry routes/s of the
+   scalar [Router.route] loop against [Route_batch.sample_and_route]
+   over the same flat table and failed instance. The batch run first
+   replays the scalar run's exact pair count and seed and must deliver
+   the same count (the cheap in-bench echo of the bit-identity suite);
+   only then is it timed on a larger block so the clock resolution
+   does not dominate. *)
+type batch_record = {
+  bk_geometry : string;
+  bk_scalar_routes_per_s : float;
+  bk_batch_routes_per_s : float;
+  bk_speedup : float;
+}
+
+let batch_kernel_bench ~bits ~pairs ~batch_mult geometry =
+  let rng = Prng.Splitmix.create ~seed:99 in
+  let table = Overlay.Table.build ~rng ~backend:Overlay.Table.Flat ~bits geometry in
+  let alive = Overlay.Failure.sample ~rng ~q:0.2 (Overlay.Table.node_count table) in
+  let pool = Overlay.Failure.survivors alive in
+  let rng_s = Prng.Splitmix.create ~seed:7 in
+  let t0 = Unix.gettimeofday () in
+  let delivered = ref 0 in
+  for _ = 1 to pairs do
+    let src, dst = Stats.Sampler.ordered_pair rng_s pool in
+    if Routing.Outcome.is_delivered (Routing.Router.route table ~rng:rng_s ~alive ~src ~dst)
+    then incr delivered
+  done;
+  let scalar_s = Unix.gettimeofday () -. t0 in
+  let scratch =
+    Routing.Route_batch.sample_and_route table
+      ~rng:(Prng.Splitmix.create ~seed:7)
+      ~alive ~pool ~pairs
+  in
+  if Routing.Route_batch.delivered_count scratch <> !delivered then
+    failwith "bench: batch kernel diverged from the scalar router";
+  let rng_b = Prng.Splitmix.create ~seed:7 in
+  let batch_pairs = pairs * batch_mult in
+  let t1 = Unix.gettimeofday () in
+  ignore (Routing.Route_batch.sample_and_route table ~rng:rng_b ~alive ~pool ~pairs:batch_pairs);
+  let batch_s = Unix.gettimeofday () -. t1 in
+  let per_s pairs s = if s > 0.0 then float_of_int pairs /. s else 0.0 in
+  let scalar_rate = per_s pairs scalar_s in
+  let batch_rate = per_s batch_pairs batch_s in
+  {
+    bk_geometry = Rcm.Geometry.name geometry;
+    bk_scalar_routes_per_s = scalar_rate;
+    bk_batch_routes_per_s = batch_rate;
+    bk_speedup = (if scalar_rate > 0.0 then batch_rate /. scalar_rate else 0.0);
+  }
+
+(* The same claim end to end: wall clock of a full Estimate q-sweep
+   (ring + xor, flat backend) with the batch kernel on versus off,
+   results asserted equal. *)
+let batch_sweep_bench ~bits ~trials ~pairs () =
+  let qs = [ 0.1; 0.3 ] in
+  let geometries = [ Rcm.Geometry.Ring; Rcm.Geometry.Xor ] in
+  let run_sweeps () =
+    List.map
+      (fun geometry ->
+        let cache = Overlay.Table_cache.create () in
+        let cfg =
+          Sim.Estimate.config ~trials ~pairs_per_trial:pairs ~seed:1006 ~bits ~q:0.0
+            geometry
+        in
+        Sim.Estimate.run_sweep ~cache ~backend:Overlay.Table.Flat cfg qs)
+      geometries
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let result = f () in
+    (Unix.gettimeofday () -. t0, result)
+  in
+  Routing.Route_batch.set_enabled true;
+  let batch_s, batched = time run_sweeps in
+  Routing.Route_batch.set_enabled false;
+  let scalar_s, scalar = time run_sweeps in
+  Routing.Route_batch.set_enabled true;
+  let identical =
+    List.for_all2
+      (List.for_all2 (fun (_, a) (_, b) ->
+           a.Sim.Estimate.delivered = b.Sim.Estimate.delivered
+           && a.Sim.Estimate.attempted = b.Sim.Estimate.attempted))
+      batched scalar
+  in
+  if not identical then failwith "bench: batch sweep diverged from the scalar sweep";
+  (scalar_s, batch_s)
+
+let batch_bench ~bits ~pairs ~batch_mult ~sweep_trials ~sweep_pairs () =
+  Fmt.pr "@.==== Batch kernel vs scalar router (flat backend, d=%d) ====@.@." bits;
+  let records =
+    List.map
+      (batch_kernel_bench ~bits ~pairs ~batch_mult)
+      [
+        Rcm.Geometry.Tree;
+        Rcm.Geometry.Hypercube;
+        Rcm.Geometry.Xor;
+        Rcm.Geometry.Ring;
+        Rcm.Geometry.default_symphony;
+      ]
+  in
+  List.iter
+    (fun r ->
+      Fmt.pr "%-9s scalar %9.0f routes/s  batch %10.0f routes/s  speedup %6.1fx@."
+        r.bk_geometry r.bk_scalar_routes_per_s r.bk_batch_routes_per_s r.bk_speedup)
+    records;
+  let sweep_scalar_s, sweep_batch_s =
+    batch_sweep_bench ~bits ~trials:sweep_trials ~pairs:sweep_pairs ()
+  in
+  Fmt.pr "full sweep d=%d (ring+xor): scalar %.3fs -> batch %.3fs (%.1fx)@." bits
+    sweep_scalar_s sweep_batch_s (sweep_scalar_s /. sweep_batch_s);
+  (records, sweep_scalar_s, sweep_batch_s)
+
 (* --- Machine-readable output --------------------------------------------- *)
 
 let json_escape s =
@@ -368,7 +486,7 @@ let json_escape s =
     s;
   Buffer.contents buffer
 
-let write_json rows ~domains ~sequential_s ~parallel_s ~overlay ~flat_sweep =
+let write_json rows ~domains ~sequential_s ~parallel_s ~overlay ~flat_sweep ~batch =
   let tm = Unix.localtime (Unix.time ()) in
   let date =
     Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
@@ -406,6 +524,21 @@ let write_json rows ~domains ~sequential_s ~parallel_s ~overlay ~flat_sweep =
         "  \"flat_sweep\": {\"bits\": %d, \"trials\": %d, \"wall_s\": %.6f, \
          \"peak_rss_kb\": %d},\n"
         sweep_bits sweep_trials sweep_wall_s sweep_rss_kb;
+      let batch_bits, batch_records, batch_sweep_scalar_s, batch_sweep_batch_s = batch in
+      Printf.fprintf oc "  \"batch\": {\n    \"bits\": %d,\n    \"kernels\": [\n" batch_bits;
+      List.iteri
+        (fun i r ->
+          Printf.fprintf oc
+            "      {\"geometry\": %S, \"scalar_routes_per_s\": %.1f, \
+             \"batch_routes_per_s\": %.1f, \"speedup\": %.4f}%s\n"
+            r.bk_geometry r.bk_scalar_routes_per_s r.bk_batch_routes_per_s r.bk_speedup
+            (if i = List.length batch_records - 1 then "" else ","))
+        batch_records;
+      Printf.fprintf oc
+        "    ],\n    \"sweep\": {\"scalar_s\": %.6f, \"batch_s\": %.6f, \
+         \"speedup\": %.4f}\n  },\n"
+        batch_sweep_scalar_s batch_sweep_batch_s
+        (batch_sweep_scalar_s /. batch_sweep_batch_s);
       Printf.fprintf oc "  \"metrics\": %s\n}\n" (Obs.Metrics.to_json ()));
   Fmt.pr "wrote %s@." path
 
@@ -442,10 +575,27 @@ let () =
     if smoke then flat_sweep_bench ~bits:overlay_bits ~trials:1 ~pairs:100 ()
     else flat_sweep_bench ~bits:overlay_bits ~trials:2 ~pairs:500 ()
   in
+  (* Batch-kernel evidence: routes/s per geometry plus the end-to-end
+     sweep wall clock, scalar versus batch, at the same bits as the
+     backend comparison. *)
+  let batch_records, batch_sweep_scalar_s, batch_sweep_batch_s =
+    (* The sweep pair count scales with the table: at small bits the
+       build is cheap and 100 pairs suffice, but at bits >= 16 a sweep
+       that routes only hundreds of pairs is all table construction and
+       says nothing about routing throughput. *)
+    let sweep_pairs = if overlay_bits >= 16 then 20_000 else 100 in
+    if smoke then
+      batch_bench ~bits:overlay_bits ~pairs:1_000 ~batch_mult:20 ~sweep_trials:1
+        ~sweep_pairs ()
+    else
+      batch_bench ~bits:overlay_bits ~pairs:2_000 ~batch_mult:50 ~sweep_trials:2
+        ~sweep_pairs:(max 500 sweep_pairs) ()
+  in
+  let batch = (overlay_bits, batch_records, batch_sweep_scalar_s, batch_sweep_batch_s) in
   (* The cumulative process watermark lands in the metrics section as a
      counter, so the JSON's "metrics" block records peak memory even
      where the per-phase resets are unsupported. *)
   Option.iter
     (fun kb -> Obs.Metrics.incr_named ~by:kb "process/peak_rss_kb")
     (Obs.Rss.peak_kb ());
-  write_json rows ~domains ~sequential_s ~parallel_s ~overlay ~flat_sweep
+  write_json rows ~domains ~sequential_s ~parallel_s ~overlay ~flat_sweep ~batch

@@ -133,6 +133,36 @@ let validate_bench json =
   if wall <= 0.0 then fail "$.flat_sweep.wall_s: expected > 0";
   if as_int "$.flat_sweep.peak_rss_kb" (field "$.flat_sweep" fsweep "peak_rss_kb") < 0 then
     fail "$.flat_sweep.peak_rss_kb: negative";
+  (* Batch-kernel section: per-geometry scalar/batch routes/s plus the
+     end-to-end sweep wall clocks. Rates and speedups must be positive
+     — a zero means the timed block collapsed below clock resolution,
+     which the bench sizes are chosen to avoid. *)
+  let batch = field "$" json "batch" in
+  if as_int "$.batch.bits" (field "$.batch" batch "bits") < 1 then
+    fail "$.batch.bits: expected >= 1";
+  (match as_list "$.batch.kernels" (field "$.batch" batch "kernels") with
+  | [] -> fail "$.batch.kernels: empty (batch bench did not run?)"
+  | kernels ->
+      List.iteri
+        (fun i r ->
+          let path = Printf.sprintf "$.batch.kernels[%d]" i in
+          ignore (as_string (path ^ ".geometry") (field path r "geometry"));
+          List.iter
+            (fun key ->
+              let p = path ^ "." ^ key in
+              let v = as_number p (field path r key) in
+              check_finite p v;
+              if v <= 0.0 then fail "%s: expected > 0" p)
+            [ "scalar_routes_per_s"; "batch_routes_per_s"; "speedup" ])
+        kernels);
+  let bsweep = field "$.batch" batch "sweep" in
+  List.iter
+    (fun key ->
+      let p = "$.batch.sweep." ^ key in
+      let v = as_number p (field "$.batch.sweep" bsweep key) in
+      check_finite p v;
+      if v <= 0.0 then fail "%s: expected > 0" p)
+    [ "scalar_s"; "batch_s"; "speedup" ];
   let counters, histograms = validate_metrics "$.metrics" (field "$" json "metrics") in
   (* The smoke sweep always routes through the pool and the overlay
      cache: an empty metrics section means the instrumentation was

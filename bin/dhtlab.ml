@@ -72,6 +72,21 @@ let overlay_arg =
 let note_overlay backend =
   Obs.Manifest.note "overlay" (Obs.Manifest.String (Overlay.Table.backend_name backend))
 
+let no_batch_arg =
+  let doc =
+    "Route pairs one at a time through the scalar router even on the $(b,flat) overlay \
+     backend, instead of the batched per-geometry kernel. The two paths are \
+     bit-identical — same outcomes, hop counts, PRNG draws and stdout (pinned by the \
+     test suite) — but the kernel is an order of magnitude faster, so this flag exists \
+     for differential checks and as an escape hatch. The resolved choice lands in the \
+     provenance manifest."
+  in
+  Arg.(value & flag & info [ "no-batch" ] ~doc)
+
+let apply_batch no_batch =
+  Routing.Route_batch.set_enabled (not no_batch);
+  Obs.Manifest.note "batch" (Obs.Manifest.Bool (not no_batch))
+
 (* Run [f] with a domain pool sized from --jobs / DHT_RCM_JOBS /
    Domain.recommended_domain_count, or with no pool when that size
    is 1 (the sequential path). The resolved count lands in the
@@ -358,8 +373,8 @@ let note_sim_params ~subcommand ~geometries ~bits ~trials ~pairs ~seed ~qs =
   Obs.Manifest.note "qs"
     (Obs.Manifest.Strings (List.map (Printf.sprintf "%g") qs))
 
-let simulate geometry bits q trials pairs seed jobs backend obs csv json smoke retries
-    fault checkpoint_path resume checkpoint_every =
+let simulate geometry bits q trials pairs seed jobs backend no_batch obs csv json smoke
+    retries fault checkpoint_path resume checkpoint_every =
   let bits, trials, pairs = if smoke then (8, 6, 200) else (bits, trials, pairs) in
   let geometries = geometries_of_opt geometry in
   let qs = match q with Some q -> [ q ] | None -> default_q_grid in
@@ -382,6 +397,7 @@ let simulate geometry bits q trials pairs seed jobs backend obs csv json smoke r
     with_obs obs @@ fun () ->
     note_sim_params ~subcommand:"simulate" ~geometries ~bits ~trials ~pairs ~seed ~qs;
     note_overlay backend;
+    apply_batch no_batch;
     Option.iter
       (fun path -> Obs.Manifest.add_artefact ~kind:"checkpoint" path)
       checkpoint_path;
@@ -428,7 +444,8 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc)
     Term.(
       const simulate $ geometry_arg $ bits_arg ~default:12 $ q_arg $ trials_arg $ pairs_arg
-      $ seed_arg $ jobs_arg $ overlay_arg $ obs_term $ csv_arg $ json_arg $ smoke_arg
+      $ seed_arg $ jobs_arg $ overlay_arg $ no_batch_arg $ obs_term $ csv_arg $ json_arg
+      $ smoke_arg
       $ retries_arg $ inject_fault_arg $ checkpoint_arg $ resume_arg $ checkpoint_every_arg)
 
 (* --- figure ------------------------------------------------------------------- *)
@@ -506,13 +523,14 @@ let figure_series ?pool ?backend name quick =
       Fmt.failwith "unknown figure %S (expected one of %s)" other
         (String.concat ", " figure_names)
 
-let figure name quick csv plot jobs backend obs =
+let figure name quick csv plot jobs backend no_batch obs =
   let series =
     with_obs obs (fun () ->
         Obs.Manifest.note "subcommand" (Obs.Manifest.String "figure");
         Obs.Manifest.note "figure" (Obs.Manifest.String name);
         Obs.Manifest.note "quick" (Obs.Manifest.Bool quick);
         note_overlay backend;
+        apply_batch no_batch;
         with_jobs jobs (fun pool -> figure_series ?pool ~backend name quick))
   in
   print_series ~csv series;
@@ -527,11 +545,11 @@ let figure_cmd =
   Cmd.v (Cmd.info "figure" ~doc)
     Term.(
       const figure $ figure_name $ quick_arg $ csv_arg $ plot_arg $ jobs_arg $ overlay_arg
-      $ obs_term)
+      $ no_batch_arg $ obs_term)
 
 (* --- export ----------------------------------------------------------------- *)
 
-let export dir quick jobs backend obs =
+let export dir quick jobs backend no_batch obs =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   (* Every export gets a provenance manifest next to its CSVs unless
      the caller pointed --manifest elsewhere. *)
@@ -544,6 +562,7 @@ let export dir quick jobs backend obs =
   Obs.Manifest.note "subcommand" (Obs.Manifest.String "export");
   Obs.Manifest.note "quick" (Obs.Manifest.Bool quick);
   note_overlay backend;
+  apply_batch no_batch;
   let written =
     with_jobs jobs (fun pool ->
         List.map
@@ -587,7 +606,8 @@ let export_cmd =
     Arg.(value & opt string "results" & info [ "o"; "out" ] ~docv:"DIR" ~doc:"Output directory.")
   in
   Cmd.v (Cmd.info "export" ~doc)
-    Term.(const export $ dir $ quick_arg $ jobs_arg $ overlay_arg $ obs_term)
+    Term.(
+      const export $ dir $ quick_arg $ jobs_arg $ overlay_arg $ no_batch_arg $ obs_term)
 
 (* --- scalability ----------------------------------------------------------------- *)
 
@@ -642,7 +662,7 @@ let validate_cmd =
 
 (* --- percolation ----------------------------------------------------------------- *)
 
-let percolation geometry bits trials pairs seed csv jobs backend obs =
+let percolation geometry bits trials pairs seed csv jobs backend no_batch obs =
   let cfg =
     { Experiments.Connectivity.default_config with bits; trials; pairs; seed }
   in
@@ -650,6 +670,7 @@ let percolation geometry bits trials pairs seed csv jobs backend obs =
   with_obs obs @@ fun () ->
   note_sim_params ~subcommand:"percolation" ~geometries ~bits ~trials ~pairs ~seed ~qs:[];
   note_overlay backend;
+  apply_batch no_batch;
   with_jobs jobs (fun pool ->
       List.iter
         (fun g -> print_series ~csv (Experiments.Connectivity.run ?pool ~backend cfg g))
@@ -661,7 +682,7 @@ let percolation_cmd =
     (Cmd.info "percolation" ~doc)
     Term.(
       const percolation $ geometry_arg $ bits_arg ~default:12 $ trials_arg $ pairs_arg
-      $ seed_arg $ csv_arg $ jobs_arg $ overlay_arg $ obs_term)
+      $ seed_arg $ csv_arg $ jobs_arg $ overlay_arg $ no_batch_arg $ obs_term)
 
 (* --- churn ----------------------------------------------------------------- *)
 
@@ -707,8 +728,8 @@ let route geometry bits q src dst seed backend =
   let table = Overlay.Table.build ~rng ~backend ~bits geometry in
   let q = Option.value ~default:0.0 q in
   let alive = Overlay.Failure.sample ~rng ~q (Overlay.Table.node_count table) in
-  alive.(src) <- true;
-  alive.(dst) <- true;
+  Overlay.Failure.set alive src true;
+  Overlay.Failure.set alive dst true;
   let outcome, path = Routing.Router.route_with_path table ~rng ~alive ~src ~dst in
   Fmt.pr "%a -> %a under %a with q=%.2f: %a@."
     (Idspace.Id.pp ~bits) src (Idspace.Id.pp ~bits) dst Rcm.Geometry.pp geometry q

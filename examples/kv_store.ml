@@ -44,7 +44,7 @@ let put table ~alive ~rng stores ~placement ~client key value =
   let key_id = hash_key key in
   List.fold_left
     (fun stored owner ->
-      if alive.(owner) then
+      if Overlay.Failure.get alive owner then
         match Routing.Router.route table ~rng ~alive ~src:client ~dst:owner with
         | Routing.Outcome.Delivered _ ->
             Hashtbl.replace stores.(owner) key value;
@@ -58,7 +58,7 @@ let get table ~alive ~rng stores ~placement ~client key =
   let key_id = hash_key key in
   List.find_map
     (fun owner ->
-      if not alive.(owner) then None
+      if not (Overlay.Failure.get alive owner) then None
       else
         match Routing.Router.route table ~rng ~alive ~src:client ~dst:owner with
         | Routing.Outcome.Delivered _ -> Hashtbl.find_opt stores.(owner) key

@@ -107,6 +107,24 @@ let observe h v =
     Mutex.unlock h.h_lock
   end
 
+(* [times] identical observations under one lock acquisition — the
+   batch routing kernel's per-batch flush. Equal (not just close) to
+   [times] separate [observe] calls whenever [v] and the running sum
+   stay on integers below 2^53, which holds for hop-count histograms:
+   [v *. times] is then the exact sum of the repeated additions. *)
+let observe_n h v ~times =
+  if times < 0 then invalid_arg "Metrics.observe_n: negative count";
+  if times > 0 && Atomic.get enabled_flag then begin
+    Mutex.lock h.h_lock;
+    h.h_count <- h.h_count + times;
+    h.h_sum <- h.h_sum +. (v *. float_of_int times);
+    if v < h.h_min then h.h_min <- v;
+    if v > h.h_max then h.h_max <- v;
+    let b = bucket_of v in
+    h.h_buckets.(b) <- h.h_buckets.(b) + times;
+    Mutex.unlock h.h_lock
+  end
+
 let observe_named name v =
   if Atomic.get enabled_flag then observe (histogram name) v
 

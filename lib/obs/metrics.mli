@@ -62,6 +62,14 @@ val histogram : string -> histogram
 val observe : histogram -> float -> unit
 val observe_named : string -> float -> unit
 
+val observe_n : histogram -> float -> times:int -> unit
+(** [observe_n h v ~times] records [times] identical observations
+    under a single lock acquisition — the per-batch flush of the batch
+    routing kernel. For integer-valued observations (hop counts) the
+    result is bit-equal to [times] separate {!observe} calls.
+    No-op when [times = 0] or disabled.
+    @raise Invalid_argument on a negative [times]. *)
+
 val time : string -> (unit -> 'a) -> 'a
 (** [time name f] runs [f] and records its wall-clock duration in the
     histogram called [name]. When disabled it is exactly [f ()]. *)

@@ -1,25 +1,39 @@
+module Bitset = Bitset
+
+type t = Bitset.t
+
+(* Draw order is one bernoulli per node, id ascending — exactly the
+   order the historical [Array.init n (fun _ -> not (bernoulli ...))]
+   consumed, so masks sampled from a given rng state are unchanged by
+   the packed representation. *)
 let sample ?(rng = Prng.Splitmix.create ~seed:0xdead) ~q n =
   if not (Numerics.Prob.is_valid q) then invalid_arg "Failure.sample: invalid q";
   if n < 0 then invalid_arg "Failure.sample: negative size";
-  Array.init n (fun _ -> not (Prng.Splitmix.bernoulli rng ~p:q))
+  let mask = Bitset.all n in
+  for v = 0 to n - 1 do
+    if Prng.Splitmix.bernoulli rng ~p:q then Bitset.set mask v false
+  done;
+  mask
 
-let alive_count mask = Array.fold_left (fun acc a -> if a then acc + 1 else acc) 0 mask
+let alive_count = Bitset.count
 
-let survivors mask =
-  let out = Array.make (alive_count mask) 0 in
-  let j = ref 0 in
-  Array.iteri
-    (fun i a ->
-      if a then begin
-        out.(!j) <- i;
-        incr j
-      end)
-    mask;
-  out
+let survivors = Bitset.members
 
-let none n = Array.make n true
+let alive_ids = Bitset.members
 
-let kill mask ids = Array.iter (fun v -> mask.(v) <- false) ids
+let none = Bitset.all
+
+let length = Bitset.length
+
+let get = Bitset.get
+
+let set = Bitset.set
+
+let kill mask ids = Array.iter (fun v -> Bitset.set mask v false) ids
+
+let of_bool_array = Bitset.of_bool_array
+
+let to_bool_array = Bitset.to_bool_array
 
 (* Correlated failure: a contiguous block of ids (wrapping) dies
    together — the id-space footprint of a site or subnet outage when
@@ -28,12 +42,12 @@ let sample_block ?(rng = Prng.Splitmix.create ~seed:0xb10c) ~fraction n =
   if not (Numerics.Prob.is_valid fraction) then
     invalid_arg "Failure.sample_block: invalid fraction";
   if n < 0 then invalid_arg "Failure.sample_block: negative size";
-  let mask = Array.make n true in
+  let mask = Bitset.all n in
   let dead = int_of_float (Float.round (fraction *. float_of_int n)) in
   if dead > 0 && n > 0 then begin
     let start = Prng.Splitmix.int rng n in
     for offset = 0 to min dead n - 1 do
-      mask.((start + offset) mod n) <- false
+      Bitset.set mask ((start + offset) mod n) false
     done
   end;
   mask

@@ -1,23 +1,61 @@
 (** Static-resilience failure injection: every node fails independently
     with probability q, and routing tables are not repaired (section 1,
-    footnote 1). *)
+    footnote 1).
 
-val sample : ?rng:Prng.Splitmix.t -> q:float -> int -> bool array
-(** [sample ~q n] is an alive-mask of [n] nodes; entry [v] is false with
-    probability [q], independently. *)
+    An alive-mask is a packed {!Bitset} (one bit per node, off-heap),
+    not a [bool array]: the batch routing kernel tests liveness with a
+    single load + mask, the mask is shared read-only across domains
+    with no GC traffic, and it is 32× smaller than the boxed
+    representation at [2^20] nodes. {!of_bool_array} /
+    {!to_bool_array} bridge callers that still build or inspect plain
+    arrays (tests, the graph layer's component analysis). Sampling
+    draws from the rng in the same order as the historical [bool
+    array] implementation, so masks are bit-identical across the
+    representation change. *)
 
-val alive_count : bool array -> int
+module Bitset = Bitset
 
-val survivors : bool array -> int array
+type t = Bitset.t
+(** An alive-mask: node [v] is alive iff bit [v] is set. *)
+
+val sample : ?rng:Prng.Splitmix.t -> q:float -> int -> t
+(** [sample ~q n] is an alive-mask of [n] nodes; entry [v] is dead with
+    probability [q], independently (one bernoulli draw per node, id
+    ascending). *)
+
+val alive_count : t -> int
+
+val survivors : t -> int array
 (** Ids of alive nodes, ascending. *)
 
-val none : int -> bool array
+val alive_ids : t -> int array
+(** Alias of {!survivors}. *)
+
+val length : t -> int
+(** Number of nodes the mask covers (alive or dead). *)
+
+val get : t -> int -> bool
+(** [get mask v] is true iff node [v] is alive.
+    @raise Invalid_argument outside [0, length). *)
+
+val set : t -> int -> bool -> unit
+(** Marks one node alive or dead.
+    @raise Invalid_argument outside [0, length). *)
+
+val none : int -> t
 (** A mask with every node alive. *)
 
-val kill : bool array -> int array -> unit
+val kill : t -> int array -> unit
 (** Marks the given ids dead (targeted-failure experiments). *)
 
-val sample_block : ?rng:Prng.Splitmix.t -> fraction:float -> int -> bool array
+val of_bool_array : bool array -> t
+(** [of_bool_array m] is the mask with node [v] alive iff [m.(v)]. *)
+
+val to_bool_array : t -> bool array
+(** Inverse of {!of_bool_array} (for [bool array] consumers such as
+    {!Graph.Components.analyze}). *)
+
+val sample_block : ?rng:Prng.Splitmix.t -> fraction:float -> int -> t
 (** [sample_block ~fraction n] kills round(fraction * n) *contiguous*
     ids starting at a random offset (wrapping) — a correlated outage,
     in contrast to {!sample}'s independent failures. *)

@@ -11,7 +11,17 @@
 type offsets = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
 type targets = (int32, Bigarray.int32_elt, Bigarray.c_layout) Bigarray.Array1.t
 
-type t = { offsets : offsets; targets : targets }
+(* [uniform] caches the common row degree (-1 when rows differ or the
+   block is empty): the batch routing kernels replace the per-hop
+   offsets indirection with [v * uniform] when it applies, which is
+   every table the overlay builders produce. *)
+type t = { offsets : offsets; targets : targets; uniform : int }
+
+let offsets t = t.offsets
+
+let uniform_degree t = t.uniform
+
+let targets t = t.targets
 
 let node_count t = Bigarray.Array1.dim t.offsets - 1
 
@@ -41,6 +51,12 @@ let check_target ~nodes ~context u =
    order — the exact evaluation order of the classic
    [Array.init size (fun v -> Array.init degree (f v))] builders, so a
    PRNG threaded through [f] is left in the same state either way. *)
+(* Hint the kernel to back a payload with 2 MiB huge pages (see
+   flat_stubs.c); a no-op outside Linux or without THP. *)
+external advise_hugepages : ('a, 'b, 'c) Bigarray.Array1.t -> unit
+  = "rcm_advise_hugepages"
+[@@noalloc]
+
 let init ~nodes ~degree f =
   if nodes < 0 then invalid_arg "Flat.init: negative node count";
   if degree < 0 then invalid_arg "Flat.init: negative degree";
@@ -48,6 +64,8 @@ let init ~nodes ~degree f =
   let targets =
     Bigarray.Array1.create Bigarray.int32 Bigarray.c_layout (nodes * degree)
   in
+  advise_hugepages offsets;
+  advise_hugepages targets;
   let k = ref 0 in
   for v = 0 to nodes - 1 do
     offsets.{v} <- !k;
@@ -59,7 +77,7 @@ let init ~nodes ~degree f =
     done
   done;
   offsets.{nodes} <- !k;
-  { offsets; targets }
+  { offsets; targets; uniform = (if nodes > 0 then degree else -1) }
 
 (* Variable-degree conversion from classic per-node rows (copies). *)
 let of_rows rows =
@@ -72,6 +90,8 @@ let of_rows rows =
   done;
   offsets.{nodes} <- !edges;
   let targets = Bigarray.Array1.create Bigarray.int32 Bigarray.c_layout !edges in
+  advise_hugepages offsets;
+  advise_hugepages targets;
   let k = ref 0 in
   Array.iter
     (fun neighbours ->
@@ -82,4 +102,11 @@ let of_rows rows =
           incr k)
         neighbours)
     rows;
-  { offsets; targets }
+  let uniform =
+    if nodes = 0 then -1
+    else begin
+      let d = Array.length rows.(0) in
+      if Array.for_all (fun row -> Array.length row = d) rows then d else -1
+    end
+  in
+  { offsets; targets; uniform }

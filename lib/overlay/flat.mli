@@ -9,23 +9,31 @@
       heap, so a block built once is read concurrently by every domain
       of an {!Exec.Pool} without copying and without adding GC scanning
       work. Per-trial failures never touch the block: they are an
-      alive-bitset ([bool array]) overlaid at routing time.
+      alive-bitset ({!Failure.t}) overlaid at routing time.
     - {b Compactness.} 4 bytes per edge + 8 per node, versus ~3 heap
       words per edge-containing row for the classic representation —
       about 5× smaller at bits = 20, which is what makes 2^20–2^22-node
       sweeps fit in memory.
     - {b Immutability by convention.} Nothing in this module mutates a
-      block after construction, and no accessor exposes the underlying
-      Bigarrays. Callers must preserve this: a shared block that one
-      domain mutates would race every other domain. Overlays that need
-      in-place repair (churn) use the classic representation via
-      {!Table.of_neighbors}.
+      block after construction. {!offsets} and {!targets} expose the
+      underlying Bigarrays read-only so the batch routing kernel
+      ({!Routing.Route_batch}) can index rows directly; callers must
+      never write through them — a shared block that one domain mutates
+      would race every other domain. Overlays that need in-place repair
+      (churn) use the classic representation via {!Table.of_neighbors}.
 
     Node ids fit [int32] because {!Idspace.Space.max_bits} is 30. Blocks
     are usually built and consumed through {!Table} (backend [Flat])
     rather than directly. *)
 
 type t
+
+type offsets = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** Edge offsets, one per node plus a sentinel: node [v]'s row is
+    [targets.{offsets.{v} .. offsets.{v+1} - 1}]. *)
+
+type targets = (int32, Bigarray.int32_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** Neighbour ids, row-major. *)
 
 val init : nodes:int -> degree:int -> (int -> int -> int) -> t
 (** [init ~nodes ~degree f] builds a uniform-degree block whose entry
@@ -61,3 +69,15 @@ val row : t -> int -> int array
 
 val memory_bytes : t -> int
 (** Bigarray payload size in bytes: [8 * (nodes + 1) + 4 * edges]. *)
+
+val offsets : t -> offsets
+(** The offsets Bigarray, read-only by convention (see above). *)
+
+val targets : t -> targets
+(** The targets Bigarray, read-only by convention (see above). *)
+
+val uniform_degree : t -> int
+(** The degree shared by every row, or [-1] when rows differ (or the
+    block is empty). When non-negative, row [v] starts at
+    [v * uniform_degree] — the batch routing kernels use this to skip
+    the offsets indirection on every hop. *)

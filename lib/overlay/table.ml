@@ -20,6 +20,8 @@ let geometry t = t.geometry
 
 let backend t = match t.repr with Rows _ -> Classic | Csr _ -> Flat
 
+let csr t = match t.repr with Rows _ -> None | Csr f -> Some f
+
 let node_count t = Idspace.Space.size t.space
 
 let bits t = Idspace.Space.bits t.space

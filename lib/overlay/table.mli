@@ -34,7 +34,7 @@
     CLI output checks.
 
     Per-trial node failures never modify a table of either backend: they
-    are sampled into an alive-bitset ([bool array], see {!Failure}) and
+    are sampled into a packed alive-bitset (see {!Failure}) and
     overlaid at routing time by the routers. *)
 
 type t
@@ -98,6 +98,11 @@ val geometry : t -> Rcm.Geometry.t
 
 val backend : t -> backend
 (** The physical representation of this table. *)
+
+val csr : t -> Flat.t option
+(** The underlying {!Flat} block when the backend is {!Flat}, [None]
+    for {!Classic} rows. The batch routing kernel uses this to decide
+    whether the direct-indexing fast path applies. *)
 
 val node_count : t -> int
 val bits : t -> int

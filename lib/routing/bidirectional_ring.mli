@@ -13,7 +13,7 @@ val circular_distance : bits:int -> int -> int -> int
 val route :
   ?on_hop:(int -> unit) ->
   Overlay.Table.t ->
-  alive:bool array ->
+  alive:Overlay.Failure.t ->
   src:int ->
   dst:int ->
   Outcome.t

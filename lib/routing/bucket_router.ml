@@ -8,7 +8,7 @@
 
 let first_alive ~alive contacts =
   let n = Array.length contacts in
-  let rec scan i = if i >= n then None else if alive.(contacts.(i)) then Some contacts.(i) else scan (i + 1) in
+  let rec scan i = if i >= n then None else if Overlay.Failure.get alive contacts.(i) then Some contacts.(i) else scan (i + 1) in
   scan 0
 
 let route ?(on_hop = ignore) ~mode table ~alive ~src ~dst =

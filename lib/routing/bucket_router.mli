@@ -9,7 +9,7 @@ val route :
   ?on_hop:(int -> unit) ->
   mode:[ `Tree | `Xor ] ->
   Overlay.Kbucket.t ->
-  alive:bool array ->
+  alive:Overlay.Failure.t ->
   src:int ->
   dst:int ->
   Outcome.t

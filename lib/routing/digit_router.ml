@@ -18,7 +18,7 @@ let route ?(on_hop = ignore) ~mode table ~alive ~src ~dst =
             if digit = Idspace.Digit.get ~bits ~group cur level then None
             else begin
               let contact = Overlay.Digit_table.neighbor table cur ~level ~digit in
-              if alive.(contact) then Some contact else None
+              if Overlay.Failure.get alive contact then Some contact else None
             end
           in
           let next =

@@ -11,7 +11,7 @@ let route ?(on_hop = ignore) table ~alive ~src ~dst =
       let best = ref (-1) in
       let best_remaining = ref remaining in
       Overlay.Table.iter_neighbors table cur (fun candidate ->
-          if alive.(candidate) then begin
+          if Overlay.Failure.get alive candidate then begin
             let after = Idspace.Id.ring_distance ~bits candidate dst in
             if after < !best_remaining then begin
               best := candidate;

@@ -17,7 +17,7 @@ let route ?(on_hop = ignore) table ~rng ~alive ~src ~dst =
           Overlay.Table.bits table - 1 - Idspace.Id.floor_log2 low
         in
         let candidate = Overlay.Table.neighbor table cur level_index in
-        if alive.(candidate) then begin
+        if Overlay.Failure.get alive candidate then begin
           incr seen;
           if Prng.Splitmix.int rng !seen = 0 then chosen := candidate
         end;

@@ -12,7 +12,7 @@ val route :
   ?on_hop:(int -> unit) ->
   Overlay.Table.t ->
   rng:Prng.Splitmix.t ->
-  alive:bool array ->
+  alive:Overlay.Failure.t ->
   src:int ->
   dst:int ->
   Outcome.t

@@ -1,0 +1,347 @@
+/* Batched lane drivers for the rng-free geometries (tree, xor, ring /
+   symphony), one call per pair block.
+
+   Why C, and why whole blocks: at 2^20 nodes the CSR targets block is
+   tens of MiB, so each hop is a dependent random load the hardware
+   prefetchers cannot follow. Hiding that latency needs (a) many
+   independent routes in flight with a software PREFETCH issued one
+   round ahead of each lane's next row — prefetches retire immediately,
+   while a discarded demand load would stall the reorder buffer on
+   every miss and serialise the lanes again — and (b) so few
+   instructions per hop that the out-of-order window always holds the
+   next lanes' misses. (b) is what OCaml's codegen cannot deliver: the
+   hop steps below lean on count-leading-zeros and conditional moves,
+   and a per-hop foreign call would cost more than the hop. The
+   geometry dispatch, pair sampling, scratch ownership, metrics and the
+   hypercube router (which consumes PRNG draws on every hop and must
+   interleave with sampling) all stay in OCaml — see route_batch.ml.
+
+   Bit-identity contract (pinned by test/test_batch.ml and the CLI
+   byte-identity checks): each driver visits candidates in exactly the
+   scalar router's order — or in an order-insensitive form proved
+   equivalent (ring, below) — and consumes no randomness, so outcomes,
+   hop counts and stuck nodes equal the scalar path's for every pair.
+
+   Memory discipline: no allocation, no callbacks, no GC interaction —
+   the OCaml int arrays (srcs/dsts) and Bigarray payloads cannot move
+   during the call, so raw pointers are safe. Results are written
+   straight into the caller's scratch Bigarrays: hops_out[k] = hop
+   count, stuck_out[k] = -1 when delivered or the stuck node id. */
+
+#include <caml/bigarray.h>
+#include <caml/mlvalues.h>
+#include <stdint.h>
+
+/* Independent routes in flight per block. Enough that a full round of
+   other lanes (each a handful of nanoseconds once rows are cached)
+   covers one memory latency; small enough that the prefetched rows
+   (<= 3 lines each) sit comfortably in L1. The ring hop is an order of
+   magnitude fatter than the tree/xor single-candidate steps (it reads
+   the whole row), so its optimum is fewer lanes — fat hops fill the
+   out-of-order window quickly, and extra lanes only add L1 pressure —
+   where the thin hops want more lanes in flight to cover the same
+   latency. Both measured on 2^20-node tables. */
+#define LANES 64
+#define RING_LANES 24
+
+static inline int alive_bit(const intnat *words, intnat v)
+{
+  return (int)((words[v >> 5] >> (v & 31)) & 1);
+}
+
+/* Fetch of row [rs, re]: first, middle and last entry cover the <= 3
+   cache lines a misaligned row of degree <= 32 can span. */
+static inline void prefetch_row(const int32_t *targets, intnat rs, intnat re)
+{
+  __builtin_prefetch(targets + rs);
+  __builtin_prefetch(targets + ((rs + re) >> 1));
+  __builtin_prefetch(targets + re);
+}
+
+/* Row base: uniform tables (deg >= 0, every builder-produced block)
+   use a multiply so the prefetch and the hop skip the offsets
+   indirection; ragged tables (bidirectional Symphony via of_rows) fall
+   back to the offsets array. */
+static inline intnat row_base(const intnat *offsets, intnat deg, intnat v)
+{
+  return deg >= 0 ? v * deg : offsets[v];
+}
+
+static inline intnat row_limit(const intnat *offsets, intnat deg, intnat v,
+                               intnat base)
+{
+  return deg >= 0 ? base + deg : offsets[v + 1];
+}
+
+#define TAKE_PAIR(m)                                  \
+  do {                                                \
+    intnat kk = next_pair++;                          \
+    intnat src_ = Long_val(Field(vsrcs, kk));         \
+    lk[m] = kk;                                       \
+    lcur[m] = src_;                                   \
+    ldst[m] = Long_val(Field(vdsts, kk));             \
+    lhops[m] = 0;                                     \
+    if (src_ != ldst[m]) {                            \
+      intnat rs_ = row_base(offsets, deg, src_);      \
+      prefetch_row(targets, rs_,                      \
+                   row_limit(offsets, deg, src_, rs_) - 1); \
+    }                                                 \
+  } while (0)
+
+#define LANE_DONE(m)   \
+  do {                 \
+    lk[m] = -1;        \
+    live--;            \
+  } while (0)
+
+#define FINISH(m, stuck_val)          \
+  do {                                \
+    hops_out[lk[m]] = lhops[m];       \
+    stuck_out[lk[m]] = (stuck_val);   \
+    if (next_pair < n)                \
+      TAKE_PAIR(m);                   \
+    else                              \
+      LANE_DONE(m);                   \
+  } while (0)
+
+/* Tree (Plaxton, scalar Tree_router): the only useful neighbour is the
+   one correcting the leftmost differing bit (table index
+   [bits - 1 - floor_log2 diff]); dead means dropped. */
+CAMLprim value rcm_route_tree(value vtargets, value vwords, value voffsets,
+                              value vsrcs, value vdsts, value vn,
+                              value vhops_out, value vstuck_out, value vbits,
+                              value vdeg)
+{
+  const int32_t *targets = (const int32_t *)Caml_ba_data_val(vtargets);
+  const intnat *words = (const intnat *)Caml_ba_data_val(vwords);
+  const intnat *offsets = (const intnat *)Caml_ba_data_val(voffsets);
+  intnat *hops_out = (intnat *)Caml_ba_data_val(vhops_out);
+  intnat *stuck_out = (intnat *)Caml_ba_data_val(vstuck_out);
+  intnat n = Long_val(vn), bits = Long_val(vbits), deg = Long_val(vdeg);
+  intnat lk[LANES], lcur[LANES], ldst[LANES], lhops[LANES];
+  intnat lanes = n < LANES ? n : LANES;
+  intnat next_pair = 0, live = lanes;
+  for (intnat m = 0; m < lanes; m++)
+    TAKE_PAIR(m);
+  while (live > 0) {
+    for (intnat m = 0; m < lanes; m++) {
+      if (lk[m] < 0)
+        continue;
+      intnat cur = lcur[m], dst = ldst[m];
+      if (cur == dst) {
+        FINISH(m, -1);
+        continue;
+      }
+      intnat p = 63 - __builtin_clzl((unsigned long)(cur ^ dst));
+      intnat rb = row_base(offsets, deg, cur);
+      intnat next = targets[rb + bits - 1 - p];
+      if (!alive_bit(words, next)) {
+        FINISH(m, cur);
+        continue;
+      }
+      lcur[m] = next;
+      lhops[m]++;
+      if (next != dst) {
+        intnat rs = row_base(offsets, deg, next);
+        prefetch_row(targets, rs, row_limit(offsets, deg, next, rs) - 1);
+      }
+    }
+  }
+  return Val_unit;
+}
+
+CAMLprim value rcm_route_tree_bc(value *argv, int argn)
+{
+  (void)argn;
+  return rcm_route_tree(argv[0], argv[1], argv[2], argv[3], argv[4], argv[5],
+                        argv[6], argv[7], argv[8], argv[9]);
+}
+
+/* XOR (Kademlia, scalar Xor_router): candidates are the set bits of
+   [cur lxor dst] from the highest down; the first alive contact
+   wins. */
+CAMLprim value rcm_route_xor(value vtargets, value vwords, value voffsets,
+                             value vsrcs, value vdsts, value vn,
+                             value vhops_out, value vstuck_out, value vbits,
+                             value vdeg)
+{
+  const int32_t *targets = (const int32_t *)Caml_ba_data_val(vtargets);
+  const intnat *words = (const intnat *)Caml_ba_data_val(vwords);
+  const intnat *offsets = (const intnat *)Caml_ba_data_val(voffsets);
+  intnat *hops_out = (intnat *)Caml_ba_data_val(vhops_out);
+  intnat *stuck_out = (intnat *)Caml_ba_data_val(vstuck_out);
+  intnat n = Long_val(vn), bits = Long_val(vbits), deg = Long_val(vdeg);
+  intnat lk[LANES], lcur[LANES], ldst[LANES], lhops[LANES];
+  intnat lanes = n < LANES ? n : LANES;
+  intnat next_pair = 0, live = lanes;
+  for (intnat m = 0; m < lanes; m++)
+    TAKE_PAIR(m);
+  while (live > 0) {
+    for (intnat m = 0; m < lanes; m++) {
+      if (lk[m] < 0)
+        continue;
+      intnat cur = lcur[m], dst = ldst[m];
+      if (cur == dst) {
+        FINISH(m, -1);
+        continue;
+      }
+      intnat rb = row_base(offsets, deg, cur);
+      unsigned long rem = (unsigned long)(cur ^ dst);
+      intnat next = -1;
+      do {
+        intnat p = 63 - __builtin_clzl(rem);
+        intnat cand = targets[rb + bits - 1 - p];
+        if (alive_bit(words, cand)) {
+          next = cand;
+          break;
+        }
+        rem &= ~(1UL << p);
+      } while (rem);
+      if (next < 0) {
+        FINISH(m, cur);
+        continue;
+      }
+      lcur[m] = next;
+      lhops[m]++;
+      if (next != dst) {
+        intnat rs = row_base(offsets, deg, next);
+        prefetch_row(targets, rs, row_limit(offsets, deg, next, rs) - 1);
+      }
+    }
+  }
+  return Val_unit;
+}
+
+CAMLprim value rcm_route_xor_bc(value *argv, int argn)
+{
+  (void)argn;
+  return rcm_route_xor(argv[0], argv[1], argv[2], argv[3], argv[4], argv[5],
+                       argv[6], argv[7], argv[8], argv[9]);
+}
+
+/* Ring and Symphony (scalar Greedy_ring): greedy clockwise, next hop =
+   the unique minimiser of the remaining clockwise distance over the
+   alive contacts strictly closer than the current node. Distances of
+   distinct candidates are pairwise distinct, so the strict min is
+   unique and equals the scalar router's first-scanned minimiser no
+   matter in which order candidates are examined.
+
+   That order-independence is what makes the hop cheap. The expensive
+   part of a naive scan is not the row (cache-resident after the lane
+   prefetch) but the per-candidate liveness probe — a dependent
+   random-index load into the bitset for every contact. Instead, the
+   fast path computes all candidate keys with pure arithmetic, then
+   probes liveness lazily, best candidate first: at failure fraction q
+   that is 1/(1-q) probes per hop (~1.2 at q=0.2) instead of [degree].
+   Keys pack [(after << 5) | slot] into 32 bits so the min-reduction
+   runs branch-free (conditional moves, vectorizable); that needs
+   [bits + 5 <= 32] and at most 32 slots, which covers every practical
+   table — wider rows or deeper id spaces take the eager path. */
+
+static inline intnat ring_hop_fast(const int32_t *row, const intnat *words,
+                                   intnat deg, intnat dst, intnat mask,
+                                   intnat *rem /* in/out */)
+{
+  uint32_t key[32];
+  uint32_t seed = (uint32_t)*rem << 5;
+  for (intnat k = 0; k < deg; k++) {
+    uint32_t cand = (uint32_t)row[k];
+    key[k] = ((((uint32_t)dst - cand) & (uint32_t)mask) << 5) | (uint32_t)k;
+  }
+  for (;;) {
+    uint32_t best = seed;
+    for (intnat k = 0; k < deg; k++)
+      if (key[k] < best)
+        best = key[k];
+    if (best >= seed)
+      return -1;
+    intnat bi = best & 31;
+    intnat cand = row[bi];
+    if (alive_bit(words, cand)) {
+      *rem = (intnat)(best >> 5);
+      return cand;
+    }
+    key[bi] = UINT32_MAX;
+  }
+}
+
+static inline intnat ring_hop_eager(const int32_t *row, const intnat *words,
+                                    intnat deg, intnat dst, intnat mask,
+                                    intnat *rem /* in/out */)
+{
+  int64_t seed = (int64_t)*rem << 30;
+  int64_t best = seed;
+  for (intnat k = 0; k < deg; k++) {
+    intnat cand = row[k];
+    int64_t key = ((int64_t)((dst - cand) & mask) << 30) | cand;
+    if (!alive_bit(words, cand))
+      key = INT64_MAX;
+    if (key < best)
+      best = key;
+  }
+  if (best >= seed)
+    return -1;
+  *rem = (intnat)(best >> 30);
+  return (intnat)(best & 0x3FFFFFFF);
+}
+
+CAMLprim value rcm_route_ring(value vtargets, value vwords, value voffsets,
+                              value vsrcs, value vdsts, value vn,
+                              value vhops_out, value vstuck_out, value vmask,
+                              value vdeg)
+{
+  const int32_t *targets = (const int32_t *)Caml_ba_data_val(vtargets);
+  const intnat *words = (const intnat *)Caml_ba_data_val(vwords);
+  const intnat *offsets = (const intnat *)Caml_ba_data_val(voffsets);
+  intnat *hops_out = (intnat *)Caml_ba_data_val(vhops_out);
+  intnat *stuck_out = (intnat *)Caml_ba_data_val(vstuck_out);
+  intnat n = Long_val(vn), mask = Long_val(vmask), deg = Long_val(vdeg);
+  int shallow = mask < (1 << 27);
+  intnat lk[RING_LANES], lcur[RING_LANES], ldst[RING_LANES], lhops[RING_LANES], lrem[RING_LANES];
+  intnat lanes = n < RING_LANES ? n : RING_LANES;
+  intnat next_pair = 0, live = lanes;
+  for (intnat m = 0; m < lanes; m++) {
+    TAKE_PAIR(m);
+    lrem[m] = (ldst[m] - lcur[m]) & mask;
+  }
+  while (live > 0) {
+    for (intnat m = 0; m < lanes; m++) {
+      if (lk[m] < 0)
+        continue;
+      if (lrem[m] == 0) {
+        FINISH(m, -1);
+        lrem[m] = (ldst[m] - lcur[m]) & mask;
+        continue;
+      }
+      intnat cur = lcur[m], dst = ldst[m];
+      intnat rb = row_base(offsets, deg, cur);
+      intnat rdeg = row_limit(offsets, deg, cur, rb) - rb;
+      intnat rem = lrem[m];
+      intnat next = (shallow && rdeg <= 32)
+                        ? ring_hop_fast(targets + rb, words, rdeg, dst, mask,
+                                        &rem)
+                        : ring_hop_eager(targets + rb, words, rdeg, dst, mask,
+                                         &rem);
+      if (next < 0) {
+        FINISH(m, cur);
+        lrem[m] = (ldst[m] - lcur[m]) & mask;
+        continue;
+      }
+      lcur[m] = next;
+      lrem[m] = rem;
+      lhops[m]++;
+      if (rem != 0) {
+        intnat rs = row_base(offsets, deg, next);
+        prefetch_row(targets, rs, row_limit(offsets, deg, next, rs) - 1);
+      }
+    }
+  }
+  return Val_unit;
+}
+
+CAMLprim value rcm_route_ring_bc(value *argv, int argn)
+{
+  (void)argn;
+  return rcm_route_ring(argv[0], argv[1], argv[2], argv[3], argv[4], argv[5],
+                        argv[6], argv[7], argv[8], argv[9]);
+}

@@ -5,7 +5,8 @@
 
     Every router in this library implements the same abstract scheme
     (section 4.1 of the paper): the message holder inspects its routing
-    table, discards dead contacts (those with [alive.(u) = false]), and
+    table, discards dead contacts (those with [Failure.get alive u =
+    false]), and
     forwards to a neighbour strictly closer to the destination in the
     geometry's own distance. The concrete distance differs per geometry
     — prefix depth (tree), Hamming distance (hypercube), XOR metric
@@ -40,7 +41,7 @@ val route :
   ?on_hop:(int -> unit) ->
   Overlay.Table.t ->
   rng:Prng.Splitmix.t ->
-  alive:bool array ->
+  alive:Overlay.Failure.t ->
   src:int ->
   dst:int ->
   Outcome.t
@@ -62,7 +63,7 @@ val route :
 val route_with_path :
   Overlay.Table.t ->
   rng:Prng.Splitmix.t ->
-  alive:bool array ->
+  alive:Overlay.Failure.t ->
   src:int ->
   dst:int ->
   Outcome.t * int list

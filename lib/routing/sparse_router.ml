@@ -17,7 +17,7 @@ let route_ring ?(on_hop = ignore) overlay ~alive ~src ~dst =
       let best_remaining = ref remaining in
       Array.iter
         (fun candidate ->
-          if candidate <> Overlay.Sparse.missing && alive.(candidate) then begin
+          if candidate <> Overlay.Sparse.missing && Overlay.Failure.get alive candidate then begin
             let after = ring_distance ~bits (Overlay.Sparse.id_of overlay candidate) id_dst in
             if after < !best_remaining then begin
               best := candidate;
@@ -48,7 +48,7 @@ let route_prefix ?(on_hop = ignore) ~mode overlay ~alive ~src ~dst =
       let contacts = Overlay.Sparse.contacts overlay cur in
       let usable level =
         let candidate = contacts.(level - 1) in
-        if candidate <> Overlay.Sparse.missing && alive.(candidate) then Some candidate
+        if candidate <> Overlay.Sparse.missing && Overlay.Failure.get alive candidate then Some candidate
         else None
       in
       let next =

@@ -6,7 +6,7 @@
 val route :
   ?on_hop:(int -> unit) ->
   Overlay.Sparse.t ->
-  alive:bool array ->
+  alive:Overlay.Failure.t ->
   src:int ->
   dst:int ->
   Outcome.t

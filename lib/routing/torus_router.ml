@@ -24,7 +24,7 @@ let route ?(on_hop = ignore) table ~rng ~alive ~src ~dst =
       let seen = ref 0 in
       for i = 0 to dim - 1 do
         match candidate table ~dst cur i with
-        | Some next when alive.(next) ->
+        | Some next when Overlay.Failure.get alive next ->
             incr seen;
             if Prng.Splitmix.int rng !seen = 0 then chosen := next
         | Some _ | None -> ()

@@ -7,7 +7,7 @@ val route :
   ?on_hop:(int -> unit) ->
   Overlay.Torus.t ->
   rng:Prng.Splitmix.t ->
-  alive:bool array ->
+  alive:Overlay.Failure.t ->
   src:int ->
   dst:int ->
   Outcome.t

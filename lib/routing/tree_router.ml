@@ -8,7 +8,7 @@ let route ?(on_hop = ignore) table ~alive ~src ~dst =
     | None -> Outcome.Delivered { hops }
     | Some level ->
         let next = Overlay.Table.neighbor table cur (level - 1) in
-        if alive.(next) then begin
+        if Overlay.Failure.get alive next then begin
           on_hop next;
           step next (hops + 1)
         end

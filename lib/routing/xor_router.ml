@@ -12,7 +12,7 @@ let route ?(on_hop = ignore) table ~alive ~src ~dst =
         if level > bits then None
         else if Idspace.Id.get_bit ~bits diff level then begin
           let candidate = Overlay.Table.neighbor table cur (level - 1) in
-          if alive.(candidate) then Some candidate
+          if Overlay.Failure.get alive candidate then Some candidate
           else try_level (level + 1)
         end
         else try_level (level + 1)

@@ -11,7 +11,7 @@
 val route :
   ?on_hop:(int -> unit) ->
   Overlay.Table.t ->
-  alive:bool array ->
+  alive:Overlay.Failure.t ->
   src:int ->
   dst:int ->
   Outcome.t

@@ -71,7 +71,7 @@ let refresh_entry cfg rng ~alive ~v ~slot ~current =
   let attempt_alive draw =
     let rec try_draw attempts =
       let candidate = draw () in
-      if alive.(candidate) || attempts >= 8 then candidate else try_draw (attempts + 1)
+      if Overlay.Failure.get alive candidate || attempts >= 8 then candidate else try_draw (attempts + 1)
     in
     try_draw 0
   in
@@ -96,7 +96,7 @@ let repair_row cfg rng ~alive ~neighbors v =
   let row = neighbors.(v) in
   Array.iteri
     (fun slot target ->
-      if not alive.(target) then row.(slot) <- refresh_entry cfg rng ~alive ~v ~slot ~current:target)
+      if not (Overlay.Failure.get alive target) then row.(slot) <- refresh_entry cfg rng ~alive ~v ~slot ~current:target)
     row
 
 (* Stale-entry fractions, overall and split by link class: slots below
@@ -108,12 +108,12 @@ let stale_fractions ~alive ~near_slots neighbors =
   let total = [| 0; 0 |] in
   Array.iteri
     (fun v row ->
-      if alive.(v) then
+      if Overlay.Failure.get alive v then
         Array.iteri
           (fun slot target ->
             let cls = if slot < near_slots then 0 else 1 in
             total.(cls) <- total.(cls) + 1;
-            if not alive.(target) then stale.(cls) <- stale.(cls) + 1)
+            if not (Overlay.Failure.get alive target) then stale.(cls) <- stale.(cls) + 1)
           row)
     neighbors;
   let fraction cls = if total.(cls) = 0 then 0.0 else float_of_int stale.(cls) /. float_of_int total.(cls) in
@@ -190,13 +190,13 @@ let run cfg =
     | None -> ()
     | Some (time, _) when time > horizon -> ()
     | Some (time, Toggle v) ->
-        if alive.(v) then begin
-          alive.(v) <- false;
+        if Overlay.Failure.get alive v then begin
+          Overlay.Failure.set alive v false;
           Event_queue.add queue ~time:(time +. exponential rng ~mean:cfg.mean_downtime)
             (Toggle v)
         end
         else begin
-          alive.(v) <- true;
+          Overlay.Failure.set alive v true;
           (* A rejoining node rebuilds its entire routing table. *)
           Array.iteri
             (fun slot current ->
@@ -208,7 +208,7 @@ let run cfg =
         end;
         loop ()
     | Some (time, Repair v) ->
-        if alive.(v) then repair_row cfg rng ~alive ~neighbors v;
+        if Overlay.Failure.get alive v then repair_row cfg rng ~alive ~neighbors v;
         Event_queue.add queue ~time:(time +. cfg.repair_interval) (Repair v);
         loop ()
     | Some (time, Measure) ->

@@ -118,6 +118,26 @@ let run_trial cfg ~backend cache build_seed =
   let stats =
     if Array.length pool < 2 then
       { t_delivered = 0; t_attempted = 0; t_alive_fraction = alive_fraction; t_hops = [] }
+    else if
+      (* Flat tables route their whole pair block through the batch
+         kernel in one call (per-domain scratch, one metrics flush) —
+         bit-identical to the scalar loop below, including the rng
+         stream, so the two paths are freely interchangeable
+         ([--no-batch] pins this via stdout byte-identity). Classic
+         tables keep the scalar loop: their rows are not CSR blocks. *)
+      Routing.Route_batch.enabled () && Overlay.Table.backend table = Overlay.Table.Flat
+    then begin
+      let scratch =
+        Routing.Route_batch.sample_and_route table ~rng ~alive ~pool
+          ~pairs:cfg.pairs_per_trial
+      in
+      {
+        t_delivered = Routing.Route_batch.delivered_count scratch;
+        t_attempted = cfg.pairs_per_trial;
+        t_alive_fraction = alive_fraction;
+        t_hops = Routing.Route_batch.delivered_hops_rev_order scratch;
+      }
+    end
     else begin
       let delivered = ref 0 in
       let hops_rev = ref [] in

@@ -52,20 +52,38 @@ let run_trial ~bits ~backend ~q geometry cache build_seed ~pairs =
       (fun () -> Overlay.Failure.sample ~rng ~q (Overlay.Table.node_count table))
   in
   let graph = Overlay.Table.to_digraph table in
-  let connectivity = Graph.Components.analyze ~alive graph in
+  let connectivity =
+    Graph.Components.analyze ~alive:(Overlay.Failure.to_bool_array alive) graph
+  in
   let pool = Overlay.Failure.survivors alive in
   let trial =
     if Array.length pool < 2 then { connectivity; routability = 0.0; routed_pairs = 0 }
     else begin
-      let delivered = ref 0 in
-      for _ = 1 to pairs do
-        let src, dst = Stats.Sampler.ordered_pair rng pool in
-        if Routing.Outcome.is_delivered (Routing.Router.route table ~rng ~alive ~src ~dst)
-        then incr delivered
-      done;
+      (* Same batch-vs-scalar split as [Estimate.run_trial]: flat
+         tables route the whole pair block in one kernel call,
+         bit-identically to the loop below. *)
+      let delivered =
+        if
+          Routing.Route_batch.enabled ()
+          && Overlay.Table.backend table = Overlay.Table.Flat
+        then
+          Routing.Route_batch.delivered_count
+            (Routing.Route_batch.sample_and_route table ~rng ~alive ~pool ~pairs)
+        else begin
+          let delivered = ref 0 in
+          for _ = 1 to pairs do
+            let src, dst = Stats.Sampler.ordered_pair rng pool in
+            if
+              Routing.Outcome.is_delivered
+                (Routing.Router.route table ~rng ~alive ~src ~dst)
+            then incr delivered
+          done;
+          !delivered
+        end
+      in
       {
         connectivity;
-        routability = float_of_int !delivered /. float_of_int pairs;
+        routability = float_of_int delivered /. float_of_int pairs;
         routed_pairs = pairs;
       }
     end
@@ -116,7 +134,11 @@ let giant_fraction ?pool ?cache ?(backend = Overlay.Table.Classic) ?(trials = 3)
     map_trials pool trials (fun i ->
         let table, rng = table_for ~bits ~backend geometry cache seeds.(i) in
         let alive = Overlay.Failure.sample ~rng ~q (Overlay.Table.node_count table) in
-        let report = Graph.Components.analyze ~alive (Overlay.Table.to_digraph table) in
+        let report =
+          Graph.Components.analyze
+            ~alive:(Overlay.Failure.to_bool_array alive)
+            (Overlay.Table.to_digraph table)
+        in
         report.Graph.Components.giant_fraction)
   in
   Array.fold_left ( +. ) 0.0 fractions /. float_of_int trials

@@ -1,0 +1,461 @@
+(* Batch routing kernel versus the scalar router: outcomes, hop
+   counts, stuck nodes, PRNG streams and metrics totals must be equal
+   (not just close) for every geometry, failure level and domain count
+   — the contract that lets the simulation layers switch to the batch
+   kernel whenever the overlay backend is flat. Also pins the packed
+   Failure bitset against its bool-array ancestor. *)
+
+let all_geometries =
+  [
+    Rcm.Geometry.Tree;
+    Rcm.Geometry.Hypercube;
+    Rcm.Geometry.Xor;
+    Rcm.Geometry.Ring;
+    Rcm.Geometry.default_symphony;
+  ]
+
+let outcome = Alcotest.testable Routing.Outcome.pp Routing.Outcome.equal
+
+let flat_table ~seed ~bits geometry =
+  Overlay.Table.build
+    ~rng:(Prng.Splitmix.create ~seed)
+    ~backend:Overlay.Table.Flat ~bits geometry
+
+(* --- packed bitset invariants -------------------------------------------- *)
+
+(* Lengths straddling the 32-bit word boundary, including empty. *)
+let bitset_lengths = [ 0; 1; 5; 31; 32; 33; 64; 100; 257 ]
+
+let test_bitset_tail_words () =
+  List.iter
+    (fun n ->
+      let full = Overlay.Failure.Bitset.all n in
+      Alcotest.(check int) (Printf.sprintf "all %d: count" n) n
+        (Overlay.Failure.Bitset.count full);
+      Alcotest.(check (array int))
+        (Printf.sprintf "all %d: members" n)
+        (Array.init n Fun.id)
+        (Overlay.Failure.Bitset.members full);
+      let empty = Overlay.Failure.Bitset.create n in
+      Alcotest.(check int) (Printf.sprintf "create %d: count" n) 0
+        (Overlay.Failure.Bitset.count empty);
+      Alcotest.(check (array int))
+        (Printf.sprintf "create %d: members" n)
+        [||]
+        (Overlay.Failure.Bitset.members empty))
+    bitset_lengths
+
+let test_bitset_bool_array_agreement () =
+  List.iter
+    (fun n ->
+      (* A deterministic, irregular pattern crossing word boundaries. *)
+      let bools = Array.init n (fun i -> (i * 7) mod 3 <> 0 || i mod 32 = 31) in
+      let mask = Overlay.Failure.of_bool_array bools in
+      Alcotest.(check int) (Printf.sprintf "n=%d: length" n) n (Overlay.Failure.length mask);
+      Alcotest.(check int)
+        (Printf.sprintf "n=%d: alive_count vs fold" n)
+        (Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 bools)
+        (Overlay.Failure.alive_count mask);
+      let expected_ids =
+        Array.of_list (List.filter (fun i -> bools.(i)) (List.init n Fun.id))
+      in
+      Alcotest.(check (array int))
+        (Printf.sprintf "n=%d: alive_ids vs filter" n)
+        expected_ids (Overlay.Failure.alive_ids mask);
+      Alcotest.(check (array bool))
+        (Printf.sprintf "n=%d: to_bool_array roundtrip" n)
+        bools
+        (Overlay.Failure.to_bool_array mask);
+      Array.iteri
+        (fun i b ->
+          if Overlay.Failure.get mask i <> b then
+            Alcotest.failf "n=%d: get %d disagrees with source array" n i)
+        bools)
+    bitset_lengths
+
+let test_bitset_set_and_bounds () =
+  let mask = Overlay.Failure.none 40 in
+  Overlay.Failure.set mask 0 false;
+  Overlay.Failure.set mask 31 false;
+  Overlay.Failure.set mask 32 false;
+  Alcotest.(check int) "three cleared" 37 (Overlay.Failure.alive_count mask);
+  Overlay.Failure.set mask 31 true;
+  Alcotest.(check bool) "set back" true (Overlay.Failure.get mask 31);
+  Alcotest.(check int) "count restored" 38 (Overlay.Failure.alive_count mask);
+  Alcotest.check_raises "get out of range"
+    (Invalid_argument "Bitset.get: index 40 outside [0, 40)") (fun () ->
+      ignore (Overlay.Failure.get mask 40));
+  Alcotest.check_raises "set out of range"
+    (Invalid_argument "Bitset.set: index -1 outside [0, 40)") (fun () ->
+      Overlay.Failure.set mask (-1) true);
+  Alcotest.check_raises "negative length"
+    (Invalid_argument "Bitset.create: negative length") (fun () ->
+      ignore (Overlay.Failure.Bitset.create (-3)))
+
+(* The packed sample must draw exactly the bernoulli sequence the
+   historical bool-array sampler drew: one draw per node, ascending. *)
+let test_sample_draw_order () =
+  List.iter
+    (fun q ->
+      let rng_mask = Prng.Splitmix.create ~seed:123 in
+      let rng_ref = Prng.Splitmix.create ~seed:123 in
+      let mask = Overlay.Failure.sample ~rng:rng_mask ~q 100 in
+      let reference =
+        Array.init 100 (fun _ -> not (Prng.Splitmix.bernoulli rng_ref ~p:q))
+      in
+      Alcotest.(check (array bool))
+        (Printf.sprintf "q=%g: same mask" q)
+        reference
+        (Overlay.Failure.to_bool_array mask);
+      Alcotest.(check int64)
+        (Printf.sprintf "q=%g: same rng state" q)
+        (Prng.Splitmix.state rng_ref) (Prng.Splitmix.state rng_mask))
+    [ 0.0; 0.3; 0.9; 1.0 ]
+
+(* --- route_many versus the scalar router --------------------------------- *)
+
+let qs = [ 0.0; 0.3; 0.9 ]
+
+(* Every ordered survivor pair, in a fixed order. *)
+let survivor_pairs alive =
+  let pool = Overlay.Failure.survivors alive in
+  let pairs = ref [] in
+  Array.iter
+    (fun src -> Array.iter (fun dst -> if src <> dst then pairs := (src, dst) :: !pairs) pool)
+    pool;
+  Array.of_list (List.rev !pairs)
+
+let test_route_many_matches_scalar () =
+  List.iter
+    (fun geometry ->
+      let name = Rcm.Geometry.name geometry in
+      let table = flat_table ~seed:42 ~bits:6 geometry in
+      List.iteri
+        (fun qi q ->
+          let what = Printf.sprintf "%s q=%g" name q in
+          let alive =
+            Overlay.Failure.sample
+              ~rng:(Prng.Splitmix.create ~seed:(900 + qi))
+              ~q
+              (Overlay.Table.node_count table)
+          in
+          let pairs = survivor_pairs alive in
+          let rng_batch = Prng.Splitmix.create ~seed:7 in
+          let rng_scalar = Prng.Splitmix.create ~seed:7 in
+          let scratch =
+            Routing.Route_batch.route_many
+              ~scratch:(Routing.Route_batch.create_scratch ())
+              table ~rng:rng_batch ~alive pairs
+          in
+          Alcotest.(check int) (what ^ ": batch_size") (Array.length pairs)
+            (Routing.Route_batch.batch_size scratch);
+          let scalar_delivered = ref 0 in
+          Array.iteri
+            (fun k (src, dst) ->
+              let expected = Routing.Router.route table ~rng:rng_scalar ~alive ~src ~dst in
+              if Routing.Outcome.is_delivered expected then incr scalar_delivered;
+              Alcotest.check outcome
+                (Printf.sprintf "%s: pair %d (%d -> %d)" what k src dst)
+                expected
+                (Routing.Route_batch.outcome scratch k);
+              Alcotest.(check int)
+                (Printf.sprintf "%s: hops %d" what k)
+                (Routing.Outcome.hops expected)
+                (Routing.Route_batch.hops scratch k);
+              Alcotest.(check bool)
+                (Printf.sprintf "%s: is_delivered %d" what k)
+                (Routing.Outcome.is_delivered expected)
+                (Routing.Route_batch.is_delivered scratch k))
+            pairs;
+          Alcotest.(check int) (what ^ ": delivered_count") !scalar_delivered
+            (Routing.Route_batch.delivered_count scratch);
+          Alcotest.(check int)
+            (what ^ ": dropped_count")
+            (Array.length pairs - !scalar_delivered)
+            (Routing.Route_batch.dropped_count scratch);
+          (* The batch kernel consumed exactly the scalar draws. *)
+          Alcotest.(check int64) (what ^ ": rng state")
+            (Prng.Splitmix.state rng_scalar) (Prng.Splitmix.state rng_batch))
+        qs)
+    all_geometries
+
+(* sample_and_route interleaves pair-sampling draws with routing draws
+   exactly as the scalar trial loop does (the hypercube router draws
+   while routing, so the interleaving is observable). *)
+let test_sample_and_route_matches_scalar () =
+  List.iter
+    (fun geometry ->
+      let name = Rcm.Geometry.name geometry in
+      let table = flat_table ~seed:5 ~bits:7 geometry in
+      List.iteri
+        (fun qi q ->
+          let what = Printf.sprintf "%s q=%g" name q in
+          let alive =
+            Overlay.Failure.sample
+              ~rng:(Prng.Splitmix.create ~seed:(50 + qi))
+              ~q
+              (Overlay.Table.node_count table)
+          in
+          let pool = Overlay.Failure.survivors alive in
+          if Array.length pool >= 2 then begin
+            let pairs = 150 in
+            let rng_batch = Prng.Splitmix.create ~seed:31 in
+            let rng_scalar = Prng.Splitmix.create ~seed:31 in
+            let scratch =
+              Routing.Route_batch.sample_and_route
+                ~scratch:(Routing.Route_batch.create_scratch ())
+                table ~rng:rng_batch ~alive ~pool ~pairs
+            in
+            let scalar_hops_rev = ref [] in
+            for k = 0 to pairs - 1 do
+              let src, dst = Stats.Sampler.ordered_pair rng_scalar pool in
+              let expected = Routing.Router.route table ~rng:rng_scalar ~alive ~src ~dst in
+              (match expected with
+              | Routing.Outcome.Delivered { hops } ->
+                  scalar_hops_rev := float_of_int hops :: !scalar_hops_rev
+              | Routing.Outcome.Dropped _ -> ());
+              Alcotest.check outcome
+                (Printf.sprintf "%s: sampled pair %d" what k)
+                expected
+                (Routing.Route_batch.outcome scratch k)
+            done;
+            Alcotest.(check (list (float 0.0)))
+              (what ^ ": delivered hop list")
+              (List.rev !scalar_hops_rev)
+              (Routing.Route_batch.delivered_hops_rev_order scratch);
+            Alcotest.(check int64) (what ^ ": rng state")
+              (Prng.Splitmix.state rng_scalar) (Prng.Splitmix.state rng_batch)
+          end)
+        qs)
+    all_geometries
+
+(* Property: random (bits, seed) instances agree pair-for-pair across
+   the batch and scalar paths on the rng-free geometries. *)
+let prop_batch_scalar_agreement =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:30 ~name:"batch/scalar agreement (random instances)"
+       QCheck.(pair (int_range 3 7) small_nat)
+       (fun (bits, seed) ->
+         List.for_all
+           (fun geometry ->
+             let table = flat_table ~seed ~bits geometry in
+             let alive =
+               Overlay.Failure.sample
+                 ~rng:(Prng.Splitmix.create ~seed:(seed + 1))
+                 ~q:0.25
+                 (Overlay.Table.node_count table)
+             in
+             let pairs = survivor_pairs alive in
+             let rng = Prng.Splitmix.create ~seed in
+             let scratch =
+               Routing.Route_batch.route_many
+                 ~scratch:(Routing.Route_batch.create_scratch ())
+                 table ~rng ~alive pairs
+             in
+             let rng_s = Prng.Splitmix.create ~seed in
+             Array.length pairs = Routing.Route_batch.batch_size scratch
+             && Array.for_all
+                  (fun k ->
+                    let src, dst = pairs.(k) in
+                    Routing.Outcome.equal
+                      (Routing.Router.route table ~rng:rng_s ~alive ~src ~dst)
+                      (Routing.Route_batch.outcome scratch k))
+                  (Array.init (Array.length pairs) Fun.id))
+           [ Rcm.Geometry.Tree; Rcm.Geometry.Xor; Rcm.Geometry.Ring ]))
+
+(* --- scratch lifecycle ---------------------------------------------------- *)
+
+let test_scratch_reuse_and_raw_views () =
+  let table = flat_table ~seed:11 ~bits:6 Rcm.Geometry.Ring in
+  let alive =
+    Overlay.Failure.sample
+      ~rng:(Prng.Splitmix.create ~seed:2)
+      ~q:0.3
+      (Overlay.Table.node_count table)
+  in
+  let scratch = Routing.Route_batch.create_scratch () in
+  let pairs = survivor_pairs alive in
+  let rng = Prng.Splitmix.create ~seed:1 in
+  let s1 = Routing.Route_batch.route_many ~scratch table ~rng ~alive pairs in
+  Alcotest.(check bool) "same scratch returned" true (s1 == scratch);
+  let hops_view = Routing.Route_batch.raw_hops scratch in
+  let stuck_view = Routing.Route_batch.raw_stuck scratch in
+  Alcotest.(check int) "raw_hops dim" (Array.length pairs) (Bigarray.Array1.dim hops_view);
+  Alcotest.(check int) "raw_stuck dim" (Array.length pairs) (Bigarray.Array1.dim stuck_view);
+  for k = 0 to Array.length pairs - 1 do
+    Alcotest.(check int) "raw hops agrees" (Routing.Route_batch.hops scratch k)
+      hops_view.{k};
+    let delivered = Routing.Route_batch.is_delivered scratch k in
+    Alcotest.(check bool) "stuck = -1 iff delivered" delivered (stuck_view.{k} = -1)
+  done;
+  Alcotest.(check int) "delivered + dropped = batch"
+    (Routing.Route_batch.batch_size scratch)
+    (Routing.Route_batch.delivered_count scratch
+    + Routing.Route_batch.dropped_count scratch);
+  (* Shrinking reuse: a smaller second batch on the same scratch
+     reports the new size, not stale results. *)
+  let small = [| pairs.(0); pairs.(1); pairs.(2) |] in
+  let s2 = Routing.Route_batch.route_many ~scratch table ~rng ~alive small in
+  Alcotest.(check int) "reused scratch resized" 3 (Routing.Route_batch.batch_size s2);
+  Alcotest.check_raises "index past batch"
+    (Invalid_argument "Route_batch.hops: index 3 outside [0, 3)") (fun () ->
+      ignore (Routing.Route_batch.hops s2 3))
+
+let test_validation_errors () =
+  let classic =
+    Overlay.Table.build ~rng:(Prng.Splitmix.create ~seed:1) ~bits:5 Rcm.Geometry.Ring
+  in
+  let flat = Overlay.Table.flatten classic in
+  let alive = Overlay.Failure.none (Overlay.Table.node_count flat) in
+  let rng = Prng.Splitmix.create ~seed:1 in
+  Alcotest.check_raises "classic table rejected"
+    (Invalid_argument "Route_batch.route_many: table backend is not Flat (flatten it first)")
+    (fun () ->
+      ignore (Routing.Route_batch.route_many classic ~rng ~alive [| (0, 1) |]));
+  Alcotest.check_raises "mask length mismatch"
+    (Invalid_argument "Route_batch.route_many: alive mask size mismatch") (fun () ->
+      ignore
+        (Routing.Route_batch.route_many flat ~rng ~alive:(Overlay.Failure.none 7)
+           [| (0, 1) |]));
+  Alcotest.check_raises "pool smaller than 2"
+    (Invalid_argument "Route_batch.sample_and_route: pool smaller than 2") (fun () ->
+      ignore
+        (Routing.Route_batch.sample_and_route flat ~rng ~alive ~pool:[| 3 |] ~pairs:10));
+  Alcotest.check_raises "negative pair count"
+    (Invalid_argument "Route_batch.sample_and_route: negative pair count") (fun () ->
+      ignore
+        (Routing.Route_batch.sample_and_route flat ~rng ~alive ~pool:[| 1; 2 |]
+           ~pairs:(-1)));
+  match Routing.Route_batch.route_many flat ~rng ~alive [| (0, 99) |] with
+  | _ -> Alcotest.fail "pair outside the id space accepted"
+  | exception Invalid_argument _ -> ()
+
+(* --- metrics totals -------------------------------------------------------- *)
+
+(* The one-flush-per-batch metrics path must land on exactly the
+   counters and histogram stats the per-route scalar path produces —
+   same counts, bit-equal sums (integer-valued observations). *)
+let routing_metrics snapshot =
+  let is_routing name = String.length name > 8 && String.sub name 0 8 = "routing/" in
+  ( List.filter (fun (name, _) -> is_routing name) snapshot.Obs.Metrics.counters,
+    List.filter (fun (name, _) -> is_routing name) snapshot.Obs.Metrics.histograms )
+
+let check_hist_equal ~what (a : Obs.Metrics.hist_summary) (b : Obs.Metrics.hist_summary) =
+  Alcotest.(check int) (what ^ ": count") a.Obs.Metrics.count b.Obs.Metrics.count;
+  List.iter
+    (fun (field, f) ->
+      Alcotest.(check int64)
+        (Printf.sprintf "%s: %s bits" what field)
+        (Int64.bits_of_float (f a)) (Int64.bits_of_float (f b)))
+    [
+      ("sum", fun h -> h.Obs.Metrics.sum);
+      ("min", fun h -> h.Obs.Metrics.min);
+      ("max", fun h -> h.Obs.Metrics.max);
+      ("mean", fun h -> h.Obs.Metrics.mean);
+      ("p50", fun h -> h.Obs.Metrics.p50);
+      ("p90", fun h -> h.Obs.Metrics.p90);
+      ("p99", fun h -> h.Obs.Metrics.p99);
+    ]
+
+let test_metrics_totals_equal () =
+  let was_enabled = Obs.Metrics.enabled () in
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Metrics.reset ();
+      Obs.Metrics.set_enabled was_enabled;
+      Routing.Route_batch.set_enabled true)
+    (fun () ->
+      Obs.Metrics.set_enabled true;
+      let snapshot_of ~batch geometry =
+        Routing.Route_batch.set_enabled batch;
+        Obs.Metrics.reset ();
+        let cfg =
+          Sim.Estimate.config ~trials:2 ~pairs_per_trial:150 ~seed:19 ~bits:6 ~q:0.3
+            geometry
+        in
+        ignore (Sim.Estimate.run ~backend:Overlay.Table.Flat cfg);
+        routing_metrics (Obs.Metrics.snapshot ())
+      in
+      List.iter
+        (fun geometry ->
+          let name = Rcm.Geometry.name geometry in
+          let batch_counters, batch_hists = snapshot_of ~batch:true geometry in
+          let scalar_counters, scalar_hists = snapshot_of ~batch:false geometry in
+          Alcotest.(check (list (pair string int)))
+            (name ^ ": routing counters")
+            scalar_counters batch_counters;
+          Alcotest.(check bool)
+            (name ^ ": counters present") true
+            (batch_counters <> []);
+          Alcotest.(check (list string))
+            (name ^ ": histogram names")
+            (List.map fst scalar_hists) (List.map fst batch_hists);
+          List.iter2
+            (fun (hname, a) (_, b) ->
+              check_hist_equal ~what:(name ^ ": " ^ hname) a b)
+            scalar_hists batch_hists)
+        all_geometries)
+
+(* --- CLI byte-identity with --no-batch ------------------------------------ *)
+
+let binary = Filename.concat (Filename.concat ".." "bin") "dhtlab.exe"
+
+let run_stdout args =
+  let command = Filename.quote_command binary args in
+  let ic = Unix.open_process_in command in
+  let buffer = Buffer.create 1024 in
+  (try
+     while true do
+       Buffer.add_channel buffer ic 1
+     done
+   with End_of_file -> ());
+  (match Unix.close_process_in ic with
+  | Unix.WEXITED 0 -> ()
+  | Unix.WEXITED n -> Alcotest.failf "dhtlab %s exited with %d" (String.concat " " args) n
+  | Unix.WSIGNALED n | Unix.WSTOPPED n ->
+      Alcotest.failf "dhtlab %s killed by signal %d" (String.concat " " args) n);
+  Buffer.contents buffer
+
+(* The reference is the flat backend with the batch kernel on (the
+   default); disabling it, alone or with 8 domains, must not move a
+   byte of output. *)
+let test_cli_no_batch_byte_identical () =
+  List.iter
+    (fun name ->
+      let base =
+        [
+          "simulate"; "-g"; name; "-d"; "7"; "-q"; "0.25"; "--trials"; "2"; "--pairs";
+          "60"; "--overlay"; "flat";
+        ]
+      in
+      let reference = run_stdout (base @ [ "-j"; "1" ]) in
+      Alcotest.(check bool) (name ^ ": non-empty") true (String.length reference > 0);
+      List.iter
+        (fun extra ->
+          let got = run_stdout (base @ extra) in
+          if not (String.equal reference got) then
+            Alcotest.failf "simulate %s: %s diverges from batch -j 1" name
+              (String.concat " " extra))
+        [
+          [ "-j"; "1"; "--no-batch" ];
+          [ "-j"; "8"; "--no-batch" ];
+          [ "-j"; "8" ];
+        ])
+    [ "tree"; "hypercube"; "xor"; "ring"; "symphony" ]
+
+let suite =
+  [
+    Alcotest.test_case "bitset: tail words" `Quick test_bitset_tail_words;
+    Alcotest.test_case "bitset: bool-array agreement" `Quick test_bitset_bool_array_agreement;
+    Alcotest.test_case "bitset: set/bounds" `Quick test_bitset_set_and_bounds;
+    Alcotest.test_case "failure sample: draw order" `Quick test_sample_draw_order;
+    Alcotest.test_case "route_many = scalar (5 geometries x q)" `Quick
+      test_route_many_matches_scalar;
+    Alcotest.test_case "sample_and_route = scalar trial loop" `Quick
+      test_sample_and_route_matches_scalar;
+    prop_batch_scalar_agreement;
+    Alcotest.test_case "scratch reuse and raw views" `Quick test_scratch_reuse_and_raw_views;
+    Alcotest.test_case "validation errors" `Quick test_validation_errors;
+    Alcotest.test_case "metrics totals: batch = scalar" `Quick test_metrics_totals_equal;
+    Alcotest.test_case "CLI --no-batch byte-identical" `Slow test_cli_no_batch_byte_identical;
+  ]

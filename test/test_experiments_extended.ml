@@ -81,7 +81,8 @@ let test_block_failure_mask () =
      alive->dead transitions around the ring; must be exactly 1. *)
   let transitions = ref 0 in
   for i = 0 to 99 do
-    if mask.(i) && not mask.((i + 1) mod 100) then incr transitions
+    if Overlay.Failure.get mask i && not (Overlay.Failure.get mask ((i + 1) mod 100)) then
+      incr transitions
   done;
   Alcotest.(check int) "one block" 1 !transitions
 

@@ -25,5 +25,6 @@ let () =
       ("torus", Test_torus.suite);
       ("symphony-deployment", Test_symphony_deployment.suite);
       ("flat", Test_flat.suite);
+      ("batch", Test_batch.suite);
       ("cli", Test_cli.suite);
     ]

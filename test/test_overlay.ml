@@ -150,10 +150,11 @@ let test_failure_survivors_kill () =
 (* The dead region of a block sample must be one circular run: walking
    the mask around the ring crosses at most one alive->dead edge. *)
 let circular_dead_runs mask =
-  let n = Array.length mask in
+  let n = Overlay.Failure.length mask in
   let transitions = ref 0 in
   for i = 0 to n - 1 do
-    if mask.(i) && not (mask.((i + 1) mod n)) then incr transitions
+    if Overlay.Failure.get mask i && not (Overlay.Failure.get mask ((i + 1) mod n)) then
+      incr transitions
   done;
   !transitions
 
@@ -184,7 +185,8 @@ let test_block_failure_wraparound () =
     let mask = Overlay.Failure.sample_block ~rng ~fraction:0.5 n in
     Alcotest.(check int) "dead count under wrap" 16 (n - Overlay.Failure.alive_count mask);
     Alcotest.(check bool) "one circular run" true (circular_dead_runs mask <= 1);
-    if (not mask.(n - 1)) && not mask.(0) then found_wrap := true
+    if (not (Overlay.Failure.get mask (n - 1))) && not (Overlay.Failure.get mask 0) then
+      found_wrap := true
   done;
   Alcotest.(check bool) "some seed wrapped past n-1" true !found_wrap
 
@@ -192,7 +194,9 @@ let test_block_failure_deterministic_and_extreme () =
   let sample seed =
     Overlay.Failure.sample_block ~rng:(Prng.Splitmix.create ~seed) ~fraction:0.3 40
   in
-  Alcotest.(check (array bool)) "same seed, same block" (sample 9) (sample 9);
+  Alcotest.(check (array bool)) "same seed, same block"
+    (Overlay.Failure.to_bool_array (sample 9))
+    (Overlay.Failure.to_bool_array (sample 9));
   Alcotest.(check int) "fraction 0 kills nobody" 20
     (Overlay.Failure.alive_count
        (Overlay.Failure.sample_block ~rng:(Prng.Splitmix.create ~seed:1) ~fraction:0.0 20));

@@ -171,7 +171,7 @@ let test_bucket_route_survives_dead_primary () =
      contact. *)
   let dst = if Idspace.Id.get_bit ~bits dst 1 = Idspace.Id.get_bit ~bits src 1 then dst lxor 0x80 else dst in
   let alive = Overlay.Failure.none (1 lsl bits) in
-  alive.(bucket.(0)) <- false;
+  Overlay.Failure.set alive bucket.(0) false;
   if bucket.(1) = dst then ()
   else begin
     match Routing.Bucket_router.route ~mode:`Tree t ~alive ~src ~dst with

@@ -170,9 +170,9 @@ let test_symphony_walks_ring () =
 
 let test_dropped_messages_report_position () =
   let table = build Rcm.Geometry.Tree in
-  let alive = Array.make size false in
-  alive.(0) <- true;
-  alive.(255) <- true;
+  let alive = Overlay.Failure.of_bool_array (Array.make size false) in
+  Overlay.Failure.set alive 0 true;
+  Overlay.Failure.set alive 255 true;
   match route table ~alive ~src:0 ~dst:255 with
   | Routing.Outcome.Dropped { stuck_at; hops } ->
       Alcotest.(check int) "stuck at source" 0 stuck_at;
@@ -205,12 +205,12 @@ let delivered_paths_are_alive =
           let outcome, path = Routing.Router.route_with_path table ~rng ~alive ~src ~dst in
           match outcome with
           | Routing.Outcome.Delivered { hops } ->
-              List.for_all (fun v -> alive.(v)) path
+              List.for_all (fun v -> Overlay.Failure.get alive v) path
               && hops = List.length path - 1
               && List.nth path (List.length path - 1) = dst
           | Routing.Outcome.Dropped { stuck_at; _ } ->
               (* The stuck node is the last path element and alive. *)
-              stuck_at = List.nth path (List.length path - 1) && alive.(stuck_at))
+              stuck_at = List.nth path (List.length path - 1) && Overlay.Failure.get alive stuck_at)
         Rcm.Geometry.all_default)
 
 (* Greedy ring routing never overshoots: remaining distance strictly

@@ -171,10 +171,10 @@ let sparse_delivered_paths_alive =
           in
           match outcome with
           | Routing.Outcome.Delivered { hops } ->
-              List.for_all (fun v -> alive.(v)) !path
+              List.for_all (fun v -> Overlay.Failure.get alive v) !path
               && hops = List.length !path - 1
               && List.hd !path = dst
-          | Routing.Outcome.Dropped { stuck_at; _ } -> alive.(stuck_at))
+          | Routing.Outcome.Dropped { stuck_at; _ } -> Overlay.Failure.get alive stuck_at)
         [ Rcm.Geometry.Tree; Rcm.Geometry.Xor; Rcm.Geometry.Ring;
           Rcm.Geometry.default_symphony ])
 

@@ -87,8 +87,8 @@ let bidirectional_paths_alive =
           ~dst
       with
       | Routing.Outcome.Delivered _ ->
-          List.for_all (fun v -> alive.(v)) !path && List.hd !path = dst
-      | Routing.Outcome.Dropped { stuck_at; _ } -> alive.(stuck_at))
+          List.for_all (fun v -> Overlay.Failure.get alive v) !path && List.hd !path = dst
+      | Routing.Outcome.Dropped { stuck_at; _ } -> Overlay.Failure.get alive stuck_at)
 
 let test_a9_bidirectional_dominates () =
   let cfg =
