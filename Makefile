@@ -1,4 +1,4 @@
-.PHONY: all build test check doc docs-smoke bench bench-smoke batch-smoke chaos-smoke trace-smoke clean
+.PHONY: all build test check doc docs-smoke bench bench-smoke batch-smoke chaos-smoke churn-smoke trace-smoke clean
 
 all: build
 
@@ -47,6 +47,13 @@ batch-smoke: build
 # diffed byte-for-byte against an uninterrupted baseline.
 chaos-smoke: build
 	sh scripts/chaos_smoke.sh
+
+# Session-churn smoke: --jobs determinism, csv/json shape, checkpoint
+# + resume (including a truncated mid-state checkpoint) and SIGINT
+# recovery of the churn sweep, each diffed byte-for-byte against an
+# uninterrupted baseline.
+churn-smoke: build
+	sh scripts/churn_smoke.sh
 
 # Observability smoke: traced --smoke sweep (stdout byte-identical to
 # an untraced one), trace report aggregates, Chrome export, and

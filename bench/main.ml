@@ -186,6 +186,14 @@ let bench_churn =
               (Sim.Churn.config ~bits:8 ~warmup:10.0 ~measurements:2
                  ~pairs_per_measurement:200 Rcm.Geometry.Xor))))
 
+let bench_session_churn =
+  Test.make ~name:"churn/session-run-d8"
+    (Staged.stage (fun () ->
+         ignore
+           (Sim.Session_churn.run
+              (Sim.Session_churn.config ~bits:8 ~warmup:10.0 ~measurements:2
+                 ~pairs_per_measurement:200 Rcm.Geometry.Xor))))
+
 let all_tests =
   Test.make_grouped ~name:"dht_rcm"
     [
@@ -205,6 +213,7 @@ let all_tests =
       bench_sparse_build;
       bench_latency_prediction;
       bench_churn;
+      bench_session_churn;
     ]
 
 let run_benchmarks () =
@@ -474,6 +483,34 @@ let batch_bench ~bits ~pairs ~batch_mult ~sweep_trials ~sweep_pairs () =
     sweep_scalar_s sweep_batch_s (sweep_scalar_s /. sweep_batch_s);
   (records, sweep_scalar_s, sweep_batch_s)
 
+(* --- Part 6: session-churn steady state ----------------------------------- *)
+
+(* A small routability-vs-churn-rate sweep through the session engine:
+   the wall clock tracks the event loop plus k-bucket maintenance cost,
+   and the per-point records land in the JSON so the curves themselves
+   are regression-checked (validate.ml bounds every field). *)
+let churn_bench ~smoke () =
+  let cfg =
+    {
+      Experiments.Churn_curves.default_config with
+      bits = (if smoke then 8 else 10);
+      session_means = (if smoke then [ 2.0; 8.0 ] else [ 2.0; 8.0; 32.0 ]);
+      measurements = (if smoke then 2 else 3);
+      pairs = (if smoke then 200 else 400);
+    }
+  in
+  let geometries =
+    if smoke then [ Rcm.Geometry.Xor; Rcm.Geometry.Ring ]
+    else Experiments.Churn_curves.default_geometries
+  in
+  let t0 = Unix.gettimeofday () in
+  let points = Experiments.Churn_curves.run ~geometries cfg in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  Fmt.pr "@.==== Session churn (steady state, d=%d) ====@.@." cfg.Experiments.Churn_curves.bits;
+  Fmt.pr "%a" Experiments.Churn_curves.pp_points points;
+  Fmt.pr "churn sweep: %d points in %.3fs@." (List.length points) wall_s;
+  (cfg, points, wall_s)
+
 (* --- Machine-readable output --------------------------------------------- *)
 
 let json_escape s =
@@ -486,7 +523,7 @@ let json_escape s =
     s;
   Buffer.contents buffer
 
-let write_json rows ~domains ~sequential_s ~parallel_s ~overlay ~flat_sweep ~batch =
+let write_json rows ~domains ~sequential_s ~parallel_s ~overlay ~flat_sweep ~batch ~churn =
   let tm = Unix.localtime (Unix.time ()) in
   let date =
     Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
@@ -539,6 +576,17 @@ let write_json rows ~domains ~sequential_s ~parallel_s ~overlay ~flat_sweep ~bat
          \"speedup\": %.4f}\n  },\n"
         batch_sweep_scalar_s batch_sweep_batch_s
         (batch_sweep_scalar_s /. batch_sweep_batch_s);
+      let churn_cfg, churn_points, churn_wall_s = churn in
+      Printf.fprintf oc
+        "  \"churn\": {\n    \"bits\": %d,\n    \"wall_s\": %.6f,\n    \"points\": [\n"
+        churn_cfg.Experiments.Churn_curves.bits churn_wall_s;
+      List.iteri
+        (fun i p ->
+          Printf.fprintf oc "      %s%s\n"
+            (Experiments.Churn_curves.to_json churn_cfg p)
+            (if i = List.length churn_points - 1 then "" else ","))
+        churn_points;
+      Printf.fprintf oc "    ]\n  },\n";
       Printf.fprintf oc "  \"metrics\": %s\n}\n" (Obs.Metrics.to_json ()));
   Fmt.pr "wrote %s@." path
 
@@ -592,10 +640,11 @@ let () =
         ~sweep_pairs:(max 500 sweep_pairs) ()
   in
   let batch = (overlay_bits, batch_records, batch_sweep_scalar_s, batch_sweep_batch_s) in
+  let churn = churn_bench ~smoke () in
   (* The cumulative process watermark lands in the metrics section as a
      counter, so the JSON's "metrics" block records peak memory even
      where the per-phase resets are unsupported. *)
   Option.iter
     (fun kb -> Obs.Metrics.incr_named ~by:kb "process/peak_rss_kb")
     (Obs.Rss.peak_kb ());
-  write_json rows ~domains ~sequential_s ~parallel_s ~overlay ~flat_sweep ~batch
+  write_json rows ~domains ~sequential_s ~parallel_s ~overlay ~flat_sweep ~batch ~churn

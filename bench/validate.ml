@@ -163,6 +163,53 @@ let validate_bench json =
       check_finite p v;
       if v <= 0.0 then fail "%s: expected > 0" p)
     [ "scalar_s"; "batch_s"; "speedup" ];
+  (* Session-churn sweep: the steady-state curve points themselves.
+     routability may be null (no measurement found a live pair at
+     brutal churn rates); every other statistic must be a finite number
+     in its natural range. *)
+  let churn = field "$" json "churn" in
+  if as_int "$.churn.bits" (field "$.churn" churn "bits") < 1 then
+    fail "$.churn.bits: expected >= 1";
+  let churn_wall = as_number "$.churn.wall_s" (field "$.churn" churn "wall_s") in
+  check_finite "$.churn.wall_s" churn_wall;
+  if churn_wall <= 0.0 then fail "$.churn.wall_s: expected > 0";
+  (match as_list "$.churn.points" (field "$.churn" churn "points") with
+  | [] -> fail "$.churn.points: empty (churn bench did not run?)"
+  | points ->
+      List.iteri
+        (fun i p ->
+          let path = Printf.sprintf "$.churn.points[%d]" i in
+          ignore (as_string (path ^ ".geometry") (field path p "geometry"));
+          ignore (as_string (path ^ ".session") (field path p "session"));
+          ignore (as_string (path ^ ".gap") (field path p "gap"));
+          List.iter
+            (fun key ->
+              let pth = path ^ "." ^ key in
+              let v = as_number pth (field path p key) in
+              check_finite pth v;
+              if v <= 0.0 then fail "%s: expected > 0" pth)
+            [ "session_mean"; "gap_mean"; "churn_rate" ];
+          List.iter
+            (fun key ->
+              let pth = path ^ "." ^ key in
+              let v = as_number pth (field path p key) in
+              check_finite pth v;
+              if v < 0.0 || v > 1.0 then fail "%s: outside [0, 1]" pth)
+            [
+              "availability"; "alive"; "stale"; "stale_near"; "stale_shortcut"; "prediction";
+            ];
+          (match field path p "routability" with
+          | Null -> ()
+          | Num _ as v ->
+              let r = as_number (path ^ ".routability") v in
+              if not (Float.is_finite r) || r < 0.0 || r > 1.0 then
+                fail "%s.routability: outside [0, 1]" path
+          | _ -> fail "%s.routability: expected a number or null" path);
+          if as_int (path ^ ".no_pair_measurements") (field path p "no_pair_measurements") < 0
+          then fail "%s.no_pair_measurements: negative" path;
+          if as_int (path ^ ".events") (field path p "events") <= 0 then
+            fail "%s.events: expected > 0" path)
+        points);
   let counters, histograms = validate_metrics "$.metrics" (field "$" json "metrics") in
   (* The smoke sweep always routes through the pool and the overlay
      cache: an empty metrics section means the instrumentation was

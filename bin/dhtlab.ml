@@ -686,39 +686,171 @@ let percolation_cmd =
 
 (* --- churn ----------------------------------------------------------------- *)
 
-let churn geometry bits downtime repair pairs seed =
-  let geometries =
-    match geometry with
-    | Some (Rcm.Geometry.Tree | Rcm.Geometry.Hypercube) ->
-        Fmt.epr "churn supports xor, ring and symphony only@.";
-        exit 2
-    | Some g -> [ g ]
-    | None -> Experiments.Churn_bridge.geometries
+let lifetime_conv =
+  let parse s = Result.map_error (fun e -> `Msg e) (Sim.Lifetime.of_string s) in
+  let pp ppf shape = Format.pp_print_string ppf (Sim.Lifetime.shape_to_string shape) in
+  Arg.conv (parse, pp)
+
+let churn geometry bits sessions session_dist gap gap_dist maintain k cache warmup
+    measurements spacing pairs seed jobs obs csv json smoke retries fault checkpoint_path
+    resume checkpoint_every =
+  let bits, sessions, measurements, pairs =
+    if smoke then (8, [ 2.0; 8.0 ], 2, 200) else (bits, sessions, measurements, pairs)
   in
+  let geometries = geometries_of_opt geometry in
   let cfg =
     {
-      Experiments.Churn_bridge.bits;
-      mean_downtimes = [ downtime ];
-      repair_intervals = [ repair ];
+      Experiments.Churn_curves.bits;
+      session_means = sessions;
+      session_shape = session_dist;
+      gap_mean = gap;
+      gap_shape = gap_dist;
+      maintenance_interval = maintain;
+      k;
+      cache_k = cache;
+      warmup;
+      measurements;
+      measurement_spacing = spacing;
       pairs;
       seed;
     }
   in
-  Fmt.pr "%a@." Experiments.Churn_bridge.pp_rows (Experiments.Churn_bridge.run ~geometries cfg)
+  let fault = match fault with Some _ as f -> f | None -> Exec.Fault.of_env () in
+  let checkpoint =
+    match checkpoint_path with
+    | Some path ->
+        Some
+          (if resume then Sim.Checkpoint.load ~interval:checkpoint_every ~path ()
+           else Sim.Checkpoint.create ~interval:checkpoint_every ~path ())
+    | None ->
+        if resume then begin
+          Fmt.epr "dhtlab: --resume requires --checkpoint FILE@.";
+          exit 2
+        end;
+        None
+  in
+  Exec.Cancel.install ();
+  match
+    with_obs obs @@ fun () ->
+    Obs.Manifest.note "subcommand" (Obs.Manifest.String "churn");
+    Obs.Manifest.note "geometries"
+      (Obs.Manifest.Strings (List.map Rcm.Geometry.name geometries));
+    Obs.Manifest.note "bits" (Obs.Manifest.Int bits);
+    Obs.Manifest.note "sessions"
+      (Obs.Manifest.Strings (List.map (Printf.sprintf "%g") sessions));
+    Obs.Manifest.note "session_dist"
+      (Obs.Manifest.String (Sim.Lifetime.shape_to_string session_dist));
+    Obs.Manifest.note "gap" (Obs.Manifest.String (Printf.sprintf "%g" gap));
+    Obs.Manifest.note "gap_dist"
+      (Obs.Manifest.String (Sim.Lifetime.shape_to_string gap_dist));
+    Obs.Manifest.note "maintain" (Obs.Manifest.String (Printf.sprintf "%g" maintain));
+    Obs.Manifest.note "k" (Obs.Manifest.Int k);
+    Obs.Manifest.note "cache_k" (Obs.Manifest.Int cache);
+    Obs.Manifest.note "pairs" (Obs.Manifest.Int pairs);
+    Obs.Manifest.note "seed" (Obs.Manifest.Int seed);
+    Option.iter
+      (fun path -> Obs.Manifest.add_artefact ~kind:"checkpoint" path)
+      checkpoint_path;
+    with_jobs jobs (fun pool ->
+        let points =
+          Experiments.Churn_curves.run ?pool ~geometries ~retries ?fault ?checkpoint cfg
+        in
+        if csv then begin
+          print_endline Experiments.Churn_curves.csv_header;
+          List.iter
+            (fun p -> print_endline (Experiments.Churn_curves.to_csv_row cfg p))
+            points
+        end
+        else if json then
+          List.iter
+            (fun p -> print_endline (Experiments.Churn_curves.to_json cfg p))
+            points
+        else Fmt.pr "%a" Experiments.Churn_curves.pp_points points)
+  with
+  | () -> ()
+  | exception Exec.Cancel.Cancelled ->
+      (match checkpoint with
+      | Some ck ->
+          Fmt.epr "dhtlab: interrupted; %d completed points checkpointed in %s@."
+            (Sim.Checkpoint.length ck) (Sim.Checkpoint.path ck)
+      | None ->
+          Fmt.epr "dhtlab: interrupted (no --checkpoint; completed points discarded)@.");
+      exit Exec.Cancel.exit_code
 
 let churn_cmd =
-  let doc = "Event-driven churn simulation and its static-resilience bridge (experiment E8)." in
-  let downtime =
-    Arg.(value & opt float 2.0
-         & info [ "downtime" ] ~docv:"TIME" ~doc:"Mean node downtime (mean uptime is 8).")
+  let doc =
+    "Session-based steady-state churn: routability vs churn-rate curves for every \
+     geometry, paired with the static r(N,q) prediction at the measured stale fraction."
   in
-  let repair =
-    Arg.(value & opt float 1.0
-         & info [ "repair" ] ~docv:"TIME" ~doc:"Routing-table repair interval.")
+  let sessions =
+    Arg.(value
+         & opt (list float) Experiments.Churn_curves.default_config.session_means
+         & info [ "sessions" ] ~docv:"MEANS"
+             ~doc:"Comma-separated mean session times to sweep (the churn-rate axis).")
+  in
+  let session_dist =
+    Arg.(value & opt lifetime_conv Sim.Lifetime.Exponential
+         & info [ "session-dist" ] ~docv:"DIST"
+             ~doc:
+               "Session length distribution: $(b,exp), $(b,pareto:ALPHA) or \
+                $(b,weibull:SHAPE) (heavy-tailed below shape 1).")
+  in
+  let gap =
+    Arg.(value & opt float Experiments.Churn_curves.default_config.gap_mean
+         & info [ "gap" ] ~docv:"MEAN" ~doc:"Mean downtime between sessions.")
+  in
+  let gap_dist =
+    Arg.(value & opt lifetime_conv Sim.Lifetime.Exponential
+         & info [ "gap-dist" ] ~docv:"DIST"
+             ~doc:"Downtime distribution (same spellings as $(b,--session-dist)).")
+  in
+  let maintain =
+    Arg.(value & opt float Experiments.Churn_curves.default_config.maintenance_interval
+         & info [ "maintain" ] ~docv:"TIME"
+             ~doc:
+               "Per-node maintenance period: xor tables run a ping-before-evict pass \
+                plus one bucket refresh, symphony redraws dead shortcuts.")
+  in
+  let k =
+    Arg.(value & opt int Experiments.Churn_curves.default_config.k
+         & info [ "k" ] ~docv:"N" ~doc:"Kademlia bucket capacity (xor geometry).")
+  in
+  let cache =
+    Arg.(value & opt int Experiments.Churn_curves.default_config.cache_k
+         & info [ "cache" ] ~docv:"N"
+             ~doc:"Replacement-cache entries per bucket (xor geometry); 0 disables.")
+  in
+  let warmup =
+    Arg.(value & opt float Experiments.Churn_curves.default_config.warmup
+         & info [ "warmup" ] ~docv:"TIME"
+             ~doc:"Simulated time before the first measurement (reach steady state).")
+  in
+  let measurements =
+    Arg.(value & opt int Experiments.Churn_curves.default_config.measurements
+         & info [ "measurements" ] ~docv:"N" ~doc:"Measurements per grid point.")
+  in
+  let spacing =
+    Arg.(value & opt float Experiments.Churn_curves.default_config.measurement_spacing
+         & info [ "spacing" ] ~docv:"TIME" ~doc:"Simulated time between measurements.")
+  in
+  let pairs =
+    Arg.(value & opt int Experiments.Churn_curves.default_config.pairs
+         & info [ "pairs" ] ~docv:"N" ~doc:"Routed source/destination pairs per measurement.")
+  in
+  let smoke =
+    Arg.(value & flag
+         & info [ "smoke" ]
+             ~doc:
+               "Tiny preset sweep for CI smoke tests: overrides $(b,--bits) to 8, \
+                $(b,--sessions) to 2,8, $(b,--measurements) to 2 and $(b,--pairs) to 200.")
   in
   Cmd.v
     (Cmd.info "churn" ~doc)
-    Term.(const churn $ geometry_arg $ bits_arg ~default:10 $ downtime $ repair $ pairs_arg $ seed_arg)
+    Term.(
+      const churn $ geometry_arg $ bits_arg ~default:10 $ sessions $ session_dist $ gap
+      $ gap_dist $ maintain $ k $ cache $ warmup $ measurements $ spacing $ pairs
+      $ seed_arg $ jobs_arg $ obs_term $ csv_arg $ json_arg $ smoke $ retries_arg
+      $ inject_fault_arg $ checkpoint_arg $ resume_arg $ checkpoint_every_arg)
 
 (* --- route ----------------------------------------------------------------- *)
 

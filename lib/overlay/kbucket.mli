@@ -3,26 +3,82 @@
     on bit i (fewer when the identifier space has fewer candidates —
     deep buckets are inherently small).
 
-    Used by the replication experiments (A5) and the churn simulator;
+    Buckets carry the maintenance discipline of real Kademlia
+    implementations: contacts stay in least-recently-seen order (head
+    at index 0, most recently seen at the tail), {!ping_evict} applies
+    ping-before-evict to the head, and each bucket keeps a bounded
+    replacement cache whose most-recently-seen entry is promoted when a
+    dead head is evicted.
+
+    Used by the replication experiments (A5) and the churn simulators;
     the basic single-contact tables live in {!Table}. *)
 
 type t
 
-val build : ?rng:Prng.Splitmix.t -> bits:int -> k:int -> unit -> t
-(** @raise Invalid_argument when [k < 1]. *)
+type maintenance =
+  | No_contact  (** The bucket is empty. *)
+  | Refreshed of int  (** Live head, moved to the tail. *)
+  | Evicted of { dead : int; promoted : int option }
+      (** Dead head evicted; [promoted] is the replacement-cache entry
+          appended at the tail, if the cache had one. *)
+
+val build :
+  ?rng:Prng.Splitmix.t -> ?cache_k:int -> bits:int -> k:int -> unit -> t
+(** [cache_k] bounds each bucket's replacement cache (default [0]: no
+    cache, matching the static experiments).
+    @raise Invalid_argument when [k < 1] or [cache_k < 0]. *)
 
 val space : t -> Idspace.Space.t
 val bits : t -> int
 val node_count : t -> int
 val k : t -> int
+val cache_k : t -> int
+
+val capacity : t -> level:int -> int
+(** [min k (2^(bits-level))] — the candidate-set bound on bucket size. *)
 
 val bucket : t -> int -> int -> int array
-(** [bucket t v level] is the contacts of [v]'s bucket for bit [level]
-    (1-based from the MSB; not a copy).
+(** [bucket t v level] is a copy of the contacts of [v]'s bucket for
+    bit [level] (1-based from the MSB), least-recently-seen first.
+    Mutating the returned array cannot affect the table.
     @raise Invalid_argument when the level is outside 1..bits. *)
 
-val rebuild_bucket : t -> Prng.Splitmix.t -> int -> level:int -> unit
-(** Redraws one bucket — a routing-table repair action under churn. *)
+val unsafe_bucket : t -> int -> int -> int array
+(** The live backing array of the bucket — zero-copy for routing hot
+    paths. The caller must not mutate it, and must not hold it across
+    {!observe}/{!ping_evict}/{!rebuild_bucket} calls, which may replace
+    it. *)
+
+val cache : t -> int -> int -> int array
+(** A copy of the bucket's replacement cache, oldest first. *)
+
+val observe : t -> int -> int -> unit
+(** [observe t v id] records that [v] heard from [id]: an existing
+    contact moves to the tail; a new contact is appended when the
+    bucket has room; otherwise it enters the replacement cache (whose
+    oldest entry is dropped beyond [cache_k]). No-op when [v = id]. *)
+
+val ping_evict : t -> int -> level:int -> alive:(int -> bool) -> maintenance
+(** One ping-before-evict step on the bucket head: a live head is
+    refreshed to the tail; a dead head is evicted and the cache's
+    most-recently-seen entry promoted in its place.
+    @raise Invalid_argument when the level is outside 1..bits. *)
+
+val maintain : t -> int -> alive:(int -> bool) -> unit
+(** One {!ping_evict} pass over every bucket of node [v]. *)
+
+val rebuild_bucket :
+  ?alive:(int -> bool) -> t -> Prng.Splitmix.t -> int -> level:int -> unit
+(** Redraws one bucket — a routing-table repair action under churn —
+    and clears its replacement cache. With [?alive], each draw retries
+    a dead candidate up to 8 times, preferring live contacts. *)
 
 val iter_contacts : t -> int -> (int -> unit) -> unit
-(** Iterates over every contact of a node, all buckets. *)
+(** Iterates over every contact of a node, all buckets (caches
+    excluded). *)
+
+val invariant_violation : t -> string option
+(** [None] when every bucket satisfies the structural invariants
+    (distinct entries, correct bucket placement, no self-contact,
+    capacity and cache bounds); otherwise a description of the first
+    violation found. For tests. *)

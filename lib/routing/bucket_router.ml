@@ -20,12 +20,12 @@ let route ?(on_hop = ignore) ~mode table ~alive ~src ~dst =
       let leading = bits - Idspace.Id.floor_log2 diff in
       let next =
         match mode with
-        | `Tree -> first_alive ~alive (Overlay.Kbucket.bucket table cur leading)
+        | `Tree -> first_alive ~alive (Overlay.Kbucket.unsafe_bucket table cur leading)
         | `Xor ->
             let rec try_level level =
               if level > bits then None
               else if Idspace.Id.get_bit ~bits diff level then
-                match first_alive ~alive (Overlay.Kbucket.bucket table cur level) with
+                match first_alive ~alive (Overlay.Kbucket.unsafe_bucket table cur level) with
                 | Some _ as found -> found
                 | None -> try_level (level + 1)
               else try_level (level + 1)

@@ -18,11 +18,45 @@ type trial = {
 
 type outcome = Trial of trial | Failed of { attempts : int; error : string }
 
+(* Churn-curve points live in the same JSONL file tagged with
+   ["kind": "churn"]. Loaders predating the tag skip any record with a
+   "kind" field (they treat it as a header), so the format stays
+   version 1 and old files load unchanged. *)
+type churn_key = {
+  c_geometry : string;
+  c_bits : int;
+  c_session : string;
+  c_session_mean : float;
+  c_gap : string;
+  c_gap_mean : float;
+  c_maintain : float;
+  c_k : int;
+  c_cache_k : int;
+  c_warmup : float;
+  c_measurements : int;
+  c_spacing : float;
+  c_pairs : int;
+  c_seed : int;
+}
+
+type churn_point = {
+  p_mean_alive : float;
+  p_mean_stale : float;
+  p_stale_near : float;
+  p_stale_shortcut : float;
+  p_routable_measurements : int;
+  p_mean_routability : float;  (* meaningful iff p_routable_measurements > 0 *)
+  p_mean_prediction : float;
+  p_no_pair_measurements : int;
+  p_events : int;
+}
+
 type t = {
   path : string;
   interval : int;
   lock : Mutex.t;
   entries : (key, outcome) Hashtbl.t;
+  churn_entries : (churn_key, churn_point) Hashtbl.t;
   mutable unflushed : int;
 }
 
@@ -80,6 +114,49 @@ let buffer_entry buffer (key, outcome) =
       add_json_string buffer error);
   Buffer.add_string buffer "}\n"
 
+let buffer_churn_entry buffer (key, point) =
+  Buffer.add_string buffer
+    (Printf.sprintf "{\"v\": %d, \"kind\": \"churn\", \"geometry\": " version);
+  add_json_string buffer key.c_geometry;
+  Buffer.add_string buffer (Printf.sprintf ", \"bits\": %d, \"session\": " key.c_bits);
+  add_json_string buffer key.c_session;
+  Buffer.add_string buffer ", \"session_mean\": ";
+  add_float buffer key.c_session_mean;
+  Buffer.add_string buffer ", \"gap\": ";
+  add_json_string buffer key.c_gap;
+  Buffer.add_string buffer ", \"gap_mean\": ";
+  add_float buffer key.c_gap_mean;
+  Buffer.add_string buffer ", \"maintain\": ";
+  add_float buffer key.c_maintain;
+  Buffer.add_string buffer
+    (Printf.sprintf ", \"k\": %d, \"cache_k\": %d, \"warmup\": " key.c_k key.c_cache_k);
+  add_float buffer key.c_warmup;
+  Buffer.add_string buffer
+    (Printf.sprintf ", \"measurements\": %d, \"spacing\": " key.c_measurements);
+  add_float buffer key.c_spacing;
+  Buffer.add_string buffer
+    (Printf.sprintf ", \"pairs\": %d, \"seed\": %d, \"alive\": " key.c_pairs key.c_seed);
+  add_float buffer point.p_mean_alive;
+  Buffer.add_string buffer ", \"stale\": ";
+  add_float buffer point.p_mean_stale;
+  Buffer.add_string buffer ", \"stale_near\": ";
+  add_float buffer point.p_stale_near;
+  Buffer.add_string buffer ", \"stale_shortcut\": ";
+  add_float buffer point.p_stale_shortcut;
+  Buffer.add_string buffer
+    (Printf.sprintf ", \"routable\": %d" point.p_routable_measurements);
+  (* nan has no JSON spelling (and the parser would reject it): a point
+     with no routability sample simply omits the field. *)
+  if point.p_routable_measurements > 0 then begin
+    Buffer.add_string buffer ", \"routability\": ";
+    add_float buffer point.p_mean_routability
+  end;
+  Buffer.add_string buffer ", \"prediction\": ";
+  add_float buffer point.p_mean_prediction;
+  Buffer.add_string buffer
+    (Printf.sprintf ", \"no_pairs\": %d, \"events\": %d}\n" point.p_no_pair_measurements
+       point.p_events)
+
 (* Entries are written in key order so two checkpoints of the same
    completed work are byte-identical regardless of the (hash-table,
    domain-scheduling) order in which trials were recorded. *)
@@ -98,6 +175,10 @@ let write_locked t =
     Hashtbl.fold (fun key outcome acc -> (key, outcome) :: acc) t.entries []
     |> List.sort (fun (a, _) (b, _) -> compare_keys a b)
   in
+  let churn_entries =
+    Hashtbl.fold (fun key point acc -> (key, point) :: acc) t.churn_entries []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
   Obs.Atomic_file.write t.path (fun oc ->
       output_string oc header_line;
       output_char oc '\n';
@@ -107,7 +188,13 @@ let write_locked t =
           Buffer.clear buffer;
           buffer_entry buffer entry;
           Buffer.output_buffer oc buffer)
-        entries);
+        entries;
+      List.iter
+        (fun entry ->
+          Buffer.clear buffer;
+          buffer_churn_entry buffer entry;
+          Buffer.output_buffer oc buffer)
+        churn_entries);
   t.unflushed <- 0
 
 (* --- a minimal JSON parser for our own records ----------------------------- *)
@@ -269,12 +356,54 @@ let get_ints fields name =
   | Ints l -> l
   | _ -> corrupt "field %S: expected an integer array" name
 
+type parsed =
+  | Header
+  | Estimate_record of key * outcome
+  | Churn_record of churn_key * churn_point
+
+let churn_of_fields fields =
+  let key =
+    {
+      c_geometry = get_string fields "geometry";
+      c_bits = get_int fields "bits";
+      c_session = get_string fields "session";
+      c_session_mean = get_float fields "session_mean";
+      c_gap = get_string fields "gap";
+      c_gap_mean = get_float fields "gap_mean";
+      c_maintain = get_float fields "maintain";
+      c_k = get_int fields "k";
+      c_cache_k = get_int fields "cache_k";
+      c_warmup = get_float fields "warmup";
+      c_measurements = get_int fields "measurements";
+      c_spacing = get_float fields "spacing";
+      c_pairs = get_int fields "pairs";
+      c_seed = get_int fields "seed";
+    }
+  in
+  let routable = get_int fields "routable" in
+  let point =
+    {
+      p_mean_alive = get_float fields "alive";
+      p_mean_stale = get_float fields "stale";
+      p_stale_near = get_float fields "stale_near";
+      p_stale_shortcut = get_float fields "stale_shortcut";
+      p_routable_measurements = routable;
+      p_mean_routability =
+        (if routable > 0 then get_float fields "routability" else Float.nan);
+      p_mean_prediction = get_float fields "prediction";
+      p_no_pair_measurements = get_int fields "no_pairs";
+      p_events = get_int fields "events";
+    }
+  in
+  Churn_record (key, point)
+
 let entry_of_line line =
   let fields = parse_line line in
   let v = get_int fields "v" in
   if v <> version then corrupt "unsupported checkpoint version %d (expected %d)" v version;
   match List.assoc_opt "kind" fields with
-  | Some _ -> None (* the header line *)
+  | Some (Str "churn") -> churn_of_fields fields
+  | Some _ -> Header
   | None ->
       let key =
         {
@@ -301,13 +430,20 @@ let entry_of_line line =
               { attempts = get_int fields "attempts"; error = get_string fields "error" }
         | other -> corrupt "unknown status %S" other
       in
-      Some (key, outcome)
+      Estimate_record (key, outcome)
 
 (* --- store ----------------------------------------------------------------- *)
 
 let make ~interval ~path =
   if interval < 1 then invalid_arg "Sim.Checkpoint: interval must be >= 1";
-  { path; interval; lock = Mutex.create (); entries = Hashtbl.create 64; unflushed = 0 }
+  {
+    path;
+    interval;
+    lock = Mutex.create ();
+    entries = Hashtbl.create 64;
+    churn_entries = Hashtbl.create 16;
+    unflushed = 0;
+  }
 
 let create ?(interval = 8) ~path () = make ~interval ~path
 
@@ -325,8 +461,9 @@ let load ?(interval = 8) ~path () =
             incr lineno;
             if String.trim line <> "" then
               match entry_of_line line with
-              | Some (key, outcome) -> Hashtbl.replace t.entries key outcome
-              | None -> ()
+              | Estimate_record (key, outcome) -> Hashtbl.replace t.entries key outcome
+              | Churn_record (key, point) -> Hashtbl.replace t.churn_entries key point
+              | Header -> ()
           done
         with
         | End_of_file -> ()
@@ -341,12 +478,21 @@ let locked t f =
 
 let find t key = locked t (fun () -> Hashtbl.find_opt t.entries key)
 
-let length t = locked t (fun () -> Hashtbl.length t.entries)
+let find_churn t key = locked t (fun () -> Hashtbl.find_opt t.churn_entries key)
+
+let length t =
+  locked t (fun () -> Hashtbl.length t.entries + Hashtbl.length t.churn_entries)
 
 let flush t = locked t (fun () -> write_locked t)
 
 let record t key outcome =
   locked t (fun () ->
       Hashtbl.replace t.entries key outcome;
+      t.unflushed <- t.unflushed + 1;
+      if t.unflushed >= t.interval then write_locked t)
+
+let record_churn t key point =
+  locked t (fun () ->
+      Hashtbl.replace t.churn_entries key point;
       t.unflushed <- t.unflushed + 1;
       if t.unflushed >= t.interval then write_locked t)

@@ -46,6 +46,42 @@ type outcome =
           resume (under the same fault plan it would fail again), so
           the resumed report matches the uninterrupted one. *)
 
+(** Churn-curve sweep points share the file, as records tagged
+    ["kind": "churn"]. Loaders predating the tag skip any record with a
+    "kind" field, so the format stays version 1 and old files load
+    unchanged. The key carries every config field that determines the
+    point bit-for-bit. *)
+type churn_key = {
+  c_geometry : string;  (** [Rcm.Geometry.name] *)
+  c_bits : int;
+  c_session : string;  (** [Lifetime.shape_to_string] *)
+  c_session_mean : float;
+  c_gap : string;
+  c_gap_mean : float;
+  c_maintain : float;
+  c_k : int;
+  c_cache_k : int;
+  c_warmup : float;
+  c_measurements : int;
+  c_spacing : float;
+  c_pairs : int;
+  c_seed : int;  (** the per-point derived seed *)
+}
+
+type churn_point = {
+  p_mean_alive : float;
+  p_mean_stale : float;
+  p_stale_near : float;
+  p_stale_shortcut : float;
+  p_routable_measurements : int;
+  p_mean_routability : float;
+      (** [nan] (stored as an absent field) when
+          [p_routable_measurements = 0] *)
+  p_mean_prediction : float;
+  p_no_pair_measurements : int;
+  p_events : int;
+}
+
 val version : int
 
 val create : ?interval:int -> path:string -> unit -> t
@@ -66,12 +102,17 @@ val record : t -> key -> outcome -> unit
 (** Stores (or replaces) the outcome and flushes automatically every
     [interval] records. *)
 
+val find_churn : t -> churn_key -> churn_point option
+
+val record_churn : t -> churn_key -> churn_point -> unit
+(** As {!record}, for churn-curve points. *)
+
 val flush : t -> unit
 (** Write the whole store to disk now (atomic temp + rename). Always
     called by sweep drivers before finishing or unwinding on
     cancellation. Idempotent. *)
 
 val length : t -> int
-(** Number of stored outcomes. *)
+(** Number of stored records (trial outcomes plus churn points). *)
 
 val path : t -> string

@@ -41,7 +41,7 @@ type measurement = {
   stale_fraction : float;
   stale_near : float;
   stale_shortcut : float;
-  routability : float;
+  routability : float option;
   static_prediction : float;
 }
 
@@ -52,6 +52,7 @@ type report = {
   mean_stale : float;
   mean_routability : float;
   mean_prediction : float;
+  no_pair_measurements : int;
 }
 
 type event = Toggle of int | Repair of int | Measure
@@ -126,8 +127,11 @@ let stale_fractions ~alive ~near_slots neighbors =
 let measure cfg rng ~alive ~table ~neighbors ~time =
   let n = 1 lsl cfg.bits in
   let pool = Overlay.Failure.survivors alive in
+  (* Fewer than two survivors means there is no pair to route: that is
+     "no data", not routability 0 — fabricating a zero would drag the
+     report means down with a statistic that was never measured. *)
   let routability =
-    if Array.length pool < 2 then 0.0
+    if Array.length pool < 2 then None
     else begin
       let delivered = ref 0 in
       for _ = 1 to cfg.pairs_per_measurement do
@@ -135,7 +139,7 @@ let measure cfg rng ~alive ~table ~neighbors ~time =
         if Routing.Outcome.is_delivered (Routing.Router.route table ~rng ~alive ~src ~dst)
         then incr delivered
       done;
-      float_of_int !delivered /. float_of_int cfg.pairs_per_measurement
+      Some (float_of_int !delivered /. float_of_int cfg.pairs_per_measurement)
     end
   in
   let near_slots =
@@ -221,13 +225,23 @@ let run cfg =
     List.fold_left (fun acc m -> acc +. f m) 0.0 measurements
     /. float_of_int (List.length measurements)
   in
+  (* Measurements with no routable pair carry no routability sample:
+     they are excluded from the mean (nan if none remain) and counted
+     in [no_pair_measurements] instead. *)
+  let routable = List.filter_map (fun m -> m.routability) measurements in
+  let mean_routability =
+    match routable with
+    | [] -> Float.nan
+    | rs -> List.fold_left ( +. ) 0.0 rs /. float_of_int (List.length rs)
+  in
   {
     config = cfg;
     measurements;
     mean_alive = mean (fun m -> m.alive_fraction);
     mean_stale = mean (fun m -> m.stale_fraction);
-    mean_routability = mean (fun m -> m.routability);
+    mean_routability;
     mean_prediction = mean (fun m -> m.static_prediction);
+    no_pair_measurements = List.length measurements - List.length routable;
   }
 
 let expected_down_fraction cfg =
@@ -238,4 +252,7 @@ let pp_report ppf r =
     "%a d=%d up=%.1f down=%.1f repair=%.2f: alive %.3f, stale %.4f, routability %.4f (static @ q_stale: %.4f)"
     Rcm.Geometry.pp r.config.geometry r.config.bits r.config.mean_uptime
     r.config.mean_downtime r.config.repair_interval r.mean_alive r.mean_stale
-    r.mean_routability r.mean_prediction
+    r.mean_routability r.mean_prediction;
+  if r.no_pair_measurements > 0 then
+    Fmt.pf ppf " [%d measurement%s with no routable pairs]" r.no_pair_measurements
+      (if r.no_pair_measurements = 1 then "" else "s")

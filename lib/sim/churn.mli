@@ -50,7 +50,9 @@ type measurement = {
       (** staleness of positional (unrepairable) entries — Symphony's
           near links; equals [stale_fraction] for single-class tables *)
   stale_shortcut : float;  (** staleness of re-drawable entries *)
-  routability : float;
+  routability : float option;
+      (** [None] when fewer than two nodes survived — no pair to route,
+          so no routability sample exists for this measurement *)
   static_prediction : float;
       (** RCM routability at q = stale_fraction (heterogeneous Eq. 7
           with per-class staleness for Symphony) *)
@@ -62,7 +64,12 @@ type report = {
   mean_alive : float;
   mean_stale : float;
   mean_routability : float;
+      (** mean over measurements that produced a routability sample;
+          [nan] when none did *)
   mean_prediction : float;
+  no_pair_measurements : int;
+      (** measurements skipped from [mean_routability] because fewer
+          than two nodes survived *)
 }
 
 val run : config -> report

@@ -1,7 +1,11 @@
-type 'a entry = { time : float; seq : int; payload : 'a }
+(* Slots are a variant so vacated positions can be reset to the
+   immediate constant [Empty]: a popped entry (and its payload) must
+   not stay reachable through the backing array, or a long-running
+   session-churn simulation retains every event it ever processed. *)
+type 'a slot = Empty | Entry of { time : float; seq : int; payload : 'a }
 
 type 'a t = {
-  mutable heap : 'a entry array;
+  mutable heap : 'a slot array;
   mutable size : int;
   mutable next_seq : int;
 }
@@ -14,14 +18,28 @@ let is_empty t = t.size = 0
 
 (* Min-heap ordered by (time, insertion sequence): ties resolve in
    insertion order, which keeps simulations deterministic. *)
-let earlier a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+let earlier a b =
+  match (a, b) with
+  | Entry a, Entry b -> a.time < b.time || (a.time = b.time && a.seq < b.seq)
+  | Empty, _ | _, Empty -> invalid_arg "Event_queue: empty slot in heap"
 
 let ensure_capacity t =
   if t.size >= Array.length t.heap then begin
     let capacity = max 16 (2 * Array.length t.heap) in
-    let bigger = Array.make capacity t.heap.(0) in
+    let bigger = Array.make capacity Empty in
     Array.blit t.heap 0 bigger 0 t.size;
     t.heap <- bigger
+  end
+
+(* Halve the backing array once it is no more than a quarter full, so a
+   queue that briefly spiked does not pin the peak-sized array (and, via
+   any stale slots, the entries in it) forever. *)
+let maybe_shrink t =
+  let capacity = Array.length t.heap in
+  if capacity > 16 && t.size <= capacity / 4 then begin
+    let smaller = Array.make (capacity / 2) Empty in
+    Array.blit t.heap 0 smaller 0 t.size;
+    t.heap <- smaller
   end
 
 let rec sift_up t i =
@@ -52,10 +70,9 @@ let rec sift_down t i =
 
 let add t ~time payload =
   if Float.is_nan time then invalid_arg "Event_queue.add: nan time";
-  let entry = { time; seq = t.next_seq; payload } in
+  let entry = Entry { time; seq = t.next_seq; payload } in
   t.next_seq <- t.next_seq + 1;
-  if t.size = 0 && Array.length t.heap = 0 then t.heap <- Array.make 16 entry
-  else ensure_capacity t;
+  ensure_capacity t;
   t.heap.(t.size) <- entry;
   t.size <- t.size + 1;
   sift_up t (t.size - 1)
@@ -67,9 +84,19 @@ let pop t =
     t.size <- t.size - 1;
     if t.size > 0 then begin
       t.heap.(0) <- t.heap.(t.size);
+      t.heap.(t.size) <- Empty;
       sift_down t 0
-    end;
-    Some (top.time, top.payload)
+    end
+    else t.heap.(0) <- Empty;
+    maybe_shrink t;
+    match top with
+    | Entry { time; payload; _ } -> Some (time, payload)
+    | Empty -> assert false
   end
 
-let peek_time t = if t.size = 0 then None else Some t.heap.(0).time
+let peek_time t =
+  if t.size = 0 then None
+  else
+    match t.heap.(0) with
+    | Entry { time; _ } -> Some time
+    | Empty -> assert false

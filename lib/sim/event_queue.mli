@@ -9,7 +9,10 @@ val add : 'a t -> time:float -> 'a -> unit
 (** @raise Invalid_argument on a nan timestamp. *)
 
 val pop : 'a t -> (float * 'a) option
-(** Earliest event, or [None] when empty. *)
+(** Earliest event, or [None] when empty. The vacated heap slot is
+    cleared so the popped payload does not stay reachable through the
+    queue, and the backing array shrinks once it falls to a quarter
+    full. *)
 
 val peek_time : 'a t -> float option
 

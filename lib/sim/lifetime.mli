@@ -1,0 +1,42 @@
+(** Session and gap length distributions for churn simulations.
+
+    Each distribution is parameterised by its {e mean}, so a sweep over
+    mean session time compares shapes at equal load; the conventional
+    scale parameter is derived internally. Exponential is the
+    memoryless baseline; Pareto and Weibull are the standard
+    heavy-tailed fits to measured peer session times. *)
+
+type shape =
+  | Exponential
+  | Pareto of float  (** tail exponent alpha, must exceed 1 *)
+  | Weibull of float  (** shape parameter, < 1 is heavy-tailed *)
+
+type t
+
+val exponential : mean:float -> t
+
+val pareto : alpha:float -> mean:float -> t
+(** Scale x_m = mean·(alpha-1)/alpha.
+    @raise Invalid_argument when [alpha <= 1] (infinite mean). *)
+
+val weibull : shape:float -> mean:float -> t
+(** Scale = mean / Gamma(1 + 1/shape).
+    @raise Invalid_argument when [shape <= 0]. *)
+
+val mean : t -> float
+val shape : t -> shape
+
+val with_mean : t -> mean:float -> t
+(** Same shape, rescaled to a new mean — the sweep operation. *)
+
+val draw : t -> Prng.Splitmix.t -> float
+(** One sample by inverse-CDF; consumes exactly one uniform draw for
+    every shape, so schedules stay comparable across shapes at a given
+    seed. *)
+
+val of_string : string -> (shape, string) result
+(** Parses ["exp"], ["pareto:ALPHA"], ["weibull:SHAPE"]. *)
+
+val shape_to_string : shape -> string
+
+val pp : Format.formatter -> t -> unit

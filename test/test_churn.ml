@@ -50,6 +50,172 @@ let queue_pops_sorted =
       in
       drain neg_infinity)
 
+let test_queue_pop_releases_payload () =
+  (* Regression for the pop space leak: the vacated heap slot must be
+     cleared, so a popped payload with no other references is
+     collectable. *)
+  let q = Sim.Event_queue.create () in
+  let weak = Weak.create 1 in
+  Sim.Event_queue.add q ~time:1.0 (Bytes.create 64);
+  Sim.Event_queue.add q ~time:2.0 (Bytes.create 64);
+  (* Pop inside a helper so no stack slot keeps the payload alive. *)
+  let stash () =
+    match Sim.Event_queue.pop q with
+    | Some (_, payload) -> Weak.set weak 0 (Some payload)
+    | None -> Alcotest.fail "queue should not be empty"
+  in
+  stash ();
+  Gc.full_major ();
+  Alcotest.(check bool) "popped payload collected" false (Weak.check weak 0);
+  Alcotest.(check int) "one entry left" 1 (Sim.Event_queue.size q)
+
+let test_queue_shrinks_after_spike () =
+  (* A queue that once held thousands of events must not pin a
+     thousands-slot array forever: the heap halves when a quarter
+     full. Measured via reachable words so the test does not depend on
+     internals. *)
+  let q = Sim.Event_queue.create () in
+  for i = 1 to 4096 do
+    Sim.Event_queue.add q ~time:(float_of_int i) i
+  done;
+  let at_peak = Obj.reachable_words (Obj.repr q) in
+  for _ = 1 to 4090 do
+    ignore (Sim.Event_queue.pop q)
+  done;
+  let drained = Obj.reachable_words (Obj.repr q) in
+  Alcotest.(check bool)
+    (Printf.sprintf "heap shrank (%d words at peak, %d drained)" at_peak drained)
+    true
+    (drained * 16 < at_peak);
+  (* Ordering survives the shrinks. *)
+  let rec drain last =
+    match Sim.Event_queue.pop q with
+    | None -> ()
+    | Some (t, _) ->
+        Alcotest.(check bool) "still sorted" true (t >= last);
+        drain t
+  in
+  drain neg_infinity
+
+let queue_matches_sorted_reference =
+  qcheck "queue equals stable sort by time (ties in insertion order)"
+    QCheck2.Gen.(list_size (int_range 0 150) (int_range 0 9))
+    (fun raw ->
+      (* Coarse integer times force many ties, exercising the seq
+         tie-break. *)
+      let events = List.mapi (fun i t -> (float_of_int t, i)) raw in
+      let q = Sim.Event_queue.create () in
+      List.iter (fun (t, i) -> Sim.Event_queue.add q ~time:t i) events;
+      let rec drain acc =
+        match Sim.Event_queue.pop q with None -> List.rev acc | Some e -> drain (e :: acc)
+      in
+      let expected = List.stable_sort (fun (a, _) (b, _) -> compare a b) events in
+      drain [] = expected)
+
+let queue_interleaved_matches_model =
+  qcheck "random add/pop interleavings match a sorted-list model"
+    QCheck2.Gen.(list_size (int_range 0 200) (option (int_range 0 9)))
+    (fun ops ->
+      (* [Some t] adds an event at time t; [None] pops. The model is a
+         sorted association list with stable insertion. *)
+      let q = Sim.Event_queue.create () in
+      let model = ref [] in
+      let next = ref 0 in
+      List.for_all
+        (fun op ->
+          match op with
+          | Some t ->
+              let time = float_of_int t in
+              Sim.Event_queue.add q ~time !next;
+              let rec insert = function
+                | [] -> [ (time, !next) ]
+                | (t', _) :: _ as rest when t' > time -> (time, !next) :: rest
+                | e :: rest -> e :: insert rest
+              in
+              model := insert !model;
+              incr next;
+              true
+          | None -> (
+              let popped = Sim.Event_queue.pop q in
+              match (popped, !model) with
+              | None, [] -> true
+              | Some e, m :: rest ->
+                  model := rest;
+                  e = m
+              | None, _ :: _ | Some _, [] -> false))
+        ops
+      && Sim.Event_queue.size q = List.length !model)
+
+(* --- Lifetime distributions ------------------------------------------------- *)
+
+let test_lifetime_of_string () =
+  let shape s =
+    match Sim.Lifetime.of_string s with
+    | Ok shape -> shape
+    | Error msg -> Alcotest.failf "%s rejected: %s" s msg
+  in
+  Alcotest.(check bool) "exp" true (shape "exp" = Sim.Lifetime.Exponential);
+  Alcotest.(check bool) "exponential" true (shape "exponential" = Sim.Lifetime.Exponential);
+  (match shape "pareto:1.5" with
+  | Sim.Lifetime.Pareto alpha -> check_close 1.5 alpha
+  | _ -> Alcotest.fail "expected Pareto");
+  (match shape "weibull:0.5" with
+  | Sim.Lifetime.Weibull k -> check_close 0.5 k
+  | _ -> Alcotest.fail "expected Weibull");
+  List.iter
+    (fun bad ->
+      match Sim.Lifetime.of_string bad with
+      | Ok _ -> Alcotest.failf "%s should be rejected" bad
+      | Error _ -> ())
+    [ "gaussian"; "pareto:1.0"; "pareto:x"; "weibull:0"; "weibull:"; "" ]
+
+let test_lifetime_guards () =
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) "rejected" true
+        (try
+           ignore (f ());
+           false
+         with Invalid_argument _ -> true))
+    [
+      (fun () -> Sim.Lifetime.exponential ~mean:0.0);
+      (fun () -> Sim.Lifetime.pareto ~alpha:1.0 ~mean:5.0);
+      (fun () -> Sim.Lifetime.weibull ~shape:0.0 ~mean:5.0);
+    ]
+
+let test_lifetime_sample_means () =
+  (* Inverse-CDF draws must average to the requested mean for every
+     shape — this is what makes sweeps comparable across shapes. *)
+  let sample_mean t =
+    let rng = rng_of_seed 99 in
+    let n = 60_000 in
+    let acc = ref 0.0 in
+    for _ = 1 to n do
+      let x = Sim.Lifetime.draw t rng in
+      Alcotest.(check bool) "positive" true (x > 0.0);
+      acc := !acc +. x
+    done;
+    !acc /. float_of_int n
+  in
+  let check_mean ~tol t =
+    let m = sample_mean t in
+    Alcotest.(check bool)
+      (Printf.sprintf "sample mean %.3f ~ %.3f" m (Sim.Lifetime.mean t))
+      true
+      (Float.abs (m -. Sim.Lifetime.mean t) < tol)
+  in
+  check_mean ~tol:0.15 (Sim.Lifetime.exponential ~mean:4.0);
+  (* Pareto at alpha 2.5 has heavy tails: generous tolerance. *)
+  check_mean ~tol:0.5 (Sim.Lifetime.pareto ~alpha:2.5 ~mean:4.0);
+  check_mean ~tol:0.3 (Sim.Lifetime.weibull ~shape:0.7 ~mean:4.0)
+
+let test_lifetime_with_mean () =
+  let t = Sim.Lifetime.pareto ~alpha:2.0 ~mean:4.0 in
+  let t' = Sim.Lifetime.with_mean t ~mean:10.0 in
+  check_close 10.0 (Sim.Lifetime.mean t');
+  Alcotest.(check bool) "shape preserved" true
+    (Sim.Lifetime.shape t' = Sim.Lifetime.Pareto 2.0)
+
 (* --- Churn simulation ------------------------------------------------------ *)
 
 let quick_config ?(geometry = Rcm.Geometry.Xor) ?(mean_downtime = 2.0)
@@ -176,6 +342,257 @@ let test_churn_measurement_count () =
   let report = Sim.Churn.run (quick_config ()) in
   Alcotest.(check int) "measurements" 3 (List.length report.Sim.Churn.measurements)
 
+let test_churn_no_pair_measurements () =
+  (* Near-total outage: sessions are instants, gaps are eras, so no
+     measurement finds two live nodes. The fabricated-zero bug used to
+     report mean_routability = 0.0 here; the fix reports the absence. *)
+  let cfg =
+    Sim.Churn.config ~bits:6 ~mean_uptime:1e-4 ~mean_downtime:1e7 ~repair_interval:1.0
+      ~warmup:5.0 ~measurements:3 ~measurement_spacing:2.0 ~pairs_per_measurement:50
+      ~seed:21 Rcm.Geometry.Xor
+  in
+  let report = Sim.Churn.run cfg in
+  Alcotest.(check int) "all measurements pairless" 3 report.Sim.Churn.no_pair_measurements;
+  List.iter
+    (fun m -> Alcotest.(check bool) "no sample" true (m.Sim.Churn.routability = None))
+    report.Sim.Churn.measurements;
+  Alcotest.(check bool) "mean is nan, not zero" true
+    (Float.is_nan report.Sim.Churn.mean_routability);
+  let rendered = Fmt.str "%a" Sim.Churn.pp_report report in
+  Alcotest.(check bool) "report names the pairless measurements" true
+    (Astring_contains.contains rendered "no routable pairs")
+
+(* --- Session-churn engine --------------------------------------------------- *)
+
+let session_config ?(geometry = Rcm.Geometry.Xor) ?(session_mean = 8.0) ?(gap_mean = 2.0)
+    ?(maintenance_interval = 1.0) ?(seed = 31) () =
+  Sim.Session_churn.config ~bits:8
+    ~session:(Sim.Lifetime.exponential ~mean:session_mean)
+    ~gap:(Sim.Lifetime.exponential ~mean:gap_mean)
+    ~maintenance_interval ~k:4 ~cache_k:4 ~warmup:15.0 ~measurements:3
+    ~measurement_spacing:2.0 ~pairs_per_measurement:300 ~seed geometry
+
+let test_session_config_guards () =
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) "rejected" true
+        (try
+           ignore (f ());
+           false
+         with Invalid_argument _ -> true))
+    [
+      (fun () -> Sim.Session_churn.config ~k:0 Rcm.Geometry.Xor);
+      (fun () -> Sim.Session_churn.config ~cache_k:(-1) Rcm.Geometry.Xor);
+      (fun () -> Sim.Session_churn.config ~maintenance_interval:0.0 Rcm.Geometry.Xor);
+      (fun () -> Sim.Session_churn.config ~measurements:0 Rcm.Geometry.Xor);
+    ]
+
+let test_session_rates () =
+  let cfg = session_config ~session_mean:8.0 ~gap_mean:2.0 () in
+  check_close 0.1 (Sim.Session_churn.churn_rate cfg);
+  check_close 0.8 (Sim.Session_churn.expected_availability cfg)
+
+let test_session_reproducible () =
+  let a = Sim.Session_churn.run (session_config ()) in
+  let b = Sim.Session_churn.run (session_config ()) in
+  (* The engine is one sequential PRNG stream: bit-identical, not just
+     statistically close. *)
+  Alcotest.(check bool) "identical measurement lists" true
+    (a.Sim.Session_churn.measurements = b.Sim.Session_churn.measurements);
+  Alcotest.(check int) "identical event counts" a.Sim.Session_churn.events_processed
+    b.Sim.Session_churn.events_processed
+
+let test_session_all_geometries () =
+  List.iter
+    (fun geometry ->
+      let report = Sim.Session_churn.run (session_config ~geometry ()) in
+      Alcotest.(check int) "measurement count" 3
+        (List.length report.Sim.Session_churn.measurements);
+      Alcotest.(check bool) "events processed" true
+        (report.Sim.Session_churn.events_processed > 0);
+      List.iter
+        (fun m ->
+          check_in_unit ~msg:"alive" m.Sim.Session_churn.alive_fraction;
+          check_in_unit ~msg:"stale" m.Sim.Session_churn.stale_fraction;
+          check_in_unit ~msg:"prediction" m.Sim.Session_churn.static_prediction;
+          match m.Sim.Session_churn.routability with
+          | Some r -> check_in_unit ~msg:"routability" r
+          | None -> ())
+        report.Sim.Session_churn.measurements)
+    Rcm.Geometry.all_default
+
+let test_session_alive_tracks_availability () =
+  let report = Sim.Session_churn.run (session_config ~geometry:Rcm.Geometry.Ring ()) in
+  Alcotest.(check bool)
+    (Printf.sprintf "alive %.3f ~ availability 0.8" report.Sim.Session_churn.mean_alive)
+    true
+    (Float.abs (report.Sim.Session_churn.mean_alive -. 0.8) < 0.1)
+
+let test_session_no_churn_limit () =
+  (* Sessions dwarf the horizon: nobody leaves, tables stay perfect. *)
+  let report =
+    Sim.Session_churn.run
+      (session_config ~geometry:Rcm.Geometry.Ring ~session_mean:1e9 ~gap_mean:1e-3 ())
+  in
+  check_close 1.0 report.Sim.Session_churn.mean_alive;
+  check_close 0.0 report.Sim.Session_churn.mean_stale;
+  check_close 1.0 report.Sim.Session_churn.mean_routability;
+  Alcotest.(check int) "no pairless measurements" 0
+    report.Sim.Session_churn.no_pair_measurements
+
+let test_session_maintenance_heals_xor () =
+  (* Kademlia maintenance is the point of the engine: frequent
+     ping-before-evict plus cache promotion must leave fewer stale
+     slots than a table that is never maintained. *)
+  let stale interval =
+    (Sim.Session_churn.run (session_config ~maintenance_interval:interval ()))
+      .Sim.Session_churn.mean_stale
+  in
+  let maintained = stale 1.0 in
+  let neglected = stale 1e6 in
+  Alcotest.(check bool)
+    (Printf.sprintf "maintained %.3f < neglected %.3f" maintained neglected)
+    true
+    (maintained < neglected -. 0.02)
+
+let test_session_no_pair_measurements () =
+  let report =
+    Sim.Session_churn.run
+      (session_config ~geometry:Rcm.Geometry.Ring ~session_mean:1e-4 ~gap_mean:1e7 ())
+  in
+  Alcotest.(check int) "all pairless" 3 report.Sim.Session_churn.no_pair_measurements;
+  Alcotest.(check bool) "mean is nan" true
+    (Float.is_nan report.Sim.Session_churn.mean_routability);
+  let rendered = Fmt.str "%a" Sim.Session_churn.pp_report report in
+  Alcotest.(check bool) "report names the pairless measurements" true
+    (Astring_contains.contains rendered "no routable pairs")
+
+(* --- Churn curves ----------------------------------------------------------- *)
+
+let curves_config =
+  {
+    Experiments.Churn_curves.bits = 7;
+    session_means = [ 2.0; 8.0 ];
+    session_shape = Sim.Lifetime.Exponential;
+    gap_mean = 2.0;
+    gap_shape = Sim.Lifetime.Exponential;
+    maintenance_interval = 1.0;
+    k = 3;
+    cache_k = 3;
+    warmup = 10.0;
+    measurements = 2;
+    measurement_spacing = 2.0;
+    pairs = 100;
+    seed = 424;
+  }
+
+let curves_geometries = [ Rcm.Geometry.Xor; Rcm.Geometry.Ring ]
+
+let csv_of_points points =
+  List.map (Experiments.Churn_curves.to_csv_row curves_config) points
+
+let test_curves_deterministic_across_pools () =
+  (* The --jobs guarantee at the library level: per-point seeds derive
+     by index, so a 3-domain pool produces byte-identical rows. *)
+  let sequential =
+    Experiments.Churn_curves.run ~geometries:curves_geometries curves_config
+  in
+  let pool = Exec.Pool.create ~domains:3 () in
+  let parallel =
+    Fun.protect
+      ~finally:(fun () -> Exec.Pool.shutdown pool)
+      (fun () ->
+        Experiments.Churn_curves.run ~pool ~geometries:curves_geometries curves_config)
+  in
+  Alcotest.(check (list string)) "byte-identical rows" (csv_of_points sequential)
+    (csv_of_points parallel)
+
+let test_curves_checkpoint_replay () =
+  let path = Filename.temp_file "dht_rcm_churn" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let checkpoint = Sim.Checkpoint.create ~path () in
+      let first =
+        Experiments.Churn_curves.run ~geometries:curves_geometries ~checkpoint
+          curves_config
+      in
+      Alcotest.(check int) "all points stored" (List.length first)
+        (Sim.Checkpoint.length checkpoint);
+      (* Resume against the written file under an always-fail fault
+         plan: the run can only succeed if every point replays from the
+         checkpoint without executing. *)
+      let resumed = Sim.Checkpoint.load ~path () in
+      let fault = { Exec.Fault.p = 1.0; seed = 5; attempts = max_int } in
+      let second =
+        Experiments.Churn_curves.run ~geometries:curves_geometries ~checkpoint:resumed
+          ~fault curves_config
+      in
+      Alcotest.(check (list string)) "replayed rows identical" (csv_of_points first)
+        (csv_of_points second))
+
+let test_checkpoint_churn_round_trip () =
+  let path = Filename.temp_file "dht_rcm_churn_rt" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let key =
+        {
+          Sim.Checkpoint.c_geometry = "xor";
+          c_bits = 9;
+          c_session = "pareto:1.5";
+          c_session_mean = 4.0;
+          c_gap = "exp";
+          c_gap_mean = 2.0;
+          c_maintain = 0.5;
+          c_k = 4;
+          c_cache_k = 2;
+          c_warmup = 10.0;
+          c_measurements = 3;
+          c_spacing = 2.0;
+          c_pairs = 200;
+          c_seed = 0x1234_5678_9ABC;
+        }
+      in
+      let point =
+        {
+          Sim.Checkpoint.p_mean_alive = 0.8125;
+          p_mean_stale = 0.19921875;
+          p_stale_near = 0.25;
+          p_stale_shortcut = 0.125;
+          p_routable_measurements = 3;
+          p_mean_routability = 0.9765625;
+          p_mean_prediction = 0.96875;
+          p_no_pair_measurements = 0;
+          p_events = 4242;
+        }
+      in
+      (* A second point with no routability sample: the nan mean must
+         survive the round trip (stored as an absent field). *)
+      let pairless_key = { key with Sim.Checkpoint.c_seed = 77 } in
+      let pairless =
+        {
+          point with
+          Sim.Checkpoint.p_mean_routability = Float.nan;
+          p_routable_measurements = 0;
+          p_no_pair_measurements = 3;
+        }
+      in
+      let store = Sim.Checkpoint.create ~path () in
+      Sim.Checkpoint.record_churn store key point;
+      Sim.Checkpoint.record_churn store pairless_key pairless;
+      Sim.Checkpoint.flush store;
+      let loaded = Sim.Checkpoint.load ~path () in
+      Alcotest.(check int) "two records" 2 (Sim.Checkpoint.length loaded);
+      (match Sim.Checkpoint.find_churn loaded key with
+      | Some p -> Alcotest.(check bool) "exact round trip" true (p = point)
+      | None -> Alcotest.fail "stored point not found");
+      match Sim.Checkpoint.find_churn loaded pairless_key with
+      | Some p ->
+          Alcotest.(check bool) "nan restored" true (Float.is_nan p.p_mean_routability);
+          Alcotest.(check int) "counts restored" 3 p.p_no_pair_measurements
+      | None -> Alcotest.fail "pairless point not found")
+
 let suite =
   [
     ("event queue ordering", `Quick, test_queue_ordering);
@@ -183,6 +600,14 @@ let suite =
     ("event queue interleaved", `Quick, test_queue_interleaved);
     ("event queue rejects nan", `Quick, test_queue_rejects_nan);
     queue_pops_sorted;
+    ("event queue pop releases payload", `Quick, test_queue_pop_releases_payload);
+    ("event queue shrinks after spike", `Quick, test_queue_shrinks_after_spike);
+    queue_matches_sorted_reference;
+    queue_interleaved_matches_model;
+    ("lifetime parsing", `Quick, test_lifetime_of_string);
+    ("lifetime guards", `Quick, test_lifetime_guards);
+    ("lifetime sample means", `Slow, test_lifetime_sample_means);
+    ("lifetime rescaling", `Quick, test_lifetime_with_mean);
     ("churn config guards", `Quick, test_churn_rejects_bad_config);
     ("churn reproducible", `Quick, test_churn_reproducible);
     ("churn alive fraction", `Quick, test_churn_alive_fraction);
@@ -194,4 +619,16 @@ let suite =
     ("churn bridge accuracy (xor)", `Slow, test_churn_bridge_accuracy_xor);
     ("churn symphony per-class staleness", `Slow, test_churn_symphony_class_staleness);
     ("churn measurement count", `Quick, test_churn_measurement_count);
+    ("churn no-pair measurements", `Quick, test_churn_no_pair_measurements);
+    ("session config guards", `Quick, test_session_config_guards);
+    ("session churn/availability rates", `Quick, test_session_rates);
+    ("session reproducible", `Quick, test_session_reproducible);
+    ("session all geometries", `Slow, test_session_all_geometries);
+    ("session alive tracks availability", `Quick, test_session_alive_tracks_availability);
+    ("session no-churn limit", `Quick, test_session_no_churn_limit);
+    ("session maintenance heals xor", `Slow, test_session_maintenance_heals_xor);
+    ("session no-pair measurements", `Quick, test_session_no_pair_measurements);
+    ("curves deterministic across pools", `Slow, test_curves_deterministic_across_pools);
+    ("curves checkpoint replay", `Slow, test_curves_checkpoint_replay);
+    ("checkpoint churn round trip", `Quick, test_checkpoint_churn_round_trip);
   ]

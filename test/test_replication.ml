@@ -132,6 +132,103 @@ let test_bucket_rebuild () =
     (fun c -> Alcotest.(check int) "prefix after rebuild" 0 (Idspace.Id.common_prefix_length ~bits 7 c))
     (Overlay.Kbucket.bucket t 7 1)
 
+let test_bucket_copy_isolated () =
+  (* [bucket] must return a copy: mutating it cannot corrupt the table.
+     This pins the aliasing fix — the accessor used to hand out the
+     live backing array. *)
+  let t = build_buckets ~k:3 () in
+  let snapshot = Overlay.Kbucket.bucket t 7 1 in
+  let before = Array.copy snapshot in
+  Array.fill snapshot 0 (Array.length snapshot) (-1);
+  Alcotest.(check (array int)) "table unchanged" before (Overlay.Kbucket.bucket t 7 1);
+  Alcotest.(check (option string)) "invariants hold" None (Overlay.Kbucket.invariant_violation t);
+  (* [unsafe_bucket] is the live array, by design — same contents. *)
+  Alcotest.(check (array int)) "unsafe view agrees" before (Overlay.Kbucket.unsafe_bucket t 7 1)
+
+let test_bucket_observe_lru () =
+  let t = build_buckets ~k:3 () in
+  let before = Overlay.Kbucket.bucket t 7 1 in
+  (* Hearing from the current head moves it to the tail; the others
+     shift up preserving relative order. *)
+  Overlay.Kbucket.observe t 7 before.(0);
+  let after = Overlay.Kbucket.bucket t 7 1 in
+  Alcotest.(check (array int)) "head rotated to tail"
+    [| before.(1); before.(2); before.(0) |]
+    after;
+  (* Observing a contact already at the tail is a no-op on the order. *)
+  Overlay.Kbucket.observe t 7 before.(0);
+  Alcotest.(check (array int)) "tail stays put" after (Overlay.Kbucket.bucket t 7 1)
+
+let test_bucket_cache_promotion () =
+  let t = Overlay.Kbucket.build ~rng:(rng_of_seed 3) ~cache_k:2 ~bits ~k:3 () in
+  let v = 0 in
+  let in_bucket = Array.to_list (Overlay.Kbucket.bucket t v 1) in
+  (* Fresh level-1 contacts of node 0: MSB set, not already present. *)
+  let fresh =
+    List.filter (fun c -> not (List.mem c in_bucket)) [ 0x80; 0x81; 0x82; 0x83 ]
+  in
+  let c1, c2, c3 = (List.nth fresh 0, List.nth fresh 1, List.nth fresh 2) in
+  (* The bucket is full (k = 3 of 128 candidates), so new observations
+     land in the replacement cache, oldest first, bounded at cache_k. *)
+  Overlay.Kbucket.observe t v c1;
+  Overlay.Kbucket.observe t v c2;
+  Alcotest.(check (array int)) "cache fills" [| c1; c2 |] (Overlay.Kbucket.cache t v 1);
+  Overlay.Kbucket.observe t v c3;
+  Alcotest.(check (array int)) "oldest dropped at bound" [| c2; c3 |]
+    (Overlay.Kbucket.cache t v 1);
+  (* Re-observing a cached entry moves it to the newest slot. *)
+  Overlay.Kbucket.observe t v c2;
+  Alcotest.(check (array int)) "cache LRU refresh" [| c3; c2 |] (Overlay.Kbucket.cache t v 1);
+  (* Kill the head: ping-before-evict must evict it and promote the
+     most-recently-seen cache entry (c2) to the bucket tail. *)
+  let head = (Overlay.Kbucket.bucket t v 1).(0) in
+  (match Overlay.Kbucket.ping_evict t v ~level:1 ~alive:(fun id -> id <> head) with
+  | Overlay.Kbucket.Evicted { dead; promoted } ->
+      Alcotest.(check int) "evicted the dead head" head dead;
+      Alcotest.(check (option int)) "promoted most-recently-seen" (Some c2) promoted
+  | Overlay.Kbucket.Refreshed _ | Overlay.Kbucket.No_contact ->
+      Alcotest.fail "expected an eviction");
+  let bucket = Overlay.Kbucket.bucket t v 1 in
+  Alcotest.(check int) "bucket refilled" 3 (Array.length bucket);
+  Alcotest.(check int) "promoted entry at tail" c2 bucket.(2);
+  Alcotest.(check (array int)) "cache shrank" [| c3 |] (Overlay.Kbucket.cache t v 1);
+  Alcotest.(check (option string)) "invariants hold" None (Overlay.Kbucket.invariant_violation t)
+
+let test_bucket_ping_refreshes_live_head () =
+  let t = build_buckets ~k:3 () in
+  let before = Overlay.Kbucket.bucket t 7 1 in
+  (match Overlay.Kbucket.ping_evict t 7 ~level:1 ~alive:(fun _ -> true) with
+  | Overlay.Kbucket.Refreshed id -> Alcotest.(check int) "refreshed the head" before.(0) id
+  | Overlay.Kbucket.Evicted _ | Overlay.Kbucket.No_contact ->
+      Alcotest.fail "live head must be refreshed, not evicted");
+  Alcotest.(check (array int)) "head rotated to tail"
+    [| before.(1); before.(2); before.(0) |]
+    (Overlay.Kbucket.bucket t 7 1)
+
+let kbucket_invariants_under_churn =
+  qcheck "k-bucket invariants survive random churn" ~count:60
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let rng = rng_of_seed seed in
+      let t = Overlay.Kbucket.build ~rng:(rng_of_seed (seed + 1)) ~cache_k:2 ~bits:6 ~k:3 () in
+      let n = 1 lsl 6 in
+      let dead = Array.make n false in
+      for _ = 1 to 300 do
+        let v = Prng.Splitmix.int rng n in
+        match Prng.Splitmix.int rng 4 with
+        | 0 -> dead.(Prng.Splitmix.int rng n) <- Prng.Splitmix.bool rng
+        | 1 ->
+            let id = Prng.Splitmix.int rng n in
+            if id <> v then Overlay.Kbucket.observe t v id
+        | 2 -> Overlay.Kbucket.maintain t v ~alive:(fun id -> not dead.(id))
+        | _ ->
+            Overlay.Kbucket.rebuild_bucket ~alive:(fun id -> not dead.(id)) t rng v
+              ~level:(1 + Prng.Splitmix.int rng 6)
+      done;
+      match Overlay.Kbucket.invariant_violation t with
+      | None -> true
+      | Some msg -> QCheck2.Test.fail_report msg)
+
 (* --- Bucket routing ----------------------------------------------------------- *)
 
 let all_alive = Overlay.Failure.none (1 lsl bits)
@@ -287,6 +384,11 @@ let suite =
     ("k-bucket contacts distinct", `Quick, test_bucket_contacts_distinct);
     ("k-bucket prefix property", `Quick, test_bucket_prefix_property);
     ("k-bucket rebuild", `Quick, test_bucket_rebuild);
+    ("k-bucket copy isolation", `Quick, test_bucket_copy_isolated);
+    ("k-bucket LRU on observe", `Quick, test_bucket_observe_lru);
+    ("k-bucket cache promotion", `Quick, test_bucket_cache_promotion);
+    ("k-bucket ping refreshes live head", `Quick, test_bucket_ping_refreshes_live_head);
+    kbucket_invariants_under_churn;
     ("bucket routing at q=0", `Quick, test_bucket_route_no_failures);
     ("bucket routing k=1 sanity", `Quick, test_bucket_route_k1_matches_table_router);
     ("bucket routing uses backups", `Quick, test_bucket_route_survives_dead_primary);
