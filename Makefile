@@ -1,4 +1,4 @@
-.PHONY: all build test check doc docs-smoke bench bench-smoke batch-smoke chaos-smoke churn-smoke trace-smoke clean
+.PHONY: all build test check doc docs-smoke bench bench-smoke batch-smoke chaos-smoke churn-smoke storage-smoke trace-smoke clean
 
 all: build
 
@@ -54,6 +54,13 @@ chaos-smoke: build
 # uninterrupted baseline.
 churn-smoke: build
 	sh scripts/churn_smoke.sh
+
+# Replicated-storage smoke: --jobs determinism, csv/json shape,
+# checkpoint + resume (including a truncated mid-state checkpoint) and
+# SIGINT recovery of the storage sweep, each diffed byte-for-byte
+# against an uninterrupted baseline.
+storage-smoke: build
+	sh scripts/storage_smoke.sh
 
 # Observability smoke: traced --smoke sweep (stdout byte-identical to
 # an untraced one), trace report aggregates, Chrome export, and

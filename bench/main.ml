@@ -511,6 +511,42 @@ let churn_bench ~smoke () =
   Fmt.pr "churn sweep: %d points in %.3fs@." (List.length points) wall_s;
   (cfg, points, wall_s)
 
+(* --- Part 7: replicated storage -------------------------------------------- *)
+
+(* A small availability-vs-q sweep through the storage layer: the wall
+   clock tracks placement, quorum probing and read-repair, and the
+   per-point records land in the JSON so the availability and survival
+   curves are regression-checked (validate.ml bounds every field and
+   cross-checks survival against the Leslie closed form). *)
+let storage_bench ~smoke () =
+  let cfg =
+    {
+      Experiments.Storage_sweep.default_config with
+      bits = (if smoke then 8 else 10);
+      nodes = (if smoke then 128 else 512);
+      keys = (if smoke then 16 else 64);
+      reads = (if smoke then 64 else 256);
+      mode =
+        Experiments.Storage_sweep.Static
+          {
+            qs = (if smoke then [ 0.1; 0.3 ] else [ 0.1; 0.3; 0.5 ]);
+            trials = (if smoke then 2 else 4);
+          };
+    }
+  in
+  let geometries =
+    if smoke then [ Rcm.Geometry.Ring; Rcm.Geometry.Xor ]
+    else Experiments.Storage_sweep.default_geometries
+  in
+  let t0 = Unix.gettimeofday () in
+  let points = Experiments.Storage_sweep.run ~geometries cfg in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  Fmt.pr "@.==== Replicated storage (quorum reads + read-repair, d=%d) ====@.@."
+    cfg.Experiments.Storage_sweep.bits;
+  Fmt.pr "%a" Experiments.Storage_sweep.pp_points points;
+  Fmt.pr "storage sweep: %d points in %.3fs@." (List.length points) wall_s;
+  (cfg, points, wall_s)
+
 (* --- Machine-readable output --------------------------------------------- *)
 
 let json_escape s =
@@ -523,7 +559,8 @@ let json_escape s =
     s;
   Buffer.contents buffer
 
-let write_json rows ~domains ~sequential_s ~parallel_s ~overlay ~flat_sweep ~batch ~churn =
+let write_json rows ~domains ~sequential_s ~parallel_s ~overlay ~flat_sweep ~batch ~churn
+    ~storage =
   let tm = Unix.localtime (Unix.time ()) in
   let date =
     Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
@@ -587,6 +624,17 @@ let write_json rows ~domains ~sequential_s ~parallel_s ~overlay ~flat_sweep ~bat
             (if i = List.length churn_points - 1 then "" else ","))
         churn_points;
       Printf.fprintf oc "    ]\n  },\n";
+      let storage_cfg, storage_points, storage_wall_s = storage in
+      Printf.fprintf oc
+        "  \"storage\": {\n    \"bits\": %d,\n    \"wall_s\": %.6f,\n    \"points\": [\n"
+        storage_cfg.Experiments.Storage_sweep.bits storage_wall_s;
+      List.iteri
+        (fun i p ->
+          Printf.fprintf oc "      %s%s\n"
+            (Experiments.Storage_sweep.to_json storage_cfg p)
+            (if i = List.length storage_points - 1 then "" else ","))
+        storage_points;
+      Printf.fprintf oc "    ]\n  },\n";
       Printf.fprintf oc "  \"metrics\": %s\n}\n" (Obs.Metrics.to_json ()));
   Fmt.pr "wrote %s@." path
 
@@ -641,6 +689,7 @@ let () =
   in
   let batch = (overlay_bits, batch_records, batch_sweep_scalar_s, batch_sweep_batch_s) in
   let churn = churn_bench ~smoke () in
+  let storage = storage_bench ~smoke () in
   (* The cumulative process watermark lands in the metrics section as a
      counter, so the JSON's "metrics" block records peak memory even
      where the per-phase resets are unsupported. *)
@@ -648,3 +697,4 @@ let () =
     (fun kb -> Obs.Metrics.incr_named ~by:kb "process/peak_rss_kb")
     (Obs.Rss.peak_kb ());
   write_json rows ~domains ~sequential_s ~parallel_s ~overlay ~flat_sweep ~batch ~churn
+    ~storage

@@ -210,6 +210,56 @@ let validate_bench json =
           if as_int (path ^ ".events") (field path p "events") <= 0 then
             fail "%s.events: expected > 0" path)
         points);
+  (* Replicated-storage sweep: availability may be null (nothing was
+     attempted when no node survived), every other statistic is bounded,
+     and the measured survival is cross-checked against the Leslie
+     closed form the analytic column carries. *)
+  let storage = field "$" json "storage" in
+  if as_int "$.storage.bits" (field "$.storage" storage "bits") < 1 then
+    fail "$.storage.bits: expected >= 1";
+  let storage_wall = as_number "$.storage.wall_s" (field "$.storage" storage "wall_s") in
+  check_finite "$.storage.wall_s" storage_wall;
+  if storage_wall <= 0.0 then fail "$.storage.wall_s: expected > 0";
+  (match as_list "$.storage.points" (field "$" storage "points") with
+  | [] -> fail "$.storage.points: empty (storage bench did not run?)"
+  | points ->
+      List.iteri
+        (fun i p ->
+          let path = Printf.sprintf "$.storage.points[%d]" i in
+          ignore (as_string (path ^ ".geometry") (field path p "geometry"));
+          (match as_string (path ^ ".mode") (field path p "mode") with
+          | "static" | "churn" -> ()
+          | m -> fail "%s.mode: expected \"static\" or \"churn\", found %S" path m);
+          let r = as_int (path ^ ".r") (field path p "r") in
+          let rq = as_int (path ^ ".rq") (field path p "rq") in
+          let wq = as_int (path ^ ".wq") (field path p "wq") in
+          if r < 1 then fail "%s.r: expected >= 1" path;
+          if rq < 1 || rq > r then fail "%s.rq: outside [1, r]" path;
+          if wq < 1 || wq > r then fail "%s.wq: outside [1, r]" path;
+          List.iter
+            (fun key ->
+              let pth = path ^ "." ^ key in
+              let v = as_number pth (field path p key) in
+              check_finite pth v;
+              if v < 0.0 || v > 1.0 then fail "%s: outside [0, 1]" pth)
+            [ "survival"; "analytic"; "alive" ];
+          (match field path p "availability" with
+          | Null -> ()
+          | Num _ as v ->
+              let a = as_number (path ^ ".availability") v in
+              if not (Float.is_finite a) || a < 0.0 || a > 1.0 then
+                fail "%s.availability: outside [0, 1]" path
+          | _ -> fail "%s.availability: expected a number or null" path);
+          List.iter
+            (fun key ->
+              if as_int (path ^ "." ^ key) (field path p key) < 0 then
+                fail "%s.%s: negative" path key)
+            [
+              "attempted"; "quorum_reads"; "degraded_reads"; "failed_reads"; "no_client";
+              "probe_routes"; "repair_routes"; "repair_transfers"; "load_max"; "load_p99";
+              "events";
+            ])
+        points);
   let counters, histograms = validate_metrics "$.metrics" (field "$" json "metrics") in
   (* The smoke sweep always routes through the pool and the overlay
      cache: an empty metrics section means the instrumentation was

@@ -852,6 +852,249 @@ let churn_cmd =
       $ seed_arg $ jobs_arg $ obs_term $ csv_arg $ json_arg $ smoke $ retries_arg
       $ inject_fault_arg $ checkpoint_arg $ resume_arg $ checkpoint_every_arg)
 
+(* --- storage ----------------------------------------------------------------- *)
+
+let storage geometry bits nodes keys reads zipf rs read_quorum write_quorum qs trials
+    sessions session_dist gap gap_dist warmup measurements spacing seed jobs obs csv
+    json smoke retries fault checkpoint_path resume checkpoint_every =
+  let churn_mode = sessions <> [] in
+  let bits, nodes, keys, reads, rs, qs, trials, sessions, measurements =
+    if smoke then
+      ( 8,
+        Some 128,
+        16,
+        64,
+        [ 1; 2 ],
+        [ 0.1; 0.3 ],
+        2,
+        (if churn_mode then [ 2.0; 8.0 ] else []),
+        2 )
+    else (bits, nodes, keys, reads, rs, qs, trials, sessions, measurements)
+  in
+  let nodes =
+    match nodes with Some n -> n | None -> max 2 (1 lsl (bits - 1))
+  in
+  let geometries =
+    match geometry with
+    | Some g -> [ g ]
+    | None -> Experiments.Storage_sweep.default_geometries
+  in
+  let mode =
+    if churn_mode then
+      Experiments.Storage_sweep.Churn
+        {
+          session_means = sessions;
+          session_shape = session_dist;
+          gap_mean = gap;
+          gap_shape = gap_dist;
+          warmup;
+          measurements;
+          spacing;
+        }
+    else Experiments.Storage_sweep.Static { qs; trials }
+  in
+  let cfg =
+    {
+      Experiments.Storage_sweep.bits;
+      nodes;
+      keys;
+      reads;
+      zipf_s = zipf;
+      rs;
+      rq_spec = read_quorum;
+      wq_spec = write_quorum;
+      mode;
+      seed;
+    }
+  in
+  (match Experiments.Storage_sweep.validate cfg with
+  | () -> ()
+  | exception Invalid_argument msg ->
+      Fmt.epr "dhtlab storage: %s@." msg;
+      exit 2);
+  let fault = match fault with Some _ as f -> f | None -> Exec.Fault.of_env () in
+  let checkpoint =
+    match checkpoint_path with
+    | Some path ->
+        Some
+          (if resume then Sim.Checkpoint.load ~interval:checkpoint_every ~path ()
+           else Sim.Checkpoint.create ~interval:checkpoint_every ~path ())
+    | None ->
+        if resume then begin
+          Fmt.epr "dhtlab: --resume requires --checkpoint FILE@.";
+          exit 2
+        end;
+        None
+  in
+  Exec.Cancel.install ();
+  match
+    with_obs obs @@ fun () ->
+    Obs.Manifest.note "subcommand" (Obs.Manifest.String "storage");
+    Obs.Manifest.note "geometries"
+      (Obs.Manifest.Strings (List.map Rcm.Geometry.name geometries));
+    Obs.Manifest.note "bits" (Obs.Manifest.Int bits);
+    Obs.Manifest.note "nodes" (Obs.Manifest.Int nodes);
+    Obs.Manifest.note "keys" (Obs.Manifest.Int keys);
+    Obs.Manifest.note "reads" (Obs.Manifest.Int reads);
+    Obs.Manifest.note "zipf" (Obs.Manifest.String (Printf.sprintf "%g" zipf));
+    Obs.Manifest.note "rs"
+      (Obs.Manifest.Strings (List.map string_of_int rs));
+    Obs.Manifest.note "read_quorum" (Obs.Manifest.String read_quorum);
+    Obs.Manifest.note "write_quorum" (Obs.Manifest.String write_quorum);
+    Obs.Manifest.note "mode"
+      (Obs.Manifest.String (if churn_mode then "churn" else "static"));
+    (if churn_mode then begin
+       Obs.Manifest.note "sessions"
+         (Obs.Manifest.Strings (List.map (Printf.sprintf "%g") sessions));
+       Obs.Manifest.note "session_dist"
+         (Obs.Manifest.String (Sim.Lifetime.shape_to_string session_dist));
+       Obs.Manifest.note "gap" (Obs.Manifest.String (Printf.sprintf "%g" gap));
+       Obs.Manifest.note "gap_dist"
+         (Obs.Manifest.String (Sim.Lifetime.shape_to_string gap_dist))
+     end
+     else begin
+       Obs.Manifest.note "qs"
+         (Obs.Manifest.Strings (List.map (Printf.sprintf "%g") qs));
+       Obs.Manifest.note "trials" (Obs.Manifest.Int trials)
+     end);
+    Obs.Manifest.note "seed" (Obs.Manifest.Int seed);
+    Option.iter
+      (fun path -> Obs.Manifest.add_artefact ~kind:"checkpoint" path)
+      checkpoint_path;
+    with_jobs jobs (fun pool ->
+        let points =
+          Experiments.Storage_sweep.run ?pool ~geometries ~retries ?fault ?checkpoint
+            cfg
+        in
+        if csv then begin
+          print_endline Experiments.Storage_sweep.csv_header;
+          List.iter
+            (fun p -> print_endline (Experiments.Storage_sweep.to_csv_row cfg p))
+            points
+        end
+        else if json then
+          List.iter
+            (fun p -> print_endline (Experiments.Storage_sweep.to_json cfg p))
+            points
+        else Fmt.pr "%a" Experiments.Storage_sweep.pp_points points)
+  with
+  | () -> ()
+  | exception Exec.Cancel.Cancelled ->
+      (match checkpoint with
+      | Some ck ->
+          Fmt.epr "dhtlab: interrupted; %d completed points checkpointed in %s@."
+            (Sim.Checkpoint.length ck) (Sim.Checkpoint.path ck)
+      | None ->
+          Fmt.epr "dhtlab: interrupted (no --checkpoint; completed points discarded)@.");
+      exit Exec.Cancel.exit_code
+
+let storage_cmd =
+  let doc =
+    "Replicated storage layer: quorum-read availability, replica survival and \
+     read-repair cost under failure (vs the Leslie closed form) or session churn."
+  in
+  let nodes =
+    Arg.(value & opt (some int) None
+         & info [ "nodes" ] ~docv:"N"
+             ~doc:
+               "Overlay size (sparse occupancy: node count, not ID-space size). \
+                Defaults to 2^(bits-1).")
+  in
+  let keys =
+    Arg.(value & opt int Experiments.Storage_sweep.default_config.keys
+         & info [ "keys" ] ~docv:"N" ~doc:"Keys placed per trial.")
+  in
+  let reads =
+    Arg.(value & opt int Experiments.Storage_sweep.default_config.reads
+         & info [ "reads" ] ~docv:"N"
+             ~doc:"Quorum reads per trial (static) or per measurement epoch (churn).")
+  in
+  let zipf =
+    Arg.(value & opt float Experiments.Storage_sweep.default_config.zipf_s
+         & info [ "zipf" ] ~docv:"S"
+             ~doc:"Key-popularity Zipf exponent; 0 is uniform, ~1 is web-like skew.")
+  in
+  let rs =
+    Arg.(value & opt (list int) Experiments.Storage_sweep.default_config.rs
+         & info [ "r"; "replicas" ] ~docv:"RS"
+             ~doc:"Comma-separated replication degrees to sweep.")
+  in
+  let read_quorum =
+    Arg.(value & opt string Experiments.Storage_sweep.default_config.rq_spec
+         & info [ "read-quorum" ] ~docv:"RQ"
+             ~doc:
+               "Read-quorum threshold, resolved against each replication degree: \
+                $(b,majority), $(b,one), $(b,all) or an integer.")
+  in
+  let write_quorum =
+    Arg.(value & opt string Experiments.Storage_sweep.default_config.wq_spec
+         & info [ "write-quorum" ] ~docv:"WQ"
+             ~doc:"Write-quorum threshold (same grammar as $(b,--read-quorum)).")
+  in
+  let qs =
+    Arg.(value & opt (list float) [ 0.1; 0.2; 0.3; 0.4; 0.5 ]
+         & info [ "qs" ] ~docv:"PROBS"
+             ~doc:"Comma-separated failure probabilities (the static-mode axis).")
+  in
+  let trials =
+    Arg.(value & opt int 4
+         & info [ "trials" ] ~docv:"N"
+             ~doc:"Independent worlds per static grid point.")
+  in
+  let sessions =
+    Arg.(value & opt (list float) []
+         & info [ "sessions" ] ~docv:"MEANS"
+             ~doc:
+               "Comma-separated mean session times: switches to churn mode with this \
+                as the sweep axis (default: static failure mode over $(b,--qs)).")
+  in
+  let session_dist =
+    Arg.(value & opt lifetime_conv Sim.Lifetime.Exponential
+         & info [ "session-dist" ] ~docv:"DIST"
+             ~doc:
+               "Session length distribution: $(b,exp), $(b,pareto:ALPHA) or \
+                $(b,weibull:SHAPE).")
+  in
+  let gap =
+    Arg.(value & opt float 2.0
+         & info [ "gap" ] ~docv:"MEAN" ~doc:"Mean downtime between sessions (churn mode).")
+  in
+  let gap_dist =
+    Arg.(value & opt lifetime_conv Sim.Lifetime.Exponential
+         & info [ "gap-dist" ] ~docv:"DIST"
+             ~doc:"Downtime distribution (same spellings as $(b,--session-dist)).")
+  in
+  let warmup =
+    Arg.(value & opt float 20.0
+         & info [ "warmup" ] ~docv:"TIME"
+             ~doc:"Simulated time before the first measurement (churn mode).")
+  in
+  let measurements =
+    Arg.(value & opt int 5
+         & info [ "measurements" ] ~docv:"N" ~doc:"Measurement epochs per churn point.")
+  in
+  let spacing =
+    Arg.(value & opt float 2.0
+         & info [ "spacing" ] ~docv:"TIME" ~doc:"Simulated time between epochs.")
+  in
+  let smoke =
+    Arg.(value & flag
+         & info [ "smoke" ]
+             ~doc:
+               "Tiny preset sweep for CI smoke tests: overrides $(b,--bits) to 8, \
+                $(b,--nodes) to 128, $(b,--keys) to 16, $(b,--reads) to 64, \
+                $(b,--replicas) to 1,2, $(b,--qs) to 0.1,0.3 and $(b,--trials) to 2 \
+                (in churn mode: $(b,--sessions) to 2,8 and $(b,--measurements) to 2).")
+  in
+  Cmd.v
+    (Cmd.info "storage" ~doc)
+    Term.(
+      const storage $ geometry_arg $ bits_arg ~default:10 $ nodes $ keys $ reads $ zipf
+      $ rs $ read_quorum $ write_quorum $ qs $ trials $ sessions $ session_dist $ gap
+      $ gap_dist $ warmup $ measurements $ spacing $ seed_arg $ jobs_arg $ obs_term
+      $ csv_arg $ json_arg $ smoke $ retries_arg $ inject_fault_arg $ checkpoint_arg
+      $ resume_arg $ checkpoint_every_arg)
+
 (* --- route ----------------------------------------------------------------- *)
 
 let route geometry bits q src dst seed backend =
@@ -966,6 +1209,7 @@ let main_cmd =
       validate_cmd;
       percolation_cmd;
       churn_cmd;
+      storage_cmd;
       route_cmd;
       export_cmd;
       trace_cmd;

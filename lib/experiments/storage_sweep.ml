@@ -1,0 +1,426 @@
+type mode =
+  | Static of { qs : float list; trials : int }
+  | Churn of {
+      session_means : float list;
+      session_shape : Sim.Lifetime.shape;
+      gap_mean : float;
+      gap_shape : Sim.Lifetime.shape;
+      warmup : float;
+      measurements : int;
+      spacing : float;
+    }
+
+type config = {
+  bits : int;
+  nodes : int;
+  keys : int;
+  reads : int;
+  zipf_s : float;
+  rs : int list;
+  rq_spec : string;
+  wq_spec : string;
+  mode : mode;
+  seed : int;
+}
+
+let default_config =
+  {
+    bits = 10;
+    nodes = 512;
+    keys = 64;
+    reads = 256;
+    zipf_s = 0.8;
+    rs = [ 1; 2; 4 ];
+    rq_spec = "majority";
+    wq_spec = "majority";
+    mode = Static { qs = [ 0.1; 0.2; 0.3; 0.4; 0.5 ]; trials = 4 };
+    seed = 909;
+  }
+
+let quorum_for cfg ~r =
+  let resolve name spec =
+    match Storage.Quorum.threshold_of_string ~r spec with
+    | Ok k -> k
+    | Error msg ->
+        invalid_arg (Printf.sprintf "Storage_sweep: %s: %s" name msg)
+  in
+  Storage.Quorum.make ~r ~rq:(resolve "read quorum" cfg.rq_spec)
+    ~wq:(resolve "write quorum" cfg.wq_spec)
+
+let axis_values cfg =
+  match cfg.mode with
+  | Static { qs; _ } -> qs
+  | Churn { session_means; _ } -> session_means
+
+let churn_config cfg ~quorum ~session_shape ~gap_shape ~gap_mean ~warmup
+    ~measurements ~spacing ~session_mean =
+  let lifetime shape ~mean =
+    match shape with
+    | Sim.Lifetime.Exponential -> Sim.Lifetime.exponential ~mean
+    | Sim.Lifetime.Pareto alpha -> Sim.Lifetime.pareto ~alpha ~mean
+    | Sim.Lifetime.Weibull s -> Sim.Lifetime.weibull ~shape:s ~mean
+  in
+  {
+    Storage.Churn_sim.bits = cfg.bits;
+    nodes = cfg.nodes;
+    keys = cfg.keys;
+    reads = cfg.reads;
+    zipf_s = cfg.zipf_s;
+    quorum;
+    session = lifetime session_shape ~mean:session_mean;
+    gap = lifetime gap_shape ~mean:gap_mean;
+    warmup;
+    measurements;
+    spacing;
+  }
+
+let validate cfg =
+  if cfg.rs = [] then invalid_arg "Storage_sweep: empty replication sweep";
+  if axis_values cfg = [] then invalid_arg "Storage_sweep: empty axis";
+  List.iter
+    (fun r ->
+      let quorum = quorum_for cfg ~r in
+      match cfg.mode with
+      | Static { qs; trials } ->
+          List.iter (fun q -> Rcm.Spec.check_q q) qs;
+          Storage.Failure_sim.validate
+            {
+              Storage.Failure_sim.bits = cfg.bits;
+              nodes = cfg.nodes;
+              keys = cfg.keys;
+              reads = cfg.reads;
+              zipf_s = cfg.zipf_s;
+              quorum;
+              trials;
+            }
+      | Churn { session_means; session_shape; gap_mean; gap_shape; warmup; measurements; spacing } ->
+          List.iter
+            (fun mean ->
+              Storage.Churn_sim.validate
+                (churn_config cfg ~quorum ~session_shape ~gap_shape ~gap_mean
+                   ~warmup ~measurements ~spacing ~session_mean:mean))
+            session_means)
+    cfg.rs
+
+type point = {
+  geometry : Rcm.Geometry.t;
+  r : int;
+  rq : int;
+  wq : int;
+  axis : float;
+  churn_rate : float;
+  attempted : int;
+  quorum_reads : int;
+  degraded_reads : int;
+  failed_reads : int;
+  no_client : int;
+  availability : float;
+  survival : float;
+  analytic : float;
+  mean_alive : float;
+  probe_routes : int;
+  repair_routes : int;
+  repair_transfers : int;
+  load_max : int;
+  load_mean : float;
+  load_p99 : int;
+  events : int;
+}
+
+(* Same per-point PRNG discipline as Churn_curves.point_seeds: seeds
+   derive by grid index from one master stream, masked to 48 bits so
+   they round-trip exactly through the checkpoint's JSON numbers. *)
+let point_seeds cfg ~tasks =
+  let master = Prng.Splitmix.create ~seed:cfg.seed in
+  Array.init tasks (fun _ ->
+      Int64.to_int (Prng.Splitmix.next_int64 master) land 0xFFFF_FFFF_FFFF)
+
+let mode_tag = function Static _ -> "static" | Churn _ -> "churn"
+
+let storage_key cfg geometry ~quorum ~axis ~seed =
+  let session, gap, gap_mean, warmup, measurements, spacing, trials =
+    match cfg.mode with
+    | Static { trials; _ } -> ("", "", 0., 0., 0, 0., trials)
+    | Churn { session_shape; gap_shape; gap_mean; warmup; measurements; spacing; _ } ->
+        ( Sim.Lifetime.shape_to_string session_shape,
+          Sim.Lifetime.shape_to_string gap_shape,
+          gap_mean,
+          warmup,
+          measurements,
+          spacing,
+          1 )
+  in
+  {
+    Sim.Checkpoint.k_geometry = Rcm.Geometry.name geometry;
+    k_bits = cfg.bits;
+    k_nodes = cfg.nodes;
+    k_keys = cfg.keys;
+    k_reads = cfg.reads;
+    k_zipf = cfg.zipf_s;
+    k_r = quorum.Storage.Quorum.r;
+    k_rq = quorum.Storage.Quorum.rq;
+    k_wq = quorum.Storage.Quorum.wq;
+    k_mode = mode_tag cfg.mode;
+    k_axis = axis;
+    k_session = session;
+    k_gap = gap;
+    k_gap_mean = gap_mean;
+    k_warmup = warmup;
+    k_measurements = measurements;
+    k_spacing = spacing;
+    k_trials = trials;
+    k_seed = seed;
+  }
+
+let analytic cfg ~quorum ~axis =
+  let r = quorum.Storage.Quorum.r and rq = quorum.Storage.Quorum.rq in
+  match cfg.mode with
+  | Static _ -> Rcm.Data_availability.replica_survival ~q:axis ~r ~quorum:rq
+  | Churn { gap_mean; _ } ->
+      (* Steady-state offline fraction plays the role of q: the
+         no-repair baseline the simulated (repaired) survival should
+         beat. *)
+      let q = gap_mean /. (axis +. gap_mean) in
+      Rcm.Data_availability.replica_survival ~q ~r ~quorum:rq
+
+let run_static cfg geometry ~quorum ~q ~trials ~seed =
+  let result =
+    Storage.Failure_sim.run geometry
+      {
+        Storage.Failure_sim.bits = cfg.bits;
+        nodes = cfg.nodes;
+        keys = cfg.keys;
+        reads = cfg.reads;
+        zipf_s = cfg.zipf_s;
+        quorum;
+        trials;
+      }
+      ~q ~seed
+  in
+  {
+    Sim.Checkpoint.sp_attempted = result.Storage.Failure_sim.attempted;
+    sp_quorum = result.quorum_reads;
+    sp_degraded = result.degraded_reads;
+    sp_failed = result.failed_reads;
+    sp_no_client = result.no_client;
+    sp_availability = Option.value result.availability ~default:Float.nan;
+    sp_survival = result.survival;
+    sp_analytic = analytic cfg ~quorum ~axis:q;
+    sp_mean_alive = result.mean_alive;
+    sp_probe_routes = result.probe_routes;
+    sp_repair_routes = result.repair_routes;
+    sp_repair_transfers = result.repair_transfers;
+    sp_load_max = result.load_max;
+    sp_load_mean = result.load_mean;
+    sp_load_p99 = result.load_p99;
+    sp_events = 0;
+  }
+
+let run_churn cfg geometry ~quorum ~session_mean ~seed =
+  match cfg.mode with
+  | Static _ -> assert false
+  | Churn { session_shape; gap_shape; gap_mean; warmup; measurements; spacing; _ } ->
+      let result =
+        Storage.Churn_sim.run geometry
+          (churn_config cfg ~quorum ~session_shape ~gap_shape ~gap_mean
+             ~warmup ~measurements ~spacing ~session_mean)
+          ~seed
+      in
+      {
+        Sim.Checkpoint.sp_attempted = result.Storage.Churn_sim.attempted;
+        sp_quorum = result.quorum_reads;
+        sp_degraded = result.degraded_reads;
+        sp_failed = result.failed_reads;
+        sp_no_client = result.no_client;
+        sp_availability = Option.value result.availability ~default:Float.nan;
+        sp_survival = result.survival;
+        sp_analytic = analytic cfg ~quorum ~axis:session_mean;
+        sp_mean_alive = result.mean_alive;
+        sp_probe_routes = result.probe_routes;
+        sp_repair_routes = result.repair_routes;
+        sp_repair_transfers = result.repair_transfers;
+        sp_load_max = result.load_max;
+        sp_load_mean = result.load_mean;
+        sp_load_p99 = result.load_p99;
+        sp_events = result.events;
+      }
+
+let run_point cfg geometry ~quorum ~axis ~seed =
+  let t0 = if Obs.Metrics.enabled () then Unix.gettimeofday () else 0.0 in
+  let point =
+    match cfg.mode with
+    | Static { trials; _ } -> run_static cfg geometry ~quorum ~q:axis ~trials ~seed
+    | Churn _ -> run_churn cfg geometry ~quorum ~session_mean:axis ~seed
+  in
+  if Obs.Metrics.enabled () then begin
+    Obs.Metrics.incr_named "storage/points";
+    Obs.Metrics.observe_named "storage/point_s" (Unix.gettimeofday () -. t0)
+  end;
+  point
+
+let churn_rate_of cfg ~axis =
+  match cfg.mode with
+  | Static _ -> Float.nan
+  | Churn { gap_mean; _ } -> 1. /. (axis +. gap_mean)
+
+let point_of_stored cfg geometry ~quorum ~axis (p : Sim.Checkpoint.storage_point) =
+  {
+    geometry;
+    r = quorum.Storage.Quorum.r;
+    rq = quorum.Storage.Quorum.rq;
+    wq = quorum.Storage.Quorum.wq;
+    axis;
+    churn_rate = churn_rate_of cfg ~axis;
+    attempted = p.Sim.Checkpoint.sp_attempted;
+    quorum_reads = p.sp_quorum;
+    degraded_reads = p.sp_degraded;
+    failed_reads = p.sp_failed;
+    no_client = p.sp_no_client;
+    availability = p.sp_availability;
+    survival = p.sp_survival;
+    analytic = p.sp_analytic;
+    mean_alive = p.sp_mean_alive;
+    probe_routes = p.sp_probe_routes;
+    repair_routes = p.sp_repair_routes;
+    repair_transfers = p.sp_repair_transfers;
+    load_max = p.sp_load_max;
+    load_mean = p.sp_load_mean;
+    load_p99 = p.sp_load_p99;
+    events = p.sp_events;
+  }
+
+let default_geometries =
+  [ Rcm.Geometry.Ring; Rcm.Geometry.Tree; Rcm.Geometry.Xor; Rcm.Geometry.default_symphony ]
+
+let run ?pool ?(geometries = default_geometries) ?(retries = 0) ?fault ?checkpoint cfg =
+  if retries < 0 then invalid_arg "Storage_sweep.run: negative retries";
+  validate cfg;
+  List.iter
+    (fun g ->
+      if g = Rcm.Geometry.Hypercube then
+        invalid_arg "Storage_sweep.run: no sparse hypercube overlay exists")
+    geometries;
+  let geoms = Array.of_list geometries in
+  let rs = Array.of_list cfg.rs in
+  let axes = Array.of_list (axis_values cfg) in
+  let quorums = Array.map (fun r -> quorum_for cfg ~r) rs in
+  let per_r = Array.length axes in
+  let per_geom = Array.length rs * per_r in
+  let n = Array.length geoms * per_geom in
+  let seeds = point_seeds cfg ~tasks:n in
+  let coords i =
+    let geometry = geoms.(i / per_geom) in
+    let rest = i mod per_geom in
+    (geometry, quorums.(rest / per_r), axes.(rest mod per_r))
+  in
+  Obs.Progress.start ~label:"storage"
+    ~groups:
+      (Array.to_list (Array.map (fun g -> (Rcm.Geometry.name g, per_geom)) geoms))
+    ~total:n ();
+  let tick i = Obs.Progress.tick ~group:(Rcm.Geometry.name geoms.(i / per_geom)) () in
+  let run_one i =
+    let geometry, quorum, axis = coords i in
+    let seed = seeds.(i) in
+    let key = storage_key cfg geometry ~quorum ~axis ~seed in
+    let stored = Option.bind checkpoint (fun ck -> Sim.Checkpoint.find_storage ck key) in
+    match stored with
+    | Some p ->
+        tick i;
+        Exec.Pool.Done p
+    | None ->
+        let task ~attempt i =
+          Exec.Fault.inject fault ~task:i ~attempt;
+          run_point cfg geometry ~quorum ~axis ~seed
+        in
+        let outcome = Exec.Pool.supervised ~retries ~task i in
+        (match (checkpoint, outcome) with
+        | Some ck, Exec.Pool.Done p -> Sim.Checkpoint.record_storage ck key p
+        | (Some _ | None), _ -> ());
+        (match outcome with
+        | Exec.Pool.Cancelled -> ()
+        | Exec.Pool.Done _ | Exec.Pool.Failed _ -> tick i);
+        outcome
+  in
+  let outcomes =
+    match pool with
+    | Some pool when Exec.Pool.size pool > 1 -> Exec.Pool.map pool n run_one
+    | Some _ | None -> Array.init n run_one
+  in
+  Option.iter Sim.Checkpoint.flush checkpoint;
+  Obs.Progress.finish ();
+  if Array.exists (function Exec.Pool.Cancelled -> true | _ -> false) outcomes then
+    raise Exec.Cancel.Cancelled;
+  Array.iteri
+    (fun i outcome ->
+      match outcome with
+      | Exec.Pool.Failed { attempts; error } ->
+          let geometry, quorum, axis = coords i in
+          failwith
+            (Printf.sprintf
+               "storage point %d (%s, r=%d, %s %g) failed after %d attempts: %s" i
+               (Rcm.Geometry.name geometry)
+               quorum.Storage.Quorum.r (mode_tag cfg.mode) axis attempts error)
+      | Exec.Pool.Done _ | Exec.Pool.Cancelled -> ())
+    outcomes;
+  List.init n (fun i ->
+      let geometry, quorum, axis = coords i in
+      match outcomes.(i) with
+      | Exec.Pool.Done p -> point_of_stored cfg geometry ~quorum ~axis p
+      | Exec.Pool.Failed _ | Exec.Pool.Cancelled -> assert false)
+
+(* --- rendering -------------------------------------------------------------- *)
+
+let float_or_nan v tag = if Float.is_finite v then Printf.sprintf tag v else "nan"
+
+let pp_points ppf points =
+  Fmt.pf ppf
+    "# replicated storage: quorum-read availability and replica survival vs the Leslie closed form@.";
+  Fmt.pf ppf "%-10s %3s %3s %3s %8s %8s %9s %9s %9s %8s %8s %8s@." "geometry" "r" "rq"
+    "wq" "axis" "avail" "survival" "analytic" "degraded" "repairs" "load-max" "load-p99";
+  List.iter
+    (fun p ->
+      let degraded =
+        if p.attempted = 0 then Float.nan
+        else float_of_int p.degraded_reads /. float_of_int p.attempted
+      in
+      Fmt.pf ppf "%-10s %3d %3d %3d %8g %8s %9.4f %9.4f %9s %8d %8d %8d@."
+        (Rcm.Geometry.name p.geometry)
+        p.r p.rq p.wq p.axis
+        (float_or_nan p.availability "%8.4f")
+        p.survival p.analytic
+        (float_or_nan degraded "%9.4f")
+        p.repair_transfers p.load_max p.load_p99)
+    points
+
+let csv_header =
+  "geometry,bits,nodes,keys,mode,r,rq,wq,axis,churn_rate,attempted,quorum_reads,degraded_reads,failed_reads,no_client,availability,survival,analytic,alive,probe_routes,repair_routes,repair_transfers,load_max,load_mean,load_p99,events"
+
+let to_csv_row cfg p =
+  Printf.sprintf
+    "%s,%d,%d,%d,%s,%d,%d,%d,%g,%s,%d,%d,%d,%d,%d,%s,%.6f,%.6f,%.6f,%d,%d,%d,%d,%.6f,%d,%d"
+    (Rcm.Geometry.name p.geometry)
+    cfg.bits cfg.nodes cfg.keys (mode_tag cfg.mode) p.r p.rq p.wq p.axis
+    (float_or_nan p.churn_rate "%.9g")
+    p.attempted p.quorum_reads p.degraded_reads p.failed_reads p.no_client
+    (float_or_nan p.availability "%.6f")
+    p.survival p.analytic p.mean_alive p.probe_routes p.repair_routes
+    p.repair_transfers p.load_max p.load_mean p.load_p99 p.events
+
+let to_json cfg p =
+  let json_float v = if Float.is_finite v then Printf.sprintf "%.9g" v else "null" in
+  Printf.sprintf
+    "{\"geometry\": %S, \"bits\": %d, \"nodes\": %d, \"keys\": %d, \"zipf\": %s, \
+     \"mode\": %S, \"r\": %d, \"rq\": %d, \"wq\": %d, \"axis\": %s, \"churn_rate\": %s, \
+     \"attempted\": %d, \"quorum_reads\": %d, \"degraded_reads\": %d, \"failed_reads\": \
+     %d, \"no_client\": %d, \"availability\": %s, \"survival\": %s, \"analytic\": %s, \
+     \"alive\": %s, \"probe_routes\": %d, \"repair_routes\": %d, \"repair_transfers\": \
+     %d, \"load_max\": %d, \"load_mean\": %s, \"load_p99\": %d, \"events\": %d}"
+    (Rcm.Geometry.name p.geometry)
+    cfg.bits cfg.nodes cfg.keys (json_float cfg.zipf_s) (mode_tag cfg.mode) p.r p.rq
+    p.wq (json_float p.axis) (json_float p.churn_rate) p.attempted p.quorum_reads
+    p.degraded_reads p.failed_reads p.no_client
+    (json_float p.availability)
+    (json_float p.survival) (json_float p.analytic) (json_float p.mean_alive)
+    p.probe_routes p.repair_routes p.repair_transfers p.load_max
+    (json_float p.load_mean)
+    p.load_p99 p.events

@@ -15,7 +15,8 @@ let node_count t = Array.length t.ids
 
 let id_of t index = t.ids.(index)
 
-let contacts t index = t.contacts.(index)
+let contacts t index = Array.copy t.contacts.(index)
+let unsafe_contacts t index = t.contacts.(index)
 
 let occupancy t = float_of_int (node_count t) /. Float.pow 2.0 (float_of_int t.bits)
 

@@ -35,7 +35,14 @@ val index_of_id : t -> int -> int option
 val contacts : t -> int -> int array
 (** Contact *indexes* of a node (layout as in {!Table}: level-indexed
     for tree/xor and ring fingers, near-then-shortcuts for symphony);
-    entries may be [missing] for tree/xor. Not a copy. *)
+    entries may be [missing] for tree/xor. Returns a fresh copy —
+    callers may mutate it freely. Hot paths that only read should use
+    {!unsafe_contacts}. *)
+
+val unsafe_contacts : t -> int -> int array
+(** The node's internal contact array, without copying. The caller
+    must not mutate it: it is shared with every other caller and with
+    the router. *)
 
 val successor_index : t -> int -> int
 (** Index of the first node clockwise from an id (inclusive, with

@@ -24,7 +24,7 @@ let route_ring ?(on_hop = ignore) overlay ~alive ~src ~dst =
               best_remaining := after
             end
           end)
-        (Overlay.Sparse.contacts overlay cur);
+        (Overlay.Sparse.unsafe_contacts overlay cur);
       if !best < 0 then Outcome.Dropped { hops; stuck_at = cur }
       else begin
         on_hop !best;
@@ -45,7 +45,7 @@ let route_prefix ?(on_hop = ignore) ~mode overlay ~alive ~src ~dst =
       let id_cur = Overlay.Sparse.id_of overlay cur in
       let diff = Idspace.Id.xor_distance id_cur id_dst in
       let leading = bits - Idspace.Id.floor_log2 diff in
-      let contacts = Overlay.Sparse.contacts overlay cur in
+      let contacts = Overlay.Sparse.unsafe_contacts overlay cur in
       let usable level =
         let candidate = contacts.(level - 1) in
         if candidate <> Overlay.Sparse.missing && Overlay.Failure.get alive candidate then Some candidate

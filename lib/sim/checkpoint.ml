@@ -51,12 +51,58 @@ type churn_point = {
   p_events : int;
 }
 
+(* Storage-sweep points are tagged ["kind": "storage"] — same skipping
+   rule as churn records, so the format stays version 1. The static /
+   churn axis split is carried by [k_mode]; churn-only fields are empty
+   or zero in static mode so one record shape covers both. *)
+type storage_key = {
+  k_geometry : string;
+  k_bits : int;
+  k_nodes : int;
+  k_keys : int;
+  k_reads : int;
+  k_zipf : float;
+  k_r : int;
+  k_rq : int;
+  k_wq : int;
+  k_mode : string;
+  k_axis : float;
+  k_session : string;
+  k_gap : string;
+  k_gap_mean : float;
+  k_warmup : float;
+  k_measurements : int;
+  k_spacing : float;
+  k_trials : int;
+  k_seed : int;
+}
+
+type storage_point = {
+  sp_attempted : int;
+  sp_quorum : int;
+  sp_degraded : int;
+  sp_failed : int;
+  sp_no_client : int;
+  sp_availability : float;  (* meaningful iff sp_attempted > 0 *)
+  sp_survival : float;
+  sp_analytic : float;
+  sp_mean_alive : float;
+  sp_probe_routes : int;
+  sp_repair_routes : int;
+  sp_repair_transfers : int;
+  sp_load_max : int;
+  sp_load_mean : float;
+  sp_load_p99 : int;
+  sp_events : int;
+}
+
 type t = {
   path : string;
   interval : int;
   lock : Mutex.t;
   entries : (key, outcome) Hashtbl.t;
   churn_entries : (churn_key, churn_point) Hashtbl.t;
+  storage_entries : (storage_key, storage_point) Hashtbl.t;
   mutable unflushed : int;
 }
 
@@ -157,6 +203,56 @@ let buffer_churn_entry buffer (key, point) =
     (Printf.sprintf ", \"no_pairs\": %d, \"events\": %d}\n" point.p_no_pair_measurements
        point.p_events)
 
+let buffer_storage_entry buffer (key, point) =
+  Buffer.add_string buffer
+    (Printf.sprintf "{\"v\": %d, \"kind\": \"storage\", \"geometry\": " version);
+  add_json_string buffer key.k_geometry;
+  Buffer.add_string buffer
+    (Printf.sprintf ", \"bits\": %d, \"nodes\": %d, \"keys\": %d, \"reads\": %d, \"zipf\": "
+       key.k_bits key.k_nodes key.k_keys key.k_reads);
+  add_float buffer key.k_zipf;
+  Buffer.add_string buffer
+    (Printf.sprintf ", \"r\": %d, \"rq\": %d, \"wq\": %d, \"mode\": " key.k_r key.k_rq
+       key.k_wq);
+  add_json_string buffer key.k_mode;
+  Buffer.add_string buffer ", \"axis\": ";
+  add_float buffer key.k_axis;
+  Buffer.add_string buffer ", \"session\": ";
+  add_json_string buffer key.k_session;
+  Buffer.add_string buffer ", \"gap\": ";
+  add_json_string buffer key.k_gap;
+  Buffer.add_string buffer ", \"gap_mean\": ";
+  add_float buffer key.k_gap_mean;
+  Buffer.add_string buffer ", \"warmup\": ";
+  add_float buffer key.k_warmup;
+  Buffer.add_string buffer
+    (Printf.sprintf ", \"measurements\": %d, \"spacing\": " key.k_measurements);
+  add_float buffer key.k_spacing;
+  Buffer.add_string buffer
+    (Printf.sprintf ", \"trials\": %d, \"seed\": %d, \"attempted\": %d, \"quorum\": %d, \"degraded\": %d, \"failed\": %d, \"no_client\": %d"
+       key.k_trials key.k_seed point.sp_attempted point.sp_quorum point.sp_degraded
+       point.sp_failed point.sp_no_client);
+  (* nan has no JSON spelling: a point with no attempted read omits the
+     availability field (same rule as churn routability). *)
+  if point.sp_attempted > 0 then begin
+    Buffer.add_string buffer ", \"availability\": ";
+    add_float buffer point.sp_availability
+  end;
+  Buffer.add_string buffer ", \"survival\": ";
+  add_float buffer point.sp_survival;
+  Buffer.add_string buffer ", \"analytic\": ";
+  add_float buffer point.sp_analytic;
+  Buffer.add_string buffer ", \"alive\": ";
+  add_float buffer point.sp_mean_alive;
+  Buffer.add_string buffer
+    (Printf.sprintf ", \"probe_routes\": %d, \"repair_routes\": %d, \"repair_transfers\": %d, \"load_max\": %d, \"load_mean\": "
+       point.sp_probe_routes point.sp_repair_routes point.sp_repair_transfers
+       point.sp_load_max);
+  add_float buffer point.sp_load_mean;
+  Buffer.add_string buffer
+    (Printf.sprintf ", \"load_p99\": %d, \"events\": %d}\n" point.sp_load_p99
+       point.sp_events)
+
 (* Entries are written in key order so two checkpoints of the same
    completed work are byte-identical regardless of the (hash-table,
    domain-scheduling) order in which trials were recorded. *)
@@ -179,6 +275,10 @@ let write_locked t =
     Hashtbl.fold (fun key point acc -> (key, point) :: acc) t.churn_entries []
     |> List.sort (fun (a, _) (b, _) -> compare a b)
   in
+  let storage_entries =
+    Hashtbl.fold (fun key point acc -> (key, point) :: acc) t.storage_entries []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
   Obs.Atomic_file.write t.path (fun oc ->
       output_string oc header_line;
       output_char oc '\n';
@@ -194,7 +294,13 @@ let write_locked t =
           Buffer.clear buffer;
           buffer_churn_entry buffer entry;
           Buffer.output_buffer oc buffer)
-        churn_entries);
+        churn_entries;
+      List.iter
+        (fun entry ->
+          Buffer.clear buffer;
+          buffer_storage_entry buffer entry;
+          Buffer.output_buffer oc buffer)
+        storage_entries);
   t.unflushed <- 0
 
 (* --- a minimal JSON parser for our own records ----------------------------- *)
@@ -360,6 +466,7 @@ type parsed =
   | Header
   | Estimate_record of key * outcome
   | Churn_record of churn_key * churn_point
+  | Storage_record of storage_key * storage_point
 
 let churn_of_fields fields =
   let key =
@@ -397,12 +504,61 @@ let churn_of_fields fields =
   in
   Churn_record (key, point)
 
+let storage_of_fields fields =
+  let key =
+    {
+      k_geometry = get_string fields "geometry";
+      k_bits = get_int fields "bits";
+      k_nodes = get_int fields "nodes";
+      k_keys = get_int fields "keys";
+      k_reads = get_int fields "reads";
+      k_zipf = get_float fields "zipf";
+      k_r = get_int fields "r";
+      k_rq = get_int fields "rq";
+      k_wq = get_int fields "wq";
+      k_mode = get_string fields "mode";
+      k_axis = get_float fields "axis";
+      k_session = get_string fields "session";
+      k_gap = get_string fields "gap";
+      k_gap_mean = get_float fields "gap_mean";
+      k_warmup = get_float fields "warmup";
+      k_measurements = get_int fields "measurements";
+      k_spacing = get_float fields "spacing";
+      k_trials = get_int fields "trials";
+      k_seed = get_int fields "seed";
+    }
+  in
+  let attempted = get_int fields "attempted" in
+  let point =
+    {
+      sp_attempted = attempted;
+      sp_quorum = get_int fields "quorum";
+      sp_degraded = get_int fields "degraded";
+      sp_failed = get_int fields "failed";
+      sp_no_client = get_int fields "no_client";
+      sp_availability =
+        (if attempted > 0 then get_float fields "availability" else Float.nan);
+      sp_survival = get_float fields "survival";
+      sp_analytic = get_float fields "analytic";
+      sp_mean_alive = get_float fields "alive";
+      sp_probe_routes = get_int fields "probe_routes";
+      sp_repair_routes = get_int fields "repair_routes";
+      sp_repair_transfers = get_int fields "repair_transfers";
+      sp_load_max = get_int fields "load_max";
+      sp_load_mean = get_float fields "load_mean";
+      sp_load_p99 = get_int fields "load_p99";
+      sp_events = get_int fields "events";
+    }
+  in
+  Storage_record (key, point)
+
 let entry_of_line line =
   let fields = parse_line line in
   let v = get_int fields "v" in
   if v <> version then corrupt "unsupported checkpoint version %d (expected %d)" v version;
   match List.assoc_opt "kind" fields with
   | Some (Str "churn") -> churn_of_fields fields
+  | Some (Str "storage") -> storage_of_fields fields
   | Some _ -> Header
   | None ->
       let key =
@@ -442,6 +598,7 @@ let make ~interval ~path =
     lock = Mutex.create ();
     entries = Hashtbl.create 64;
     churn_entries = Hashtbl.create 16;
+    storage_entries = Hashtbl.create 16;
     unflushed = 0;
   }
 
@@ -463,6 +620,8 @@ let load ?(interval = 8) ~path () =
               match entry_of_line line with
               | Estimate_record (key, outcome) -> Hashtbl.replace t.entries key outcome
               | Churn_record (key, point) -> Hashtbl.replace t.churn_entries key point
+              | Storage_record (key, point) ->
+                  Hashtbl.replace t.storage_entries key point
               | Header -> ()
           done
         with
@@ -480,8 +639,12 @@ let find t key = locked t (fun () -> Hashtbl.find_opt t.entries key)
 
 let find_churn t key = locked t (fun () -> Hashtbl.find_opt t.churn_entries key)
 
+let find_storage t key = locked t (fun () -> Hashtbl.find_opt t.storage_entries key)
+
 let length t =
-  locked t (fun () -> Hashtbl.length t.entries + Hashtbl.length t.churn_entries)
+  locked t (fun () ->
+      Hashtbl.length t.entries + Hashtbl.length t.churn_entries
+      + Hashtbl.length t.storage_entries)
 
 let flush t = locked t (fun () -> write_locked t)
 
@@ -494,5 +657,11 @@ let record t key outcome =
 let record_churn t key point =
   locked t (fun () ->
       Hashtbl.replace t.churn_entries key point;
+      t.unflushed <- t.unflushed + 1;
+      if t.unflushed >= t.interval then write_locked t)
+
+let record_storage t key point =
+  locked t (fun () ->
+      Hashtbl.replace t.storage_entries key point;
       t.unflushed <- t.unflushed + 1;
       if t.unflushed >= t.interval then write_locked t)

@@ -82,6 +82,54 @@ type churn_point = {
   p_events : int;
 }
 
+(** Storage-sweep points share the file too, tagged ["kind": "storage"]
+    (same skipping rule as churn records, so the format stays version
+    1). One record shape covers both sweep modes: [k_mode] is
+    ["static"] (axis = q) or ["churn"] (axis = mean session length,
+    with the churn-only fields populated; they are [""] / 0 in static
+    mode). *)
+type storage_key = {
+  k_geometry : string;  (** [Rcm.Geometry.name] *)
+  k_bits : int;
+  k_nodes : int;
+  k_keys : int;
+  k_reads : int;
+  k_zipf : float;
+  k_r : int;
+  k_rq : int;
+  k_wq : int;
+  k_mode : string;  (** ["static"] or ["churn"] *)
+  k_axis : float;  (** q, or mean session length *)
+  k_session : string;  (** [Lifetime.shape_to_string]; [""] when static *)
+  k_gap : string;
+  k_gap_mean : float;
+  k_warmup : float;
+  k_measurements : int;
+  k_spacing : float;
+  k_trials : int;
+  k_seed : int;  (** the per-point derived seed *)
+}
+
+type storage_point = {
+  sp_attempted : int;
+  sp_quorum : int;
+  sp_degraded : int;
+  sp_failed : int;
+  sp_no_client : int;
+  sp_availability : float;
+      (** [nan] (stored as an absent field) when [sp_attempted = 0] *)
+  sp_survival : float;
+  sp_analytic : float;
+  sp_mean_alive : float;
+  sp_probe_routes : int;
+  sp_repair_routes : int;
+  sp_repair_transfers : int;
+  sp_load_max : int;
+  sp_load_mean : float;
+  sp_load_p99 : int;
+  sp_events : int;
+}
+
 val version : int
 
 val create : ?interval:int -> path:string -> unit -> t
@@ -106,6 +154,11 @@ val find_churn : t -> churn_key -> churn_point option
 
 val record_churn : t -> churn_key -> churn_point -> unit
 (** As {!record}, for churn-curve points. *)
+
+val find_storage : t -> storage_key -> storage_point option
+
+val record_storage : t -> storage_key -> storage_point -> unit
+(** As {!record}, for storage-sweep points. *)
 
 val flush : t -> unit
 (** Write the whole store to disk now (atomic temp + rename). Always

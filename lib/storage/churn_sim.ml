@@ -1,0 +1,197 @@
+type config = {
+  bits : int;
+  nodes : int;
+  keys : int;
+  reads : int;
+  zipf_s : float;
+  quorum : Quorum.t;
+  session : Sim.Lifetime.t;
+  gap : Sim.Lifetime.t;
+  warmup : float;
+  measurements : int;
+  spacing : float;
+}
+
+let validate cfg =
+  if cfg.bits < 1 || cfg.bits > 30 then
+    invalid_arg "Churn_sim: bits outside 1..30";
+  if cfg.nodes < 2 || cfg.nodes > 1 lsl cfg.bits then
+    invalid_arg "Churn_sim: nodes outside 2..2^bits";
+  if cfg.keys < 1 then invalid_arg "Churn_sim: keys must be >= 1";
+  if cfg.reads < 0 then invalid_arg "Churn_sim: reads must be >= 0";
+  if (not (Float.is_finite cfg.zipf_s)) || cfg.zipf_s < 0. then
+    invalid_arg "Churn_sim: zipf_s must be finite and non-negative";
+  if cfg.quorum.Quorum.r > cfg.nodes then
+    invalid_arg "Churn_sim: replication degree exceeds node count";
+  if cfg.measurements < 1 then
+    invalid_arg "Churn_sim: need at least one measurement";
+  if cfg.warmup < 0. || cfg.spacing <= 0. then
+    invalid_arg "Churn_sim: bad measurement schedule"
+
+let churn_rate cfg =
+  1. /. (Sim.Lifetime.mean cfg.session +. Sim.Lifetime.mean cfg.gap)
+
+let expected_alive cfg =
+  Sim.Lifetime.mean cfg.session
+  /. (Sim.Lifetime.mean cfg.session +. Sim.Lifetime.mean cfg.gap)
+
+type measurement = {
+  time : float;
+  alive_fraction : float;
+  availability : float option;
+  survival : float;
+}
+
+type result = {
+  measurements : measurement list;
+  attempted : int;
+  quorum_reads : int;
+  degraded_reads : int;
+  failed_reads : int;
+  no_client : int;
+  availability : float option;
+  survival : float;
+  mean_alive : float;
+  probe_routes : int;
+  repair_routes : int;
+  repair_transfers : int;
+  load_max : int;
+  load_mean : float;
+  load_p99 : int;
+  events : int;
+}
+
+type event = Depart of int | Arrive of int | Measure
+
+let run geometry cfg ~seed =
+  validate cfg;
+  let rng = Prng.Splitmix.create ~seed in
+  let overlay =
+    Overlay.Sparse.build ~rng ~bits:cfg.bits ~nodes:cfg.nodes geometry
+  in
+  let store =
+    Store.create ~zipf_s:cfg.zipf_s ~keys:cfg.keys ~quorum:cfg.quorum ~rng
+      overlay
+  in
+  let alive = Overlay.Failure.none cfg.nodes in
+  let queue = Sim.Event_queue.create () in
+  for v = 0 to cfg.nodes - 1 do
+    Sim.Event_queue.add queue
+      ~time:(Sim.Lifetime.draw cfg.session rng)
+      (Depart v)
+  done;
+  for i = 0 to cfg.measurements - 1 do
+    Sim.Event_queue.add queue
+      ~time:(cfg.warmup +. (float_of_int i *. cfg.spacing))
+      Measure
+  done;
+  let horizon =
+    cfg.warmup +. (float_of_int cfg.measurements *. cfg.spacing)
+  in
+  let attempted = ref 0 in
+  let quorum_reads = ref 0 in
+  let degraded_reads = ref 0 in
+  let failed_reads = ref 0 in
+  let no_client = ref 0 in
+  let probe_routes = ref 0 in
+  let repair_routes = ref 0 in
+  let repair_transfers = ref 0 in
+  let events = ref 0 in
+  let out = ref [] in
+  let measure time =
+    let survivors = Overlay.Failure.survivors alive in
+    let alive_n = Array.length survivors in
+    let availability =
+      if alive_n = 0 then begin
+        no_client := !no_client + cfg.reads;
+        None
+      end
+      else begin
+        let epoch_quorum = ref 0 in
+        for _ = 1 to cfg.reads do
+          let client = survivors.(Prng.Splitmix.int rng alive_n) in
+          let stats = Store.read store ~rng ~alive ~client in
+          incr attempted;
+          (match stats.Store.outcome with
+          | Quorum.Quorum ->
+              incr quorum_reads;
+              incr epoch_quorum
+          | Quorum.Degraded _ -> incr degraded_reads
+          | Quorum.Unavailable -> incr failed_reads);
+          probe_routes := !probe_routes + stats.Store.probe_routes;
+          repair_routes := !repair_routes + stats.Store.repair_routes;
+          repair_transfers := !repair_transfers + stats.Store.repair_transfers
+        done;
+        if cfg.reads = 0 then None
+        else Some (float_of_int !epoch_quorum /. float_of_int cfg.reads)
+      end
+    in
+    let survival =
+      float_of_int
+        (Store.surviving_keys store ~alive ~quorum:cfg.quorum.Quorum.rq)
+      /. float_of_int cfg.keys
+    in
+    out :=
+      {
+        time;
+        alive_fraction = float_of_int alive_n /. float_of_int cfg.nodes;
+        availability;
+        survival;
+      }
+      :: !out
+  in
+  let rec loop () =
+    match Sim.Event_queue.pop queue with
+    | None -> ()
+    | Some (time, _) when time > horizon -> ()
+    | Some (time, ev) ->
+        incr events;
+        (match ev with
+        | Depart v ->
+            Overlay.Failure.set alive v false;
+            Sim.Event_queue.add queue
+              ~time:(time +. Sim.Lifetime.draw cfg.gap rng)
+              (Arrive v)
+        | Arrive v ->
+            Overlay.Failure.set alive v true;
+            Sim.Event_queue.add queue
+              ~time:(time +. Sim.Lifetime.draw cfg.session rng)
+              (Depart v)
+        | Measure -> measure time);
+        loop ()
+  in
+  loop ();
+  let measurements = List.rev !out in
+  let count = List.length measurements in
+  let mean f =
+    List.fold_left (fun acc m -> acc +. f m) 0. measurements
+    /. float_of_int count
+  in
+  let loads = Store.loads store in
+  Array.sort compare loads;
+  let total_load = Array.fold_left ( + ) 0 loads in
+  let p99 =
+    let len = Array.length loads in
+    loads.(min (len - 1)
+             (max 0 (int_of_float (Float.ceil (0.99 *. float_of_int len)) - 1)))
+  in
+  {
+    measurements;
+    attempted = !attempted;
+    quorum_reads = !quorum_reads;
+    degraded_reads = !degraded_reads;
+    failed_reads = !failed_reads;
+    no_client = !no_client;
+    availability =
+      (if !attempted = 0 then None
+       else Some (float_of_int !quorum_reads /. float_of_int !attempted));
+    survival = mean (fun m -> m.survival);
+    mean_alive = mean (fun m -> m.alive_fraction);
+    probe_routes = !probe_routes;
+    repair_routes = !repair_routes;
+    repair_transfers = !repair_transfers;
+    load_max = (if Array.length loads = 0 then 0 else loads.(Array.length loads - 1));
+    load_mean = float_of_int total_load /. float_of_int cfg.nodes;
+    load_p99 = p99;
+    events = !events;
+  }

@@ -1,0 +1,73 @@
+(** Data availability under session churn.
+
+    Nodes alternate alive sessions and offline gaps drawn from
+    {!Sim.Lifetime} distributions (event-driven, as in
+    {!Sim.Session_churn}); the overlay's contact structure is static
+    (tables are not repaired — the storage layer, not the routing
+    layer, is the system under test here) while the alive-mask evolves.
+    At each measurement epoch a batch of quorum reads with read-repair
+    runs against the {e current} holder sets, so re-replication
+    performed at earlier epochs genuinely protects later reads: the
+    availability-vs-churn-rate curve shows the repair protocol working,
+    while [survival] (counted against the immutable initial placement)
+    shows what would remain without it.
+
+    One sequential PRNG stream drives everything: deterministic given
+    [seed]. *)
+
+type config = {
+  bits : int;
+  nodes : int;
+  keys : int;
+  reads : int;  (** reads per measurement epoch *)
+  zipf_s : float;
+  quorum : Quorum.t;
+  session : Sim.Lifetime.t;  (** alive-session length distribution *)
+  gap : Sim.Lifetime.t;  (** offline-gap length distribution *)
+  warmup : float;  (** first measurement epoch *)
+  measurements : int;
+  spacing : float;  (** epoch spacing *)
+}
+
+val validate : config -> unit
+(** @raise Invalid_argument on out-of-range fields. *)
+
+val churn_rate : config -> float
+(** Session turnover per node per unit time:
+    1 / (mean session + mean gap). *)
+
+val expected_alive : config -> float
+(** Steady-state alive fraction:
+    mean session / (mean session + mean gap). *)
+
+type measurement = {
+  time : float;
+  alive_fraction : float;
+  availability : float option;
+      (** quorum-read fraction this epoch; [None] when no node was
+          alive to read from — never fabricated as 0. *)
+  survival : float;  (** surviving-key fraction vs the initial placement *)
+}
+
+type result = {
+  measurements : measurement list;
+  attempted : int;
+  quorum_reads : int;
+  degraded_reads : int;
+  failed_reads : int;
+  no_client : int;
+  availability : float option;  (** aggregate over all epochs *)
+  survival : float;  (** mean over epochs *)
+  mean_alive : float;
+  probe_routes : int;
+  repair_routes : int;
+  repair_transfers : int;
+  load_max : int;
+  load_mean : float;
+  load_p99 : int;
+  events : int;
+}
+
+val run : Rcm.Geometry.t -> config -> seed:int -> result
+(** @raise Invalid_argument on invalid config or a hypercube
+    geometry. *)

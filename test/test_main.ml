@@ -26,5 +26,6 @@ let () =
       ("symphony-deployment", Test_symphony_deployment.suite);
       ("flat", Test_flat.suite);
       ("batch", Test_batch.suite);
+      ("storage", Test_storage.suite);
       ("cli", Test_cli.suite);
     ]

@@ -159,6 +159,98 @@ let int_unbiased_small_bounds =
       done;
       Array.for_all Fun.id seen)
 
+(* --- Zipf ------------------------------------------------------------------- *)
+
+let test_zipf_guards () =
+  let reject msg f =
+    Alcotest.(check bool) msg true
+      (try
+         ignore (f ());
+         false
+       with Invalid_argument _ -> true)
+  in
+  reject "n = 0" (fun () -> Prng.Zipf.create ~s:1.0 ~n:0);
+  reject "negative s" (fun () -> Prng.Zipf.create ~s:(-0.5) ~n:4);
+  reject "nan s" (fun () -> Prng.Zipf.create ~s:Float.nan ~n:4);
+  reject "infinite s" (fun () -> Prng.Zipf.create ~s:Float.infinity ~n:4);
+  reject "pmf out of range" (fun () -> Prng.Zipf.pmf (Prng.Zipf.create ~s:1.0 ~n:4) 4)
+
+let test_zipf_pmf_shape () =
+  List.iter
+    (fun s ->
+      let z = Prng.Zipf.create ~s ~n:100 in
+      let total = ref 0.0 in
+      for k = 0 to 99 do
+        total := !total +. Prng.Zipf.pmf z k
+      done;
+      Alcotest.check (float_approx ~rtol:1e-9 ~atol:1e-9 ())
+        (Printf.sprintf "pmf sums to 1 at s=%g" s)
+        1.0 !total;
+      (* P(k) / P(k') = ((k'+1)/(k+1))^s exactly. *)
+      check_close
+        ~msg:(Printf.sprintf "rank ratio at s=%g" s)
+        (2.0 ** s)
+        (Prng.Zipf.pmf z 0 /. Prng.Zipf.pmf z 1))
+    [ 0.0; 0.8; 1.2 ]
+
+let test_zipf_uniform_at_s0 () =
+  let n = 16 in
+  let z = Prng.Zipf.create ~s:0.0 ~n in
+  for k = 0 to n - 1 do
+    check_close ~msg:(Printf.sprintf "pmf %d" k) (1.0 /. float_of_int n)
+      (Prng.Zipf.pmf z k)
+  done
+
+let test_zipf_determinism () =
+  let z = Prng.Zipf.create ~s:0.8 ~n:64 in
+  let draws seed =
+    let g = Prng.Splitmix.create ~seed in
+    List.init 200 (fun _ -> Prng.Zipf.draw z g)
+  in
+  Alcotest.(check (list int)) "same seed, same ranks" (draws 17) (draws 17);
+  List.iter
+    (fun k -> Alcotest.(check bool) "rank in range" true (0 <= k && k < 64))
+    (draws 17)
+
+let test_zipf_single_draw () =
+  (* One Splitmix.float per draw — the alignment contract the storage
+     layer relies on. *)
+  let z = Prng.Zipf.create ~s:1.2 ~n:32 in
+  let a = Prng.Splitmix.create ~seed:23 in
+  let b = Prng.Splitmix.create ~seed:23 in
+  ignore (Prng.Zipf.draw z a);
+  ignore (Prng.Splitmix.float b);
+  Alcotest.(check int64) "streams aligned" (Prng.Splitmix.next_int64 b)
+    (Prng.Splitmix.next_int64 a)
+
+let test_zipf_empirical_slope () =
+  (* Empirical rank frequencies track the pmf: the hottest ranks match
+     within sampling noise, so log f(k) vs log (k+1) has slope -s. *)
+  List.iter
+    (fun s ->
+      let n = 64 in
+      let z = Prng.Zipf.create ~s ~n in
+      let g = Prng.Splitmix.create ~seed:31 in
+      let draws = 200_000 in
+      let counts = Array.make n 0 in
+      for _ = 1 to draws do
+        let k = Prng.Zipf.draw z g in
+        counts.(k) <- counts.(k) + 1
+      done;
+      for k = 0 to 4 do
+        let freq = float_of_int counts.(k) /. float_of_int draws in
+        let err = Float.abs (freq -. Prng.Zipf.pmf z k) in
+        if err > 0.01 then
+          Alcotest.failf "s=%g rank %d: freq %.4f vs pmf %.4f" s k freq
+            (Prng.Zipf.pmf z k)
+      done;
+      if s > 0.0 then
+        Alcotest.(check bool)
+          (Printf.sprintf "head dominates tail at s=%g" s)
+          true
+          (counts.(0) > counts.(n - 1)))
+    [ 0.0; 0.8; 1.2 ]
+
 let suite =
   [
     ("determinism", `Quick, test_determinism);
@@ -179,4 +271,10 @@ let suite =
     ("harmonic distribution", `Quick, test_harmonic_distribution);
     harmonic_in_range;
     int_unbiased_small_bounds;
+    ("zipf guards", `Quick, test_zipf_guards);
+    ("zipf pmf shape", `Quick, test_zipf_pmf_shape);
+    ("zipf s=0 is uniform", `Quick, test_zipf_uniform_at_s0);
+    ("zipf determinism", `Quick, test_zipf_determinism);
+    ("zipf single-draw alignment", `Quick, test_zipf_single_draw);
+    ("zipf empirical slope", `Slow, test_zipf_empirical_slope);
   ]

@@ -370,6 +370,71 @@ let test_a5_analysis_is_lower_bound_for_k2 () =
         (sim >= ana -. 0.03))
     [ 0.1; 0.3 ]
 
+let small_sweep_config =
+  { Experiments.Replication_sweep.bits = 8; qs = [ 0.2; 0.5 ]; ks = [ 1; 2 ];
+    trials = 1; pairs = 60; seed = 71 }
+
+let test_a5_monotone_all_geometries () =
+  (* The A5 violation detector wired over every series on a small grid:
+     a correct build reports none anywhere. *)
+  let check name series labels =
+    match Experiments.Replication_sweep.monotonicity_violations series ~labels with
+    | [] -> ()
+    | (q, small, large) :: _ ->
+        Alcotest.failf "%s violation at q=%g: %s -> %s" name q small large
+  in
+  check "xor"
+    (Experiments.Replication_sweep.xor_series small_sweep_config)
+    [ "k=1(ana)"; "k=2(ana)" ];
+  check "tree"
+    (Experiments.Replication_sweep.tree_series small_sweep_config)
+    [ "k=1(ana)"; "k=2(ana)" ];
+  check "ring"
+    (Experiments.Replication_sweep.ring_series small_sweep_config)
+    [ "r=0(ana)"; "r=4(ana)" ]
+
+let test_ring_column_bounded_by_replica_survival () =
+  (* Cross-check against the storage layer's closed form: a routed
+     lookup that finds data implies the data survived, so
+     P(dst alive) * routability(successors = R - 1) can never exceed
+     P(at least 1 of R replicas alive) = Data_availability at quorum 1.
+     First over the actual A5 ring series... *)
+  let series = Experiments.Replication_sweep.ring_series small_sweep_config in
+  List.iter
+    (fun successors ->
+      let label = Printf.sprintf "r=%d(ana)" successors in
+      List.iter
+        (fun q ->
+          match Experiments.Series.value_at series ~label ~x:q with
+          | Some routability ->
+              let bound =
+                Rcm.Data_availability.replica_survival ~q ~r:(successors + 1)
+                  ~quorum:1
+              in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s at q=%g: %.4f bounded by %.4f" label q
+                   routability bound)
+                true
+                (((1. -. q) *. routability) <= bound +. 1e-12)
+          | None -> Alcotest.failf "missing column %s" label)
+        small_sweep_config.Experiments.Replication_sweep.qs)
+    [ 0; 4 ];
+  (* ... then densely over the closed forms themselves. *)
+  List.iter
+    (fun q ->
+      List.iter
+        (fun r ->
+          let routability =
+            Rcm.Replication.routability_ring ~d:12 ~q ~successors:(r - 1)
+          in
+          let bound = Rcm.Data_availability.replica_survival ~q ~r ~quorum:1 in
+          Alcotest.(check bool)
+            (Printf.sprintf "q=%g R=%d" q r)
+            true
+            (((1. -. q) *. routability) <= bound +. 1e-12))
+        [ 1; 2; 4; 8 ])
+    [ 0.05; 0.1; 0.2; 0.3; 0.5; 0.7; 0.9 ]
+
 let suite =
   [
     ("capacity", `Quick, test_capacity);
@@ -397,4 +462,6 @@ let suite =
     ("successor routing beats plain ring", `Quick, test_successor_routing_beats_plain_ring);
     ("A5 analysis monotone in k", `Quick, test_a5_analysis_monotone);
     ("A5 analysis lower-bounds sim at k>=2", `Slow, test_a5_analysis_is_lower_bound_for_k2);
+    ("A5 monotone on all geometries", `Quick, test_a5_monotone_all_geometries);
+    ("A5 ring column vs replica survival", `Quick, test_ring_column_bounded_by_replica_survival);
   ]
