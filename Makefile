@@ -1,4 +1,4 @@
-.PHONY: all build test check doc docs-smoke bench bench-smoke batch-smoke chaos-smoke churn-smoke storage-smoke trace-smoke clean
+.PHONY: all build test check doc docs-smoke bench bench-smoke batch-smoke chaos-smoke churn-smoke storage-smoke hotspot-smoke trace-smoke clean
 
 all: build
 
@@ -61,6 +61,12 @@ churn-smoke: build
 # against an uninterrupted baseline.
 storage-smoke: build
 	sh scripts/storage_smoke.sh
+
+# Load-telemetry smoke: hotspot sweep loadmap byte-identity across
+# --jobs, batch vs scalar per-node count parity, and the CSV/JSON/
+# loadmap file shapes.
+hotspot-smoke: build
+	sh scripts/hotspot_smoke.sh
 
 # Observability smoke: traced --smoke sweep (stdout byte-identical to
 # an untraced one), trace report aggregates, Chrome export, and

@@ -547,6 +547,84 @@ let storage_bench ~smoke () =
   Fmt.pr "storage sweep: %d points in %.3fs@." (List.length points) wall_s;
   (cfg, points, wall_s)
 
+(* --- Part 8: per-node load telemetry --------------------------------------- *)
+
+(* The direct overhead question: the same batched pair block routed
+   with a loadmap sink installed versus without (best of three, so a
+   stray scheduler hiccup does not become a regression report). The
+   counting points are two int stores per hop inside the C drivers, so
+   the ratio should stay close to 1. *)
+let loadmap_overhead ~bits ~pairs () =
+  let rng = Prng.Splitmix.create ~seed:99 in
+  let table =
+    Overlay.Table.build ~rng ~backend:Overlay.Table.Flat ~bits Rcm.Geometry.Xor
+  in
+  let alive = Overlay.Failure.sample ~rng ~q:0.2 (Overlay.Table.node_count table) in
+  let pool = Overlay.Failure.survivors alive in
+  let route () =
+    ignore
+      (Routing.Route_batch.sample_and_route table
+         ~rng:(Prng.Splitmix.create ~seed:7)
+         ~alive ~pool ~pairs)
+  in
+  let time_best f =
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let t0 = Unix.gettimeofday () in
+      f ();
+      best := Float.min !best (Unix.gettimeofday () -. t0)
+    done;
+    !best
+  in
+  let base_s = time_best route in
+  let lm = Obs.Loadmap.create ~nodes:(Overlay.Table.node_count table) in
+  let sink_s = time_best (fun () -> Obs.Loadmap.with_sink lm route) in
+  (pairs, base_s, sink_s, if base_s > 0.0 then sink_s /. base_s else 0.0)
+
+(* A small hotspot sweep over both planes: the per-point congestion and
+   Gini records land in the JSON so load concentration itself is
+   regression-checked (validate.ml bounds every field). *)
+let loadmap_bench ~smoke () =
+  let cfg =
+    {
+      Experiments.Hotspot_sweep.default_config with
+      bits = (if smoke then 8 else 10);
+      pairs = (if smoke then 200 else 1_000);
+      qs = (if smoke then [ 0.1; 0.3 ] else [ 0.1; 0.3; 0.5 ]);
+      storage_nodes = (if smoke then 128 else 512);
+      keys = (if smoke then 16 else 64);
+      reads = (if smoke then 64 else 256);
+      zipf_ss = (if smoke then [ 0.0; 0.8 ] else [ 0.0; 0.8; 1.2 ]);
+      trials = 2;
+    }
+  in
+  let routing_geometries =
+    if smoke then [ Rcm.Geometry.Xor; Rcm.Geometry.Ring ]
+    else Experiments.Hotspot_sweep.default_routing_geometries
+  in
+  let storage_geometries =
+    if smoke then [ Rcm.Geometry.Ring; Rcm.Geometry.Xor ]
+    else Experiments.Hotspot_sweep.default_storage_geometries
+  in
+  let t0 = Unix.gettimeofday () in
+  let points =
+    Experiments.Hotspot_sweep.run ~routing_geometries ~storage_geometries cfg
+  in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  Fmt.pr "@.==== Per-node load telemetry (hotspot sweep, d=%d) ====@.@."
+    cfg.Experiments.Hotspot_sweep.bits;
+  Fmt.pr "%a" Experiments.Hotspot_sweep.pp_points points;
+  let overhead =
+    loadmap_overhead ~bits:cfg.Experiments.Hotspot_sweep.bits
+      ~pairs:(if smoke then 20_000 else 100_000)
+      ()
+  in
+  let ov_pairs, base_s, sink_s, ratio = overhead in
+  Fmt.pr "loadmap sweep: %d points in %.3fs@." (List.length points) wall_s;
+  Fmt.pr "loadmap overhead: %d batched pairs, %.4fs -> %.4fs with sink (%.2fx)@."
+    ov_pairs base_s sink_s ratio;
+  (cfg, points, wall_s, overhead)
+
 (* --- Machine-readable output --------------------------------------------- *)
 
 let json_escape s =
@@ -560,7 +638,7 @@ let json_escape s =
   Buffer.contents buffer
 
 let write_json rows ~domains ~sequential_s ~parallel_s ~overlay ~flat_sweep ~batch ~churn
-    ~storage =
+    ~storage ~loadmap =
   let tm = Unix.localtime (Unix.time ()) in
   let date =
     Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
@@ -635,6 +713,21 @@ let write_json rows ~domains ~sequential_s ~parallel_s ~overlay ~flat_sweep ~bat
             (if i = List.length storage_points - 1 then "" else ","))
         storage_points;
       Printf.fprintf oc "    ]\n  },\n";
+      let loadmap_cfg, loadmap_points, loadmap_wall_s, overhead = loadmap in
+      let ov_pairs, ov_base_s, ov_sink_s, ov_ratio = overhead in
+      Printf.fprintf oc
+        "  \"loadmap\": {\n    \"bits\": %d,\n    \"wall_s\": %.6f,\n    \
+         \"overhead\": {\"pairs\": %d, \"base_s\": %.6f, \"sink_s\": %.6f, \
+         \"ratio\": %.4f},\n    \"points\": [\n"
+        loadmap_cfg.Experiments.Hotspot_sweep.bits loadmap_wall_s ov_pairs
+        ov_base_s ov_sink_s ov_ratio;
+      List.iteri
+        (fun i p ->
+          Printf.fprintf oc "      %s%s\n"
+            (Experiments.Hotspot_sweep.to_json loadmap_cfg p)
+            (if i = List.length loadmap_points - 1 then "" else ","))
+        loadmap_points;
+      Printf.fprintf oc "    ]\n  },\n";
       Printf.fprintf oc "  \"metrics\": %s\n}\n" (Obs.Metrics.to_json ()));
   Fmt.pr "wrote %s@." path
 
@@ -690,6 +783,7 @@ let () =
   let batch = (overlay_bits, batch_records, batch_sweep_scalar_s, batch_sweep_batch_s) in
   let churn = churn_bench ~smoke () in
   let storage = storage_bench ~smoke () in
+  let loadmap = loadmap_bench ~smoke () in
   (* The cumulative process watermark lands in the metrics section as a
      counter, so the JSON's "metrics" block records peak memory even
      where the per-phase resets are unsupported. *)
@@ -697,4 +791,4 @@ let () =
     (fun kb -> Obs.Metrics.incr_named ~by:kb "process/peak_rss_kb")
     (Obs.Rss.peak_kb ());
   write_json rows ~domains ~sequential_s ~parallel_s ~overlay ~flat_sweep ~batch ~churn
-    ~storage
+    ~storage ~loadmap

@@ -260,6 +260,62 @@ let validate_bench json =
               "events";
             ])
         points);
+  (* Per-node load telemetry: the overhead of routing with the loadmap
+     sink installed must be recorded and positive (a ratio far above 1
+     means the counting points got expensive), per-point counter totals
+     are non-negative, and every Gini coefficient sits in [0, 1]. *)
+  let loadmap = field "$" json "loadmap" in
+  if as_int "$.loadmap.bits" (field "$.loadmap" loadmap "bits") < 1 then
+    fail "$.loadmap.bits: expected >= 1";
+  let loadmap_wall = as_number "$.loadmap.wall_s" (field "$.loadmap" loadmap "wall_s") in
+  check_finite "$.loadmap.wall_s" loadmap_wall;
+  if loadmap_wall <= 0.0 then fail "$.loadmap.wall_s: expected > 0";
+  let overhead = field "$.loadmap" loadmap "overhead" in
+  if as_int "$.loadmap.overhead.pairs" (field "$.loadmap.overhead" overhead "pairs") < 1
+  then fail "$.loadmap.overhead.pairs: expected >= 1";
+  List.iter
+    (fun key ->
+      let p = "$.loadmap.overhead." ^ key in
+      let v = as_number p (field "$.loadmap.overhead" overhead key) in
+      check_finite p v;
+      if v <= 0.0 then fail "%s: expected > 0" p)
+    [ "base_s"; "sink_s"; "ratio" ];
+  (match as_list "$.loadmap.points" (field "$.loadmap" loadmap "points") with
+  | [] -> fail "$.loadmap.points: empty (loadmap bench did not run?)"
+  | points ->
+      List.iteri
+        (fun i p ->
+          let path = Printf.sprintf "$.loadmap.points[%d]" i in
+          (match as_string (path ^ ".plane") (field path p "plane") with
+          | "routing" | "storage" -> ()
+          | pl -> fail "%s.plane: expected \"routing\" or \"storage\", found %S" path pl);
+          ignore (as_string (path ^ ".geometry") (field path p "geometry"));
+          ignore (as_string (path ^ ".kind") (field path p "kind"));
+          if as_int (path ^ ".nodes") (field path p "nodes") < 1 then
+            fail "%s.nodes: expected >= 1" path;
+          List.iter
+            (fun key ->
+              let spath = Printf.sprintf "%s.%s" path key in
+              let s = field path p key in
+              let total = as_int (spath ^ ".total") (field spath s "total") in
+              let active = as_int (spath ^ ".active_nodes") (field spath s "active_nodes") in
+              let max_load = as_int (spath ^ ".max") (field spath s "max") in
+              if total < 0 then fail "%s.total: negative" spath;
+              if active < 0 then fail "%s.active_nodes: negative" spath;
+              if max_load < 0 then fail "%s.max: negative" spath;
+              if max_load > total then fail "%s.max: exceeds total" spath;
+              List.iter
+                (fun k ->
+                  let p' = spath ^ "." ^ k in
+                  let v = as_number p' (field spath s k) in
+                  check_finite p' v;
+                  if v < 0.0 then fail "%s: negative" p')
+                [ "mean"; "congestion" ];
+              let gini = as_number (spath ^ ".gini") (field spath s "gini") in
+              check_finite (spath ^ ".gini") gini;
+              if gini < 0.0 || gini > 1.0 then fail "%s.gini: outside [0, 1]" spath)
+            [ "traversals"; "terminations"; "storage_reads"; "repairs" ])
+        points);
   let counters, histograms = validate_metrics "$.metrics" (field "$" json "metrics") in
   (* The smoke sweep always routes through the pool and the overlay
      cache: an empty metrics section means the instrumentation was

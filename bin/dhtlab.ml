@@ -1095,6 +1095,300 @@ let storage_cmd =
       $ csv_arg $ json_arg $ smoke $ retries_arg $ inject_fault_arg $ checkpoint_arg
       $ resume_arg $ checkpoint_every_arg)
 
+(* --- hotspots ----------------------------------------------------------------- *)
+
+(* One gnuplot nonuniform-matrix block per plane (row 0 the axis
+   values, each later row one geometry's congestion of the plane's
+   primary kind) plus a driver script that renders each as a heatmap. *)
+let write_heatmap ~prefix planes points =
+  let module H = Experiments.Hotspot_sweep in
+  let uniq extract selected =
+    List.fold_left
+      (fun acc p ->
+        let v = extract p in
+        if List.mem v acc then acc else acc @ [ v ])
+      [] selected
+  in
+  let dats =
+    List.filter_map
+      (fun plane ->
+        match List.filter (fun p -> p.H.plane = plane) points with
+        | [] -> None
+        | selected ->
+            let geoms = uniq (fun p -> p.H.geometry) selected in
+            let axes = uniq (fun p -> p.H.axis) selected in
+            let path = Printf.sprintf "%s_%s.dat" prefix (H.plane_tag plane) in
+            Obs.Atomic_file.write path (fun oc ->
+                Printf.fprintf oc "%d" (List.length axes);
+                List.iter (fun a -> Printf.fprintf oc " %g" a) axes;
+                output_char oc '\n';
+                List.iteri
+                  (fun row g ->
+                    Printf.fprintf oc "%d" row;
+                    List.iter
+                      (fun a ->
+                        let congestion =
+                          match
+                            List.find_opt
+                              (fun p -> p.H.geometry = g && p.H.axis = a)
+                              selected
+                          with
+                          | Some p -> (H.primary p).Obs.Loadmap_report.congestion
+                          | None -> Float.nan
+                        in
+                        Printf.fprintf oc " %g" congestion)
+                      axes;
+                    output_char oc '\n')
+                  geoms);
+            Obs.Manifest.add_artefact ~kind:"heatmap" path;
+            Fmt.epr "dhtlab hotspots: wrote %s@." path;
+            Some (plane, path, geoms))
+      planes
+  in
+  let gp = prefix ^ ".gp" in
+  Obs.Atomic_file.write gp (fun oc ->
+      output_string oc "set view map\nset palette rgbformulae 21,22,23\n";
+      List.iter
+        (fun (plane, path, geoms) ->
+          Printf.fprintf oc "\nset title 'congestion (max/mean), %s plane'\n"
+            (H.plane_tag plane);
+          Printf.fprintf oc "set xlabel '%s'\n"
+            (match plane with
+            | H.Routing -> "failure probability q"
+            | H.Storage -> "zipf exponent s");
+          output_string oc "set ytics (";
+          List.iteri
+            (fun i g ->
+              Printf.fprintf oc "%s\"%s\" %d"
+                (if i > 0 then ", " else "")
+                (Rcm.Geometry.name g) i)
+            geoms;
+          output_string oc ")\n";
+          Printf.fprintf oc
+            "plot '%s' matrix nonuniform with image notitle\npause -1 'press enter'\n"
+            path)
+        dats);
+  Obs.Manifest.add_artefact ~kind:"gnuplot" gp;
+  Fmt.epr "dhtlab hotspots: wrote %s@." gp
+
+let hotspots geometry bits pairs qs nodes keys reads r storage_q zipf_ss trials
+    plane loadmap_out heatmap top seed jobs no_batch obs csv json smoke retries
+    fault =
+  let module H = Experiments.Hotspot_sweep in
+  let bits, pairs, qs, nodes, keys, reads, zipf_ss, trials =
+    if smoke then (8, 200, [ 0.1; 0.3 ], Some 128, 16, 64, [ 0.0; 0.8 ], 2)
+    else (bits, pairs, qs, nodes, keys, reads, zipf_ss, trials)
+  in
+  let storage_nodes =
+    match nodes with Some n -> n | None -> max 2 (1 lsl (bits - 1))
+  in
+  let planes =
+    match plane with
+    | `Both -> [ H.Routing; H.Storage ]
+    | `Routing -> [ H.Routing ]
+    | `Storage -> [ H.Storage ]
+  in
+  (* The hypercube routes on the full table only: restricting the sweep
+     to it drops the storage plane (no sparse hypercube overlay). *)
+  let planes =
+    if geometry = Some Rcm.Geometry.Hypercube then begin
+      if not (List.mem H.Routing planes) then begin
+        Fmt.epr "dhtlab hotspots: no sparse hypercube overlay exists@.";
+        exit 2
+      end;
+      [ H.Routing ]
+    end
+    else planes
+  in
+  let routing_geometries =
+    match geometry with Some g -> [ g ] | None -> H.default_routing_geometries
+  in
+  let storage_geometries =
+    match geometry with Some g -> [ g ] | None -> H.default_storage_geometries
+  in
+  let cfg =
+    {
+      H.bits;
+      pairs;
+      qs;
+      storage_nodes;
+      keys;
+      reads;
+      r;
+      storage_q;
+      zipf_ss;
+      trials;
+      seed;
+    }
+  in
+  (match H.validate cfg with
+  | () -> ()
+  | exception Invalid_argument msg ->
+      Fmt.epr "dhtlab hotspots: %s@." msg;
+      exit 2);
+  let fault = match fault with Some _ as f -> f | None -> Exec.Fault.of_env () in
+  Exec.Cancel.install ();
+  match
+    with_obs obs @@ fun () ->
+    Obs.Manifest.note "subcommand" (Obs.Manifest.String "hotspots");
+    Obs.Manifest.note "planes"
+      (Obs.Manifest.Strings (List.map H.plane_tag planes));
+    Obs.Manifest.note "geometries"
+      (Obs.Manifest.Strings (List.map Rcm.Geometry.name routing_geometries));
+    Obs.Manifest.note "bits" (Obs.Manifest.Int bits);
+    Obs.Manifest.note "pairs" (Obs.Manifest.Int pairs);
+    Obs.Manifest.note "qs"
+      (Obs.Manifest.Strings (List.map (Printf.sprintf "%g") qs));
+    Obs.Manifest.note "nodes" (Obs.Manifest.Int storage_nodes);
+    Obs.Manifest.note "keys" (Obs.Manifest.Int keys);
+    Obs.Manifest.note "reads" (Obs.Manifest.Int reads);
+    Obs.Manifest.note "r" (Obs.Manifest.Int r);
+    Obs.Manifest.note "storage_q"
+      (Obs.Manifest.String (Printf.sprintf "%g" storage_q));
+    Obs.Manifest.note "zipf"
+      (Obs.Manifest.Strings (List.map (Printf.sprintf "%g") zipf_ss));
+    Obs.Manifest.note "trials" (Obs.Manifest.Int trials);
+    Obs.Manifest.note "seed" (Obs.Manifest.Int seed);
+    apply_batch no_batch;
+    with_jobs jobs (fun pool ->
+        let points =
+          H.run ?pool ~planes ~routing_geometries ~storage_geometries ~retries
+            ?fault cfg
+        in
+        (* Per-node counts of each plane's merged map feed the
+           loadmap/<kind> histograms, which --metrics-prom renders as
+           the dhtlab_loadmap_* summary families. *)
+        List.iter
+          (fun pl ->
+            Option.iter Obs.Loadmap_report.to_metrics (H.merged pl points))
+          planes;
+        Option.iter
+          (fun path ->
+            match List.find_map (fun pl -> H.merged pl points) planes with
+            | Some lm ->
+                Obs.Loadmap.save lm path;
+                Obs.Manifest.add_artefact ~kind:"loadmap" path;
+                Fmt.epr "dhtlab hotspots: wrote %s@." path
+            | None -> ())
+          loadmap_out;
+        Option.iter (fun prefix -> write_heatmap ~prefix planes points) heatmap;
+        if csv then begin
+          print_endline H.csv_header;
+          List.iter (fun p -> print_endline (H.to_csv_row cfg p)) points
+        end
+        else if json then
+          List.iter (fun p -> print_endline (H.to_json cfg p)) points
+        else begin
+          Fmt.pr "%a" H.pp_points points;
+          List.iter
+            (fun pl ->
+              Option.iter
+                (fun lm ->
+                  Fmt.pr "@.# %s plane, merged over the sweep@.%a"
+                    (H.plane_tag pl)
+                    (fun ppf lm -> Obs.Loadmap_report.pp ~top ppf lm)
+                    lm)
+                (H.merged pl points))
+            planes
+        end)
+  with
+  | () -> ()
+  | exception Exec.Cancel.Cancelled ->
+      Fmt.epr "dhtlab: interrupted@.";
+      exit Exec.Cancel.exit_code
+
+let hotspots_cmd =
+  let doc =
+    "Per-node load telemetry: where routed messages travel and which replica \
+     holders serve the reads, summarized as congestion (max/mean), Gini \
+     concentration and top-K hot spots per geometry."
+  in
+  let qs =
+    Arg.(value & opt (list float) Experiments.Hotspot_sweep.default_config.qs
+         & info [ "qs" ] ~docv:"PROBS"
+             ~doc:"Comma-separated failure probabilities (the routing-plane axis).")
+  in
+  let nodes =
+    Arg.(value & opt (some int) None
+         & info [ "nodes" ] ~docv:"N"
+             ~doc:
+               "Storage-plane overlay size (sparse occupancy). Defaults to \
+                2^(bits-1).")
+  in
+  let keys =
+    Arg.(value & opt int Experiments.Hotspot_sweep.default_config.keys
+         & info [ "keys" ] ~docv:"N" ~doc:"Keys placed per storage trial.")
+  in
+  let reads =
+    Arg.(value & opt int Experiments.Hotspot_sweep.default_config.reads
+         & info [ "reads" ] ~docv:"N" ~doc:"Quorum reads per storage trial.")
+  in
+  let replicas =
+    Arg.(value & opt int Experiments.Hotspot_sweep.default_config.r
+         & info [ "r"; "replicas" ] ~docv:"R"
+             ~doc:"Replication degree (majority quorums), storage plane.")
+  in
+  let storage_q =
+    Arg.(value & opt float Experiments.Hotspot_sweep.default_config.storage_q
+         & info [ "storage-q" ] ~docv:"PROB"
+             ~doc:"Fixed failure probability for the storage plane.")
+  in
+  let zipf =
+    Arg.(value & opt (list float) Experiments.Hotspot_sweep.default_config.zipf_ss
+         & info [ "zipf" ] ~docv:"SS"
+             ~doc:
+               "Comma-separated key-popularity Zipf exponents (the storage-plane \
+                axis).")
+  in
+  let plane =
+    Arg.(value
+         & opt
+             (enum [ ("routing", `Routing); ("storage", `Storage); ("both", `Both) ])
+             `Both
+         & info [ "plane" ] ~docv:"PLANE"
+             ~doc:"Which plane(s) to sweep: $(b,routing), $(b,storage) or $(b,both).")
+  in
+  let loadmap_out =
+    Arg.(value & opt (some string) None
+         & info [ "loadmap" ] ~docv:"FILE"
+             ~doc:
+               "Persist the merged per-node counters as CSV (atomically): one row \
+                per node with traversal, termination, storage-read and repair \
+                counts. The file is byte-identical at any $(b,--jobs) count and \
+                with or without $(b,--no-batch). When both planes ran, the routing \
+                plane's map is written (select $(b,--plane) $(b,storage) for the \
+                other).")
+  in
+  let heatmap =
+    Arg.(value & opt (some string) None
+         & info [ "heatmap" ] ~docv:"PREFIX"
+             ~doc:
+               "Write one gnuplot matrix file per plane ($(docv)_routing.dat, \
+                $(docv)_storage.dat: congestion per geometry and axis value) plus \
+                a $(docv).gp driver script that renders each as a heatmap.")
+  in
+  let top =
+    Arg.(value & opt int 5
+         & info [ "top" ] ~docv:"K"
+             ~doc:"Hottest nodes listed per counter kind in the merged report.")
+  in
+  let smoke =
+    Arg.(value & flag
+         & info [ "smoke" ]
+             ~doc:
+               "Tiny preset sweep for CI smoke tests: overrides $(b,--bits) to 8, \
+                $(b,--pairs) to 200, $(b,--qs) to 0.1,0.3, $(b,--nodes) to 128, \
+                $(b,--keys) to 16, $(b,--reads) to 64, $(b,--zipf) to 0,0.8 and \
+                $(b,--trials) to 2.")
+  in
+  Cmd.v
+    (Cmd.info "hotspots" ~doc)
+    Term.(
+      const hotspots $ geometry_arg $ bits_arg ~default:10 $ pairs_arg $ qs $ nodes
+      $ keys $ reads $ replicas $ storage_q $ zipf $ trials_arg $ plane
+      $ loadmap_out $ heatmap $ top $ seed_arg $ jobs_arg $ no_batch_arg $ obs_term
+      $ csv_arg $ json_arg $ smoke $ retries_arg $ inject_fault_arg)
+
 (* --- route ----------------------------------------------------------------- *)
 
 let route geometry bits q src dst seed backend =
@@ -1210,6 +1504,7 @@ let main_cmd =
       percolation_cmd;
       churn_cmd;
       storage_cmd;
+      hotspots_cmd;
       route_cmd;
       export_cmd;
       trace_cmd;

@@ -1,0 +1,329 @@
+(* Per-node congestion across the routing and storage planes: each
+   point routes (or reads) a fixed workload under an {!Obs.Loadmap}
+   sink and summarizes where the traffic landed. The routing axis
+   sweeps the failure probability q over all five geometries on flat
+   tables; the storage axis sweeps the key-popularity exponent s over
+   the four sparse-capable geometries. *)
+
+type plane = Routing | Storage
+
+let plane_tag = function Routing -> "routing" | Storage -> "storage"
+
+type config = {
+  bits : int;
+  pairs : int;
+  qs : float list;
+  storage_nodes : int;
+  keys : int;
+  reads : int;
+  r : int;
+  storage_q : float;
+  zipf_ss : float list;
+  trials : int;
+  seed : int;
+}
+
+let default_config =
+  {
+    bits = 10;
+    pairs = 2_000;
+    qs = [ 0.0; 0.1; 0.2; 0.3; 0.4; 0.5 ];
+    storage_nodes = 512;
+    keys = 64;
+    reads = 256;
+    r = 3;
+    storage_q = 0.3;
+    zipf_ss = [ 0.0; 0.4; 0.8; 1.2 ];
+    trials = 3;
+    seed = 2027;
+  }
+
+let quorum cfg = Storage.Quorum.majority ~r:cfg.r
+
+let storage_config cfg ~zipf_s =
+  {
+    Storage.Failure_sim.bits = cfg.bits;
+    nodes = cfg.storage_nodes;
+    keys = cfg.keys;
+    reads = cfg.reads;
+    zipf_s;
+    quorum = quorum cfg;
+    trials = cfg.trials;
+  }
+
+let validate cfg =
+  if cfg.bits < 1 || cfg.bits > 22 then
+    invalid_arg "Hotspot_sweep: bits outside 1..22";
+  if cfg.pairs < 1 then invalid_arg "Hotspot_sweep: pairs must be >= 1";
+  if cfg.trials < 1 then invalid_arg "Hotspot_sweep: trials must be >= 1";
+  if cfg.qs = [] && cfg.zipf_ss = [] then
+    invalid_arg "Hotspot_sweep: both axes are empty";
+  List.iter (fun q -> Rcm.Spec.check_q q) cfg.qs;
+  Rcm.Spec.check_q cfg.storage_q;
+  if cfg.zipf_ss <> [] then
+    List.iter
+      (fun s -> Storage.Failure_sim.validate (storage_config cfg ~zipf_s:s))
+      cfg.zipf_ss
+
+type point = {
+  plane : plane;
+  geometry : Rcm.Geometry.t;
+  axis : float;
+  nodes : int;
+  loadmap : Obs.Loadmap.t;
+  traversals : Obs.Loadmap_report.summary;
+  terminations : Obs.Loadmap_report.summary;
+  storage_reads : Obs.Loadmap_report.summary;
+  repairs : Obs.Loadmap_report.summary;
+}
+
+(* The kind a plane's congestion figure plots: where routed messages
+   travel, or which replica holders serve the reads. *)
+let primary_kind = function
+  | Routing -> Obs.Loadmap.Route_traversal
+  | Storage -> Obs.Loadmap.Storage_read
+
+let primary p =
+  match p.plane with Routing -> p.traversals | Storage -> p.storage_reads
+
+(* Same per-point PRNG discipline as the sibling sweeps: seeds derive
+   by grid index from one master stream, masked to 48 bits. *)
+let point_seeds cfg ~tasks =
+  let master = Prng.Splitmix.create ~seed:cfg.seed in
+  Array.init tasks (fun _ ->
+      Int64.to_int (Prng.Splitmix.next_int64 master) land 0xFFFF_FFFF_FFFF)
+
+(* One routing-plane point: [trials] fresh worlds, each routing
+   [pairs] sampled pairs among the survivors of an i.i.d. q-failure,
+   all recorded into one per-point loadmap. The batch kernel and the
+   scalar loop are interchangeable here — both count the same accepted
+   hops and terminations (route_batch.mli, "Load telemetry") — so a
+   [--no-batch] run produces the identical loadmap. *)
+let run_routing_point cfg geometry ~q ~seed =
+  let lm = Obs.Loadmap.create ~nodes:(1 lsl cfg.bits) in
+  let rng = Prng.Splitmix.create ~seed in
+  Obs.Loadmap.with_sink lm (fun () ->
+      for _ = 1 to cfg.trials do
+        let table =
+          Overlay.Table.build ~rng ~backend:Overlay.Table.Flat ~bits:cfg.bits
+            geometry
+        in
+        let alive =
+          Overlay.Failure.sample ~rng ~q (Overlay.Table.node_count table)
+        in
+        let pool = Overlay.Failure.survivors alive in
+        if Array.length pool >= 2 then
+          if Routing.Route_batch.enabled () then
+            ignore
+              (Routing.Route_batch.sample_and_route table ~rng ~alive ~pool
+                 ~pairs:cfg.pairs)
+          else
+            for _ = 1 to cfg.pairs do
+              let src, dst = Stats.Sampler.ordered_pair rng pool in
+              ignore (Routing.Router.route table ~rng ~alive ~src ~dst)
+            done
+      done);
+  lm
+
+(* One storage-plane point: the whole {!Storage.Failure_sim} run (its
+   own trials loop) executes under the point's sink, so the loadmap
+   accumulates reads served and repairs absorbed across all trials —
+   plus the traversals of every probe and repair route, which land in
+   the same map via {!Routing.Sparse_router}. *)
+let run_storage_point cfg geometry ~zipf_s ~seed =
+  let lm = Obs.Loadmap.create ~nodes:cfg.storage_nodes in
+  Obs.Loadmap.with_sink lm (fun () ->
+      ignore
+        (Storage.Failure_sim.run geometry (storage_config cfg ~zipf_s)
+           ~q:cfg.storage_q ~seed));
+  lm
+
+let point_of_loadmap ~plane ~geometry ~axis lm =
+  {
+    plane;
+    geometry;
+    axis;
+    nodes = Obs.Loadmap.nodes lm;
+    loadmap = lm;
+    traversals = Obs.Loadmap_report.summarize lm Obs.Loadmap.Route_traversal;
+    terminations =
+      Obs.Loadmap_report.summarize lm Obs.Loadmap.Route_termination;
+    storage_reads = Obs.Loadmap_report.summarize lm Obs.Loadmap.Storage_read;
+    repairs = Obs.Loadmap_report.summarize lm Obs.Loadmap.Repair;
+  }
+
+let run_point cfg ~plane ~geometry ~axis ~seed =
+  let t0 = if Obs.Metrics.enabled () then Unix.gettimeofday () else 0.0 in
+  let lm =
+    match plane with
+    | Routing -> run_routing_point cfg geometry ~q:axis ~seed
+    | Storage -> run_storage_point cfg geometry ~zipf_s:axis ~seed
+  in
+  if Obs.Metrics.enabled () then begin
+    Obs.Metrics.incr_named "hotspots/points";
+    Obs.Metrics.observe_named "hotspots/point_s" (Unix.gettimeofday () -. t0)
+  end;
+  point_of_loadmap ~plane ~geometry ~axis lm
+
+let default_routing_geometries = Rcm.Geometry.all_default
+
+let default_storage_geometries = Storage_sweep.default_geometries
+
+let run ?pool ?(planes = [ Routing; Storage ])
+    ?(routing_geometries = default_routing_geometries)
+    ?(storage_geometries = default_storage_geometries) ?(retries = 0) ?fault
+    cfg =
+  if retries < 0 then invalid_arg "Hotspot_sweep.run: negative retries";
+  if planes = [] then invalid_arg "Hotspot_sweep.run: no planes selected";
+  validate cfg;
+  List.iter
+    (fun g ->
+      if g = Rcm.Geometry.Hypercube then
+        invalid_arg "Hotspot_sweep.run: no sparse hypercube overlay exists")
+    storage_geometries;
+  let want p = List.mem p planes in
+  (* The grid: routing plane first (geometry-major over qs), then the
+     storage plane (geometry-major over zipf exponents). *)
+  let coords_list =
+    (if want Routing then
+       List.concat_map
+         (fun g -> List.map (fun q -> (Routing, g, q)) cfg.qs)
+         routing_geometries
+     else [])
+    @
+    if want Storage then
+      List.concat_map
+        (fun g -> List.map (fun s -> (Storage, g, s)) cfg.zipf_ss)
+        storage_geometries
+    else []
+  in
+  let coords = Array.of_list coords_list in
+  let n = Array.length coords in
+  if n = 0 then invalid_arg "Hotspot_sweep.run: empty grid";
+  let seeds = point_seeds cfg ~tasks:n in
+  let group_of (plane, g, _) =
+    plane_tag plane ^ "/" ^ Rcm.Geometry.name g
+  in
+  let groups =
+    (* Grid order is group-contiguous, so counting runs of equal names
+       yields one (name, size) per (plane, geometry). *)
+    let rec runs = function
+      | [] -> []
+      | c :: _ as l ->
+          let name = group_of c in
+          let same, rest =
+            List.partition (fun c' -> group_of c' = name) l
+          in
+          (name, List.length same) :: runs rest
+    in
+    runs coords_list
+  in
+  Obs.Progress.start ~label:"hotspots" ~groups ~total:n ();
+  let tick i = Obs.Progress.tick ~group:(group_of coords.(i)) () in
+  let run_one i =
+    let plane, geometry, axis = coords.(i) in
+    let task ~attempt i =
+      Exec.Fault.inject fault ~task:i ~attempt;
+      run_point cfg ~plane ~geometry ~axis ~seed:seeds.(i)
+    in
+    let outcome = Exec.Pool.supervised ~retries ~task i in
+    (match outcome with
+    | Exec.Pool.Cancelled -> ()
+    | Exec.Pool.Done _ | Exec.Pool.Failed _ -> tick i);
+    outcome
+  in
+  let outcomes =
+    match pool with
+    | Some pool when Exec.Pool.size pool > 1 -> Exec.Pool.map pool n run_one
+    | Some _ | None -> Array.init n run_one
+  in
+  Obs.Progress.finish ();
+  if Array.exists (function Exec.Pool.Cancelled -> true | _ -> false) outcomes
+  then raise Exec.Cancel.Cancelled;
+  Array.iteri
+    (fun i outcome ->
+      match outcome with
+      | Exec.Pool.Failed { attempts; error } ->
+          let plane, geometry, axis = coords.(i) in
+          failwith
+            (Printf.sprintf
+               "hotspot point %d (%s plane, %s, axis %g) failed after %d \
+                attempts: %s"
+               i (plane_tag plane)
+               (Rcm.Geometry.name geometry)
+               axis attempts error)
+      | Exec.Pool.Done _ | Exec.Pool.Cancelled -> ())
+    outcomes;
+  List.init n (fun i ->
+      match outcomes.(i) with
+      | Exec.Pool.Done p -> p
+      | Exec.Pool.Failed _ | Exec.Pool.Cancelled -> assert false)
+
+(* Merge every point of one plane (they share a node count) in list —
+   i.e. grid — order. Integer addition commutes, so the result is
+   byte-identical at any pool size. *)
+let merged plane points =
+  match List.filter (fun p -> p.plane = plane) points with
+  | [] -> None
+  | first :: _ as selected ->
+      let dst = Obs.Loadmap.create ~nodes:first.nodes in
+      List.iter (fun p -> Obs.Loadmap.merge_into ~dst p.loadmap) selected;
+      Some dst
+
+(* --- rendering ------------------------------------------------------------ *)
+
+let float_or_nan v tag = if Float.is_finite v then Printf.sprintf tag v else "nan"
+
+let pp_points ppf points =
+  Fmt.pf ppf
+    "# per-node load: congestion (max/mean) and Gini of the plane's primary \
+     counter@.";
+  Fmt.pf ppf "%-8s %-10s %8s %13s %8s %8s %8s %10s %8s@." "plane" "geometry"
+    "axis" "kind" "total" "active" "max" "congestion" "gini";
+  List.iter
+    (fun p ->
+      let s = primary p in
+      Fmt.pf ppf "%-8s %-10s %8g %13s %8d %8d %8d %10.3f %8.4f@."
+        (plane_tag p.plane)
+        (Rcm.Geometry.name p.geometry)
+        p.axis
+        (Obs.Loadmap.kind_name (primary_kind p.plane))
+        s.Obs.Loadmap_report.total s.active_nodes s.max s.congestion s.gini)
+    points
+
+let csv_header =
+  "plane,geometry,bits,nodes,axis,kind,total,active_nodes,load_max,load_mean,congestion,gini,traversals,terminations,storage_reads,repairs"
+
+let to_csv_row cfg p =
+  let s = primary p in
+  Printf.sprintf "%s,%s,%d,%d,%g,%s,%d,%d,%d,%s,%s,%s,%d,%d,%d,%d"
+    (plane_tag p.plane)
+    (Rcm.Geometry.name p.geometry)
+    cfg.bits p.nodes p.axis
+    (Obs.Loadmap.kind_name (primary_kind p.plane))
+    s.Obs.Loadmap_report.total s.active_nodes s.max
+    (float_or_nan s.mean "%.6f")
+    (float_or_nan s.congestion "%.6f")
+    (float_or_nan s.gini "%.6f")
+    p.traversals.Obs.Loadmap_report.total p.terminations.Obs.Loadmap_report.total
+    p.storage_reads.Obs.Loadmap_report.total p.repairs.Obs.Loadmap_report.total
+
+let to_json cfg p =
+  let json_float v = if Float.is_finite v then Printf.sprintf "%.9g" v else "null" in
+  let summary_json (s : Obs.Loadmap_report.summary) =
+    Printf.sprintf
+      "{\"total\": %d, \"active_nodes\": %d, \"max\": %d, \"mean\": %s, \
+       \"congestion\": %s, \"gini\": %s}"
+      s.total s.active_nodes s.max (json_float s.mean)
+      (json_float s.congestion) (json_float s.gini)
+  in
+  Printf.sprintf
+    "{\"plane\": %S, \"geometry\": %S, \"bits\": %d, \"nodes\": %d, \"axis\": \
+     %s, \"kind\": %S, \"traversals\": %s, \"terminations\": %s, \
+     \"storage_reads\": %s, \"repairs\": %s}"
+    (plane_tag p.plane)
+    (Rcm.Geometry.name p.geometry)
+    cfg.bits p.nodes (json_float p.axis)
+    (Obs.Loadmap.kind_name (primary_kind p.plane))
+    (summary_json p.traversals) (summary_json p.terminations)
+    (summary_json p.storage_reads) (summary_json p.repairs)

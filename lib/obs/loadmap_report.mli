@@ -1,0 +1,48 @@
+(** Hot-spot analysis over {!Loadmap} counters: per-kind load
+    summaries (mean, max, max/mean congestion ratio, Gini coefficient),
+    load CDFs, top-K hottest nodes, and the bridge into the {!Metrics}
+    snapshot pipeline. Everything is a pure function of the counters:
+    no PRNG, no mutation. *)
+
+type summary = {
+  nodes : int;
+  active_nodes : int;  (** nodes with a non-zero counter *)
+  total : int;
+  mean : float;  (** total / nodes (all nodes, not just active ones) *)
+  max : int;
+  congestion : float;
+      (** max / mean — 1.0 is perfectly balanced load, N is one node
+          absorbing everything; 0.0 by convention when nothing was
+          recorded *)
+  gini : float;  (** in [0, 1): 0 uniform, -> 1 maximally concentrated *)
+}
+
+val gini : int array -> float
+(** Exact rank-formula Gini coefficient of a load vector; 0.0 on an
+    empty or all-zero vector. *)
+
+val summarize_counts : int array -> summary
+
+val summarize : Loadmap.t -> Loadmap.kind -> summary
+
+val cdf : int array -> (int * float) list
+(** [(v, f)] points, ascending in [v]: fraction [f] of nodes carry load
+    at most [v]. One point per distinct load value. *)
+
+val hottest : ?top:int -> int array -> (int * int) list
+(** The [top] (default 10) most-loaded nodes as [(node, load)], load
+    descending with node index breaking ties — a total order, so the
+    listing is deterministic. *)
+
+val to_metrics : Loadmap.t -> unit
+(** Observe every per-node count into [loadmap/<kind>] histograms,
+    which the Prometheus renderer exposes as [dhtlab_loadmap_*] summary
+    families. No-op when metrics are disabled. *)
+
+val pp_summary : Format.formatter -> Loadmap.kind * summary -> unit
+
+val pp :
+  ?top:int -> ?pp_node:(int -> string) -> Format.formatter -> Loadmap.t -> unit
+(** Human-readable dump: one summary line per kind plus its [top]
+    hottest nodes. [pp_node] renders a node index (the CLI passes an
+    ID-space renderer); default is the decimal index. *)

@@ -49,6 +49,18 @@ let with_lock f =
   Mutex.lock lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
 
+(* A rate computed against a zero or near-zero elapsed time (the first
+   trials of a group can all land inside one rate-limit window) divides
+   by (almost) nothing and turns into inf — which "%.1f" then prints
+   verbatim and which poisons the ETA quotient. Treat any such rate as
+   "no estimate yet": 0.0, which the ETA formatter below renders as
+   "-:--". *)
+let safe_rate ~completed ~elapsed =
+  if completed <= 0 || not (Float.is_finite elapsed) || elapsed <= 1e-6 then 0.0
+  else
+    let rate = float_of_int completed /. elapsed in
+    if Float.is_finite rate then rate else 0.0
+
 let eta_string seconds =
   if not (Float.is_finite seconds) || seconds < 0.0 then "-:--"
   else begin
@@ -58,8 +70,7 @@ let eta_string seconds =
   end
 
 let render_locked p ~now =
-  let elapsed = now -. p.started_at in
-  let rate = if elapsed > 0.0 then float_of_int p.completed /. elapsed else 0.0 in
+  let rate = safe_rate ~completed:p.completed ~elapsed:(now -. p.started_at) in
   let eta done_ total =
     if done_ = 0 || rate = 0.0 then "-:--"
     else eta_string (float_of_int (total - done_) /. rate)

@@ -60,3 +60,13 @@ val note_failed : unit -> unit
 val finish : unit -> unit
 (** End the phase and erase the line (so summaries printed afterwards
     start on a clean line). Idempotent; no-op when inactive. *)
+
+(**/**)
+
+val safe_rate : completed:int -> elapsed:float -> float
+(** The throughput estimate the rendered line and its ETAs are built
+    from: [completed / elapsed], except that a zero, near-zero (below
+    one microsecond), negative or non-finite [elapsed] — and any
+    quotient that overflows to a non-finite value — yields [0.0], the
+    "no estimate yet" sentinel rendered as ["-:--"]. Exposed for the
+    regression tests only. *)

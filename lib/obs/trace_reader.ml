@@ -310,7 +310,14 @@ let export_chrome records oc =
       infinity records
   in
   let origin = if Float.is_finite origin then origin else 0.0 in
-  let micros v = Printf.sprintf "%.3f" (1e6 *. v) in
+  (* A non-finite ts/dur (a corrupt or hand-edited trace parses "1e999"
+     to infinity) must not leak into the output as the bare token "inf"
+     / "nan" — that is not JSON. Serialize it as null, exactly like the
+     metrics sink and Tiny_json do for non-finite numbers. *)
+  let micros v =
+    let us = 1e6 *. v in
+    if Float.is_finite us then Printf.sprintf "%.3f" us else "null"
+  in
   output_string oc "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
   List.iteri
     (fun i r ->

@@ -72,20 +72,44 @@ let[@inline] row_start (offsets : offsets) v = Bigarray.Array1.unsafe_get offset
 
 (* --- hypercube (the one geometry routed in OCaml) ------------------------- *)
 
+type buf = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+(* Loadmap counter bump, compiled away to one length test when the
+   zero-length "telemetry off" buffer is installed — the OCaml twin of
+   the NULL-pointer guard in the C drivers. Indices are node ids of the
+   routed table, in range by construction. *)
+let[@inline] bump (b : buf) v =
+  if Bigarray.Array1.dim b > 0 then
+    Bigarray.Array1.unsafe_set b v (Bigarray.Array1.unsafe_get b v + 1)
+
 (* Hypercube (CAN, scalar [Hypercube_router]): uniform reservoir over
    the alive neighbours correcting a differing bit, scanning set bits
    of [diff] lowest-first and drawing [Splitmix.int rng seen] per alive
-   candidate — draw-for-draw the scalar sequence. *)
+   candidate — draw-for-draw the scalar sequence. Traversals are
+   counted at the accepted hop (the reservoir winner the walk moves
+   to), terminations where the walk ends, matching the scalar Router
+   hook and the C drivers. *)
 let rec hypercube_pair (offsets : offsets) (targets : targets) (words : words) ~bits ~rng
-    ~dst cur hops =
-  if cur = dst then delivered_result hops
-  else hypercube_scan offsets targets words ~bits ~rng ~dst cur hops (cur lxor dst) (-1) 0
+    ~trav ~term ~dst cur hops =
+  if cur = dst then begin
+    bump term dst;
+    delivered_result hops
+  end
+  else
+    hypercube_scan offsets targets words ~bits ~rng ~trav ~term ~dst cur hops
+      (cur lxor dst) (-1) 0
 
-and hypercube_scan (offsets : offsets) (targets : targets) (words : words) ~bits ~rng ~dst
-    cur hops bit chosen seen =
+and hypercube_scan (offsets : offsets) (targets : targets) (words : words) ~bits ~rng
+    ~trav ~term ~dst cur hops bit chosen seen =
   if bit = 0 then
-    if chosen < 0 then dropped_result cur hops
-    else hypercube_pair offsets targets words ~bits ~rng ~dst chosen (hops + 1)
+    if chosen < 0 then begin
+      bump term cur;
+      dropped_result cur hops
+    end
+    else begin
+      bump trav chosen;
+      hypercube_pair offsets targets words ~bits ~rng ~trav ~term ~dst chosen (hops + 1)
+    end
   else begin
     let low = bit land -bit in
     let cand = neighbor_at targets (row_start offsets cur + bits - 1 - floor_log2 low) in
@@ -93,14 +117,15 @@ and hypercube_scan (offsets : offsets) (targets : targets) (words : words) ~bits
     if is_alive words cand then begin
       let seen = seen + 1 in
       let chosen = if Prng.Splitmix.int rng seen = 0 then cand else chosen in
-      hypercube_scan offsets targets words ~bits ~rng ~dst cur hops rest chosen seen
+      hypercube_scan offsets targets words ~bits ~rng ~trav ~term ~dst cur hops rest chosen
+        seen
     end
-    else hypercube_scan offsets targets words ~bits ~rng ~dst cur hops rest chosen seen
+    else
+      hypercube_scan offsets targets words ~bits ~rng ~trav ~term ~dst cur hops rest chosen
+        seen
   end
 
 (* --- per-domain scratch --------------------------------------------------- *)
-
-type buf = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
 
 type scratch = {
   mutable cap : int;
@@ -252,7 +277,8 @@ let flush_metrics geometry s =
 
    Arguments: targets, alive words, offsets, srcs, dsts, pair count,
    hops out, stuck out, bits (distance mask for ring), uniform degree
-   (-1 when ragged). *)
+   (-1 when ragged), and the loadmap traversal / termination counter
+   slices (zero-length = telemetry off). *)
 
 external route_block_tree :
   targets ->
@@ -265,6 +291,8 @@ external route_block_tree :
   buf ->
   int ->
   int ->
+  buf ->
+  buf ->
   unit = "rcm_route_tree_bc" "rcm_route_tree"
 [@@noalloc]
 
@@ -279,6 +307,8 @@ external route_block_xor :
   buf ->
   int ->
   int ->
+  buf ->
+  buf ->
   unit = "rcm_route_xor_bc" "rcm_route_xor"
 [@@noalloc]
 
@@ -293,6 +323,8 @@ external route_block_ring :
   buf ->
   int ->
   int ->
+  buf ->
+  buf ->
   unit = "rcm_route_ring_bc" "rcm_route_ring"
 [@@noalloc]
 
@@ -329,6 +361,24 @@ let mask_words ~table ~alive context =
     invalid_arg (Printf.sprintf "Route_batch.%s: alive mask size mismatch" context);
   Overlay.Failure.Bitset.words alive
 
+(* The calling domain's loadmap slices, or the zero-length "off"
+   buffers when no sink is installed — what the C drivers decode to
+   NULL and [bump] to a length test. Looked up once per batch, not per
+   hop. *)
+let loadmap_slices ~table context =
+  match Obs.Loadmap.sink () with
+  | None -> (empty_buf, empty_buf)
+  | Some lm ->
+      if Obs.Loadmap.nodes lm <> Overlay.Table.node_count table then
+        invalid_arg
+          (Printf.sprintf
+             "Route_batch.%s: loadmap sink covers %d nodes but the table has %d" context
+             (Obs.Loadmap.nodes lm)
+             (Overlay.Table.node_count table))
+      else
+        ( Obs.Loadmap.slice lm Obs.Loadmap.Route_traversal,
+          Obs.Loadmap.slice lm Obs.Loadmap.Route_termination )
+
 let route_many ?scratch table ~rng ~alive pairs =
   let flat = flat_of table "route_many" in
   let words = mask_words ~table ~alive "route_many" in
@@ -342,13 +392,14 @@ let route_many ?scratch table ~rng ~alive pairs =
   let targets = Overlay.Flat.targets flat in
   let bits = Overlay.Table.bits table in
   let n = Array.length pairs in
+  let trav, term = loadmap_slices ~table "route_many" in
   let s = match scratch with Some s -> s | None -> domain_scratch () in
   prepare s n;
   (match Overlay.Table.geometry table with
   | Rcm.Geometry.Hypercube ->
       for k = 0 to n - 1 do
         let src, dst = Array.unsafe_get pairs k in
-        store s k (hypercube_pair offsets targets words ~bits ~rng ~dst src 0)
+        store s k (hypercube_pair offsets targets words ~bits ~rng ~trav ~term ~dst src 0)
       done
   | geometry ->
       let srcs = Array.make n 0 in
@@ -361,12 +412,14 @@ let route_many ?scratch table ~rng ~alive pairs =
       let deg = Overlay.Flat.uniform_degree flat in
       (match geometry with
       | Rcm.Geometry.Tree ->
-          route_block_tree targets words offsets srcs dsts n s.hops_buf s.stuck_buf bits deg
+          route_block_tree targets words offsets srcs dsts n s.hops_buf s.stuck_buf bits
+            deg trav term
       | Rcm.Geometry.Xor ->
-          route_block_xor targets words offsets srcs dsts n s.hops_buf s.stuck_buf bits deg
+          route_block_xor targets words offsets srcs dsts n s.hops_buf s.stuck_buf bits
+            deg trav term
       | Rcm.Geometry.Ring | Rcm.Geometry.Symphony _ ->
           route_block_ring targets words offsets srcs dsts n s.hops_buf s.stuck_buf
-            ((1 lsl bits) - 1) deg
+            ((1 lsl bits) - 1) deg trav term
       | Rcm.Geometry.Hypercube -> assert false);
       tally s n);
   flush_metrics (Overlay.Table.geometry table) s;
@@ -381,6 +434,7 @@ let sample_and_route ?scratch table ~rng ~alive ~pool ~pairs =
   let offsets = Overlay.Flat.offsets flat in
   let targets = Overlay.Flat.targets flat in
   let bits = Overlay.Table.bits table in
+  let trav, term = loadmap_slices ~table "sample_and_route" in
   let s = match scratch with Some s -> s | None -> domain_scratch () in
   prepare s pairs;
   (* Pair sampling inlined from [Stats.Sampler.ordered_pair]: first
@@ -400,7 +454,7 @@ let sample_and_route ?scratch table ~rng ~alive ~pool ~pairs =
         let i = Prng.Splitmix.int rng npool in
         let src = Array.unsafe_get pool i in
         let dst = Array.unsafe_get pool (draw_distinct i) in
-        store s k (hypercube_pair offsets targets words ~bits ~rng ~dst src 0)
+        store s k (hypercube_pair offsets targets words ~bits ~rng ~trav ~term ~dst src 0)
       done
   | geometry ->
       (* These geometries consume no randomness while routing, so the
@@ -418,13 +472,13 @@ let sample_and_route ?scratch table ~rng ~alive ~pool ~pairs =
       (match geometry with
       | Rcm.Geometry.Tree ->
           route_block_tree targets words offsets srcs dsts pairs s.hops_buf s.stuck_buf bits
-            deg
+            deg trav term
       | Rcm.Geometry.Xor ->
           route_block_xor targets words offsets srcs dsts pairs s.hops_buf s.stuck_buf bits
-            deg
+            deg trav term
       | Rcm.Geometry.Ring | Rcm.Geometry.Symphony _ ->
           route_block_ring targets words offsets srcs dsts pairs s.hops_buf s.stuck_buf
-            ((1 lsl bits) - 1) deg
+            ((1 lsl bits) - 1) deg trav term
       | Rcm.Geometry.Hypercube -> assert false);
       tally s pairs);
   flush_metrics (Overlay.Table.geometry table) s;

@@ -20,6 +20,22 @@
     batch; the resulting [--metrics] totals are equal (not just close)
     to the scalar path's.
 
+    {1 Load telemetry}
+
+    When the calling domain has an {!Obs.Loadmap} sink installed
+    ({!Obs.Loadmap.with_sink}), both drivers bump its per-node counters
+    at exactly the scalar [Router] hook's counting points: one
+    [Route_traversal] per accepted hop (every node the message reaches
+    after the source, including the final one) and one
+    [Route_termination] per pair, at the destination when delivered or
+    at the stuck node when dropped — so batch and [--no-batch] per-node
+    counts are exactly equal (pinned by [test/test_batch.ml]). The
+    slices are passed to the C drivers as Bigarray pointers, one lookup
+    per batch; without a sink the kernels receive zero-length buffers
+    and skip counting on a NULL test. Both drivers raise
+    [Invalid_argument] when a sink is installed whose node count
+    differs from the routed table's.
+
     {1 Scope}
 
     Only tables with the {!Overlay.Table.Flat} backend are accepted

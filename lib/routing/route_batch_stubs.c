@@ -26,7 +26,17 @@
    the OCaml int arrays (srcs/dsts) and Bigarray payloads cannot move
    during the call, so raw pointers are safe. Results are written
    straight into the caller's scratch Bigarrays: hops_out[k] = hop
-   count, stuck_out[k] = -1 when delivered or the stuck node id. */
+   count, stuck_out[k] = -1 when delivered or the stuck node id.
+
+   Load telemetry (Obs.Loadmap): each driver also takes two per-node
+   counter slices, trav and term, owned by the calling domain's loadmap
+   shard. A zero-length Bigarray means "telemetry off" and decodes to
+   NULL below, so the disabled path costs one well-predicted branch per
+   hop. Counting points mirror the scalar Router hook exactly:
+   trav[next] is bumped at every accepted hop (each node the message
+   reaches after the source, including the final one) and term[v] once
+   per pair where the walk ends — the destination when delivered, the
+   stuck node when dropped. */
 
 #include <caml/bigarray.h>
 #include <caml/mlvalues.h>
@@ -47,6 +57,14 @@
 static inline int alive_bit(const intnat *words, intnat v)
 {
   return (int)((words[v >> 5] >> (v & 31)) & 1);
+}
+
+/* Loadmap counter slice, or NULL when the zero-length "off" Bigarray
+   was passed. */
+static inline intnat *loadmap_slice(value v)
+{
+  return Caml_ba_array_val(v)->dim[0] == 0 ? NULL
+                                           : (intnat *)Caml_ba_data_val(v);
 }
 
 /* Fetch of row [rs, re]: first, middle and last entry cover the <= 3
@@ -94,14 +112,21 @@ static inline intnat row_limit(const intnat *offsets, intnat deg, intnat v,
     live--;            \
   } while (0)
 
-#define FINISH(m, stuck_val)          \
-  do {                                \
-    hops_out[lk[m]] = lhops[m];       \
-    stuck_out[lk[m]] = (stuck_val);   \
-    if (next_pair < n)                \
-      TAKE_PAIR(m);                   \
-    else                              \
-      LANE_DONE(m);                   \
+/* stuck_val is -1 (delivered: the walk ended at the destination) or
+   the stuck node id (dropped: it ended there). For the ring driver the
+   delivered case fires at remaining distance 0, where lcur == ldst, so
+   ldst[m] is the terminating node in every driver. */
+#define FINISH(m, stuck_val)                            \
+  do {                                                  \
+    intnat stuck_ = (stuck_val);                        \
+    hops_out[lk[m]] = lhops[m];                         \
+    stuck_out[lk[m]] = stuck_;                          \
+    if (term)                                           \
+      term[stuck_ < 0 ? ldst[m] : stuck_]++;            \
+    if (next_pair < n)                                  \
+      TAKE_PAIR(m);                                     \
+    else                                                \
+      LANE_DONE(m);                                     \
   } while (0)
 
 /* Tree (Plaxton, scalar Tree_router): the only useful neighbour is the
@@ -110,13 +135,14 @@ static inline intnat row_limit(const intnat *offsets, intnat deg, intnat v,
 CAMLprim value rcm_route_tree(value vtargets, value vwords, value voffsets,
                               value vsrcs, value vdsts, value vn,
                               value vhops_out, value vstuck_out, value vbits,
-                              value vdeg)
+                              value vdeg, value vtrav, value vterm)
 {
   const int32_t *targets = (const int32_t *)Caml_ba_data_val(vtargets);
   const intnat *words = (const intnat *)Caml_ba_data_val(vwords);
   const intnat *offsets = (const intnat *)Caml_ba_data_val(voffsets);
   intnat *hops_out = (intnat *)Caml_ba_data_val(vhops_out);
   intnat *stuck_out = (intnat *)Caml_ba_data_val(vstuck_out);
+  intnat *trav = loadmap_slice(vtrav), *term = loadmap_slice(vterm);
   intnat n = Long_val(vn), bits = Long_val(vbits), deg = Long_val(vdeg);
   intnat lk[LANES], lcur[LANES], ldst[LANES], lhops[LANES];
   intnat lanes = n < LANES ? n : LANES;
@@ -141,6 +167,8 @@ CAMLprim value rcm_route_tree(value vtargets, value vwords, value voffsets,
       }
       lcur[m] = next;
       lhops[m]++;
+      if (trav)
+        trav[next]++;
       if (next != dst) {
         intnat rs = row_base(offsets, deg, next);
         prefetch_row(targets, rs, row_limit(offsets, deg, next, rs) - 1);
@@ -154,7 +182,7 @@ CAMLprim value rcm_route_tree_bc(value *argv, int argn)
 {
   (void)argn;
   return rcm_route_tree(argv[0], argv[1], argv[2], argv[3], argv[4], argv[5],
-                        argv[6], argv[7], argv[8], argv[9]);
+                        argv[6], argv[7], argv[8], argv[9], argv[10], argv[11]);
 }
 
 /* XOR (Kademlia, scalar Xor_router): candidates are the set bits of
@@ -163,13 +191,14 @@ CAMLprim value rcm_route_tree_bc(value *argv, int argn)
 CAMLprim value rcm_route_xor(value vtargets, value vwords, value voffsets,
                              value vsrcs, value vdsts, value vn,
                              value vhops_out, value vstuck_out, value vbits,
-                             value vdeg)
+                             value vdeg, value vtrav, value vterm)
 {
   const int32_t *targets = (const int32_t *)Caml_ba_data_val(vtargets);
   const intnat *words = (const intnat *)Caml_ba_data_val(vwords);
   const intnat *offsets = (const intnat *)Caml_ba_data_val(voffsets);
   intnat *hops_out = (intnat *)Caml_ba_data_val(vhops_out);
   intnat *stuck_out = (intnat *)Caml_ba_data_val(vstuck_out);
+  intnat *trav = loadmap_slice(vtrav), *term = loadmap_slice(vterm);
   intnat n = Long_val(vn), bits = Long_val(vbits), deg = Long_val(vdeg);
   intnat lk[LANES], lcur[LANES], ldst[LANES], lhops[LANES];
   intnat lanes = n < LANES ? n : LANES;
@@ -203,6 +232,8 @@ CAMLprim value rcm_route_xor(value vtargets, value vwords, value voffsets,
       }
       lcur[m] = next;
       lhops[m]++;
+      if (trav)
+        trav[next]++;
       if (next != dst) {
         intnat rs = row_base(offsets, deg, next);
         prefetch_row(targets, rs, row_limit(offsets, deg, next, rs) - 1);
@@ -216,7 +247,7 @@ CAMLprim value rcm_route_xor_bc(value *argv, int argn)
 {
   (void)argn;
   return rcm_route_xor(argv[0], argv[1], argv[2], argv[3], argv[4], argv[5],
-                       argv[6], argv[7], argv[8], argv[9]);
+                       argv[6], argv[7], argv[8], argv[9], argv[10], argv[11]);
 }
 
 /* Ring and Symphony (scalar Greedy_ring): greedy clockwise, next hop =
@@ -288,13 +319,14 @@ static inline intnat ring_hop_eager(const int32_t *row, const intnat *words,
 CAMLprim value rcm_route_ring(value vtargets, value vwords, value voffsets,
                               value vsrcs, value vdsts, value vn,
                               value vhops_out, value vstuck_out, value vmask,
-                              value vdeg)
+                              value vdeg, value vtrav, value vterm)
 {
   const int32_t *targets = (const int32_t *)Caml_ba_data_val(vtargets);
   const intnat *words = (const intnat *)Caml_ba_data_val(vwords);
   const intnat *offsets = (const intnat *)Caml_ba_data_val(voffsets);
   intnat *hops_out = (intnat *)Caml_ba_data_val(vhops_out);
   intnat *stuck_out = (intnat *)Caml_ba_data_val(vstuck_out);
+  intnat *trav = loadmap_slice(vtrav), *term = loadmap_slice(vterm);
   intnat n = Long_val(vn), mask = Long_val(vmask), deg = Long_val(vdeg);
   int shallow = mask < (1 << 27);
   intnat lk[RING_LANES], lcur[RING_LANES], ldst[RING_LANES], lhops[RING_LANES], lrem[RING_LANES];
@@ -330,6 +362,8 @@ CAMLprim value rcm_route_ring(value vtargets, value vwords, value voffsets,
       lcur[m] = next;
       lrem[m] = rem;
       lhops[m]++;
+      if (trav)
+        trav[next]++;
       if (rem != 0) {
         intnat rs = row_base(offsets, deg, next);
         prefetch_row(targets, rs, row_limit(offsets, deg, next, rs) - 1);
@@ -343,5 +377,5 @@ CAMLprim value rcm_route_ring_bc(value *argv, int argn)
 {
   (void)argn;
   return rcm_route_ring(argv[0], argv[1], argv[2], argv[3], argv[4], argv[5],
-                        argv[6], argv[7], argv[8], argv[9]);
+                        argv[6], argv[7], argv[8], argv[9], argv[10], argv[11]);
 }

@@ -74,10 +74,35 @@ let route_prefix ?(on_hop = ignore) ~mode overlay ~alive ~src ~dst =
   in
   step src 0
 
-let route ?on_hop overlay ~alive ~src ~dst =
+let dispatch ?on_hop overlay ~alive ~src ~dst =
   match Overlay.Sparse.geometry overlay with
   | Rcm.Geometry.Ring | Rcm.Geometry.Symphony _ -> route_ring ?on_hop overlay ~alive ~src ~dst
   | Rcm.Geometry.Tree -> route_prefix ?on_hop ~mode:`Tree overlay ~alive ~src ~dst
   | Rcm.Geometry.Xor -> route_prefix ?on_hop ~mode:`Xor overlay ~alive ~src ~dst
   | Rcm.Geometry.Hypercube ->
       invalid_arg "Sparse_router.route: no sparse hypercube overlay exists"
+
+(* Same per-node load accounting as Routing.Router: one traversal per
+   accepted hop (the node hopped to), one termination where the walk
+   ends — dst when delivered, the stuck node when dropped. Node
+   indices here are sparse-overlay indices; the storage layer and the
+   hotspot sweep size their loadmaps accordingly. *)
+let route ?on_hop overlay ~alive ~src ~dst =
+  match Obs.Loadmap.sink () with
+  | None -> dispatch ?on_hop overlay ~alive ~src ~dst
+  | Some lm ->
+      let count v = Obs.Loadmap.record lm Obs.Loadmap.Route_traversal v in
+      let on_hop =
+        match on_hop with
+        | None -> count
+        | Some f ->
+            fun v ->
+              count v;
+              f v
+      in
+      let outcome = dispatch ~on_hop overlay ~alive ~src ~dst in
+      (match outcome with
+      | Outcome.Delivered _ -> Obs.Loadmap.record lm Obs.Loadmap.Route_termination dst
+      | Outcome.Dropped { stuck_at; _ } ->
+          Obs.Loadmap.record lm Obs.Loadmap.Route_termination stuck_at);
+      outcome

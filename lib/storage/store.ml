@@ -105,6 +105,10 @@ let repair t ~alive ~key ~coordinator ~dead_slots =
           then begin
             holders.(slot) <- candidate;
             incr transfers;
+            (* The candidate absorbed a re-replicated copy: the Repair
+               plane of the shared loadmap (the repair *routes* land in
+               the traversal counters via Sparse_router). *)
+            Obs.Loadmap.note Obs.Loadmap.Repair candidate;
             installed := true
           end
         end
@@ -139,6 +143,11 @@ let read t ~rng ~alive ~client =
     if ok then begin
       incr reached;
       t.loads.(holder) <- t.loads.(holder) + 1;
+      (* Mirror of the per-instance [loads] counter above into the
+         shared loadmap, bump for bump, so a loadmap-carrying run
+         reproduces [Store.loads] exactly (pinned by
+         test/test_storage.ml). *)
+      Obs.Loadmap.note Obs.Loadmap.Storage_read holder;
       if !coordinator < 0 then coordinator := holder
     end
     else if not (Overlay.Failure.get alive holder) then

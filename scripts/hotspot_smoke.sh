@@ -1,0 +1,73 @@
+#!/usr/bin/env sh
+# Hotspot smoke: prove the per-node load telemetry end to end.
+#
+#   1. Determinism: a smoke hotspot sweep must produce byte-identical
+#      CSV output AND a byte-identical persisted loadmap at --jobs 1
+#      and --jobs 8 — the merge is commutative integer addition, so the
+#      domain count must never show in a single counter.
+#   2. Batch parity: the same sweep with --no-batch (scalar routers)
+#      must produce the same bytes again — the C kernels count the
+#      same accepted hops and terminations as the scalar paths.
+#   3. Shape: the CSV header matches the documented schema, the
+#      loadmap file has one row per node, and every JSON point parses
+#      per-plane with the four counter summaries present.
+#
+# Usage: scripts/hotspot_smoke.sh [path-to-dhtlab]
+# HOTSPOT_WORK, when set, names the work directory to use (and keep)
+# so CI can upload it on failure. Exits non-zero on the first
+# violation.
+
+set -eu
+
+DHTLAB=${1:-_build/default/bin/dhtlab.exe}
+if [ -n "${HOTSPOT_WORK:-}" ]; then
+    WORK=$HOTSPOT_WORK
+    mkdir -p "$WORK"
+else
+    WORK=$(mktemp -d "${TMPDIR:-/tmp}/hotspot_smoke.XXXXXX")
+    trap 'rm -rf "$WORK"' EXIT INT TERM
+fi
+
+fail() {
+    echo "hotspot-smoke: FAIL: $1" >&2
+    exit 1
+}
+
+echo "hotspot-smoke: 1/3 loadmap byte-identity across --jobs"
+$DHTLAB hotspots --smoke --no-progress --jobs 1 \
+    --loadmap "$WORK/lm.j1.csv" --csv > "$WORK/out.j1.csv" 2> /dev/null
+$DHTLAB hotspots --smoke --no-progress --jobs 8 \
+    --loadmap "$WORK/lm.j8.csv" --csv > "$WORK/out.j8.csv" 2> /dev/null
+diff "$WORK/out.j1.csv" "$WORK/out.j8.csv" \
+    || fail "CSV output differs between --jobs 1 and --jobs 8"
+diff "$WORK/lm.j1.csv" "$WORK/lm.j8.csv" \
+    || fail "persisted loadmap differs between --jobs 1 and --jobs 8"
+
+echo "hotspot-smoke: 2/3 batch vs scalar per-node count parity"
+$DHTLAB hotspots --smoke --no-progress --jobs 4 --no-batch \
+    --loadmap "$WORK/lm.scalar.csv" --csv > "$WORK/out.scalar.csv" 2> /dev/null
+diff "$WORK/out.j1.csv" "$WORK/out.scalar.csv" \
+    || fail "CSV output differs between batch and --no-batch"
+diff "$WORK/lm.j1.csv" "$WORK/lm.scalar.csv" \
+    || fail "persisted loadmap differs between batch and --no-batch"
+
+echo "hotspot-smoke: 3/3 CSV, loadmap and JSON shape"
+head -n 1 "$WORK/out.j1.csv" | grep -q \
+    '^plane,geometry,bits,nodes,axis,kind,total,active_nodes,load_max,load_mean,congestion,gini,traversals,terminations,storage_reads,repairs$' \
+    || fail "unexpected CSV header"
+head -n 1 "$WORK/lm.j1.csv" | grep -q \
+    '^node,traversals,terminations,storage_reads,repairs$' \
+    || fail "unexpected loadmap header"
+# --smoke pins bits to 8: the routing plane's map covers 2^8 nodes,
+# so the file is the header plus 256 rows.
+ROWS=$(($(wc -l < "$WORK/lm.j1.csv") - 1))
+[ "$ROWS" -eq 256 ] || fail "loadmap has $ROWS rows, expected 256"
+grep -q '^routing,' "$WORK/out.j1.csv" || fail "no routing-plane points in CSV"
+grep -q '^storage,' "$WORK/out.j1.csv" || fail "no storage-plane points in CSV"
+$DHTLAB hotspots --smoke --no-progress --jobs 1 --json \
+    > "$WORK/out.json" 2> /dev/null
+for key in '"plane"' '"traversals"' '"terminations"' '"storage_reads"' '"repairs"' '"gini"'; do
+    grep -q "$key" "$WORK/out.json" || fail "JSON output is missing $key"
+done
+
+echo "hotspot-smoke: OK (per-node counts identical across jobs and batch/scalar)"

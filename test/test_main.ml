@@ -27,5 +27,6 @@ let () =
       ("flat", Test_flat.suite);
       ("batch", Test_batch.suite);
       ("storage", Test_storage.suite);
+      ("loadmap", Test_loadmap.suite);
       ("cli", Test_cli.suite);
     ]

@@ -201,6 +201,114 @@ let test_chrome_export () =
               | _ -> Alcotest.fail "geometry attr missing from args")
           | None -> Alcotest.fail "span attrs not exported under args"))
 
+(* Write an arbitrary hand-built trace (not the shared fixture). *)
+let with_lines lines f =
+  let path = Filename.temp_file "dht_rcm_test" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      List.iter
+        (fun l ->
+          output_string oc l;
+          output_char oc '\n')
+        lines;
+      close_out oc;
+      f path)
+
+(* Nearest-rank quantiles are exact, so the degenerate span sets have
+   hand-checkable answers: a singleton is its own p50 and p99; on two
+   elements rank(0.5 * 2) = 1 selects the *upper* element for p50. *)
+let span_stats path =
+  match (Obs.Trace_reader.analyze (load path)).Obs.Trace_reader.spans with
+  | [ (_, s) ] -> s
+  | other -> Alcotest.failf "expected one span row, got %d" (List.length other)
+
+let test_quantile_singleton () =
+  with_lines
+    [ {|{"ts": 10.0, "kind": "span", "name": "solo", "domain": 0, "dur_s": 3.0}|} ]
+    (fun path ->
+      let s = span_stats path in
+      Alcotest.(check int) "count" 1 s.Obs.Trace_reader.sp_count;
+      Alcotest.(check (float 1e-12)) "p50 = the sample" 3.0 s.Obs.Trace_reader.sp_p50_s;
+      Alcotest.(check (float 1e-12)) "p99 = the sample" 3.0 s.Obs.Trace_reader.sp_p99_s;
+      Alcotest.(check (float 1e-12)) "min = the sample" 3.0 s.Obs.Trace_reader.sp_min_s;
+      Alcotest.(check (float 1e-12)) "max = the sample" 3.0 s.Obs.Trace_reader.sp_max_s)
+
+let test_quantile_two_elements () =
+  with_lines
+    [
+      {|{"ts": 10.0, "kind": "span", "name": "duo", "domain": 0, "dur_s": 1.0}|};
+      {|{"ts": 11.0, "kind": "span", "name": "duo", "domain": 1, "dur_s": 2.0}|};
+    ]
+    (fun path ->
+      let s = span_stats path in
+      Alcotest.(check int) "count" 2 s.Obs.Trace_reader.sp_count;
+      Alcotest.(check (float 1e-12)) "p50 is the upper element" 2.0
+        s.Obs.Trace_reader.sp_p50_s;
+      Alcotest.(check (float 1e-12)) "p99 is the upper element" 2.0
+        s.Obs.Trace_reader.sp_p99_s;
+      Alcotest.(check (float 1e-12)) "min" 1.0 s.Obs.Trace_reader.sp_min_s;
+      Alcotest.(check (float 1e-12)) "max" 2.0 s.Obs.Trace_reader.sp_max_s;
+      Alcotest.(check (float 1e-12)) "total" 3.0 s.Obs.Trace_reader.sp_total_s)
+
+(* A non-finite duration or attr (JSON "1e999" parses to infinity)
+   must export as null, never as the bare tokens "inf"/"nan", which
+   are not JSON and make chrome://tracing reject the whole file. *)
+let test_chrome_export_non_finite () =
+  with_lines
+    [
+      {|{"ts": 5.0, "kind": "span", "name": "weird", "domain": 0, "dur_s": 1e999, "attrs": {"ratio": 1e999, "skew": -1e999, "ok": 2.5}}|};
+      {|{"ts": 6.0, "kind": "event", "name": "fine", "domain": 0}|};
+    ]
+    (fun path ->
+      let records = load path in
+      let out = Filename.temp_file "dht_rcm_test" ".chrome.json" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove out)
+        (fun () ->
+          let oc = open_out out in
+          Obs.Trace_reader.export_chrome records oc;
+          close_out oc;
+          let ic = open_in_bin out in
+          let text =
+            Fun.protect
+              ~finally:(fun () -> close_in_noerr ic)
+              (fun () -> really_input_string ic (in_channel_length ic))
+          in
+          Alcotest.(check bool) "no inf token" false (contains_substring text "inf");
+          Alcotest.(check bool) "no nan token" false (contains_substring text "nan");
+          let open Obs.Tiny_json in
+          (* Must still parse as JSON at all. *)
+          let json = parse text in
+          let events = Option.get (to_list (Option.get (member "traceEvents" json))) in
+          Alcotest.(check int) "both events exported" 2 (List.length events);
+          let weird =
+            List.find
+              (fun e -> Option.bind (member "name" e) to_str = Some "weird")
+              events
+          in
+          Alcotest.(check bool) "infinite dur is null" true
+            (member "dur" weird = Some Null);
+          (match member "args" weird with
+          | Some args ->
+              Alcotest.(check bool) "infinite attr is null" true
+                (member "ratio" args = Some Null);
+              Alcotest.(check bool) "-infinite attr is null" true
+                (member "skew" args = Some Null);
+              Alcotest.(check (option (float 1e-12))) "finite attr survives"
+                (Some 2.5)
+                (Option.bind (member "ok" args) to_num)
+          | None -> Alcotest.fail "args lost");
+          let fine =
+            List.find
+              (fun e -> Option.bind (member "name" e) to_str = Some "fine")
+              events
+          in
+          match Option.bind (member "ts" fine) to_num with
+          | Some ts -> Alcotest.(check bool) "finite event ts kept" true (Float.is_finite ts)
+          | None -> Alcotest.fail "finite event lost its ts"))
+
 let test_empty_trace () =
   let path = Filename.temp_file "dht_rcm_test" ".jsonl" in
   Fun.protect
@@ -245,6 +353,10 @@ let suite =
     ("trace-reader: partial traces", `Quick, test_partial_traces);
     ("trace-reader: missing field is corrupt", `Quick, test_missing_required_field);
     ("trace-reader: chrome export", `Quick, test_chrome_export);
+    ("trace-reader: quantiles on a singleton", `Quick, test_quantile_singleton);
+    ("trace-reader: quantiles on two elements", `Quick, test_quantile_two_elements);
+    ("trace-reader: chrome export of non-finite values", `Quick,
+     test_chrome_export_non_finite);
     ("trace-reader: empty trace", `Quick, test_empty_trace);
     ("trace-reader: round-trips the writer", `Quick, test_roundtrip_with_writer);
   ]
