@@ -151,7 +151,7 @@ let simulation_trial geometry =
 
 let bench_simulation geometry =
   Test.make
-    ~name:(Printf.sprintf "fig6-sim/%s-trial-d12" (Rcm.Geometry.name geometry))
+    ~name:(Printf.sprintf "fig6-sim/%s-trial-d12" (Rcm.Geometry.slug geometry))
     (simulation_trial geometry)
 
 let bench_percolation =
@@ -316,7 +316,7 @@ let overlay_backend_bench ~bits ~pairs geometry backend =
   done;
   let route_s = Unix.gettimeofday () -. t1 in
   {
-    ob_geometry = Rcm.Geometry.name geometry;
+    ob_geometry = Rcm.Geometry.slug geometry;
     ob_backend = Overlay.Table.backend_name backend;
     ob_bits = bits;
     ob_build_s = build_s;
@@ -415,7 +415,7 @@ let batch_kernel_bench ~bits ~pairs ~batch_mult geometry =
   let scalar_rate = per_s pairs scalar_s in
   let batch_rate = per_s batch_pairs batch_s in
   {
-    bk_geometry = Rcm.Geometry.name geometry;
+    bk_geometry = Rcm.Geometry.slug geometry;
     bk_scalar_routes_per_s = scalar_rate;
     bk_batch_routes_per_s = batch_rate;
     bk_speedup = (if scalar_rate > 0.0 then batch_rate /. scalar_rate else 0.0);
@@ -625,6 +625,52 @@ let loadmap_bench ~smoke () =
     ov_pairs base_s sink_s ratio;
   (cfg, points, wall_s, overhead)
 
+(* --- Part 9: ReCord plugin geometry ---------------------------------------- *)
+
+(* The plugin family through the same harness as the built-ins: per-base
+   scalar vs batch routes/s (the batch lane replays the scalar run and
+   must deliver the same count, like Part 5), plus the E13 hop-pmf
+   total-variation distance between the chain prediction and the
+   simulated histogram at h = 4 — the number the runtest tolerance
+   pins, recorded here so drift is visible across PRs. *)
+let record_geometry h =
+  match Rcm.Geometry.of_string (Printf.sprintf "record:h=%d" h) with
+  | Ok g -> g
+  | Error e -> failwith e
+
+let record_bench ~smoke () =
+  (* bits must be divisible by every digit width in the sweep (h = 16
+     needs 4); 8 and 12 both qualify. *)
+  let bits = if smoke then 8 else 12 in
+  Fmt.pr "@.==== ReCord plugin (h-ary recursive rings, d=%d) ====@.@." bits;
+  let records =
+    List.map
+      (fun h ->
+        let r =
+          batch_kernel_bench ~bits ~pairs:(if smoke then 500 else 2_000)
+            ~batch_mult:(if smoke then 10 else 50)
+            (record_geometry h)
+        in
+        Fmt.pr "%-12s scalar %9.0f routes/s  batch %10.0f routes/s  speedup %6.1fx@."
+          r.bk_geometry r.bk_scalar_routes_per_s r.bk_batch_routes_per_s r.bk_speedup;
+        r)
+      [ 2; 4; 16 ]
+  in
+  let hop_cfg =
+    { Experiments.Hop_distribution.default_config with
+      bits;
+      pairs = (if smoke then 500 else 2_000);
+    }
+  in
+  let g = record_geometry 4 in
+  let tv =
+    Experiments.Hop_distribution.total_variation
+      (Experiments.Hop_distribution.predicted g ~d:bits ~q:hop_cfg.Experiments.Hop_distribution.q)
+      (Experiments.Hop_distribution.simulated hop_cfg g)
+  in
+  Fmt.pr "hop-pmf total variation (record:h=4, chain vs sim): %.4f@." tv;
+  (bits, records, tv)
+
 (* --- Machine-readable output --------------------------------------------- *)
 
 let json_escape s =
@@ -638,7 +684,7 @@ let json_escape s =
   Buffer.contents buffer
 
 let write_json rows ~domains ~sequential_s ~parallel_s ~overlay ~flat_sweep ~batch ~churn
-    ~storage ~loadmap =
+    ~storage ~loadmap ~record =
   let tm = Unix.localtime (Unix.time ()) in
   let date =
     Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
@@ -728,6 +774,17 @@ let write_json rows ~domains ~sequential_s ~parallel_s ~overlay ~flat_sweep ~bat
             (if i = List.length loadmap_points - 1 then "" else ","))
         loadmap_points;
       Printf.fprintf oc "    ]\n  },\n";
+      let record_bits, record_records, record_tv = record in
+      Printf.fprintf oc "  \"record\": {\n    \"bits\": %d,\n    \"kernels\": [\n" record_bits;
+      List.iteri
+        (fun i r ->
+          Printf.fprintf oc
+            "      {\"geometry\": %S, \"scalar_routes_per_s\": %.1f, \
+             \"batch_routes_per_s\": %.1f, \"speedup\": %.4f}%s\n"
+            r.bk_geometry r.bk_scalar_routes_per_s r.bk_batch_routes_per_s r.bk_speedup
+            (if i = List.length record_records - 1 then "" else ","))
+        record_records;
+      Printf.fprintf oc "    ],\n    \"hop_tv\": %.6f\n  },\n" record_tv;
       Printf.fprintf oc "  \"metrics\": %s\n}\n" (Obs.Metrics.to_json ()));
   Fmt.pr "wrote %s@." path
 
@@ -784,6 +841,7 @@ let () =
   let churn = churn_bench ~smoke () in
   let storage = storage_bench ~smoke () in
   let loadmap = loadmap_bench ~smoke () in
+  let record = record_bench ~smoke () in
   (* The cumulative process watermark lands in the metrics section as a
      counter, so the JSON's "metrics" block records peak memory even
      where the per-phase resets are unsupported. *)
@@ -791,4 +849,4 @@ let () =
     (fun kb -> Obs.Metrics.incr_named ~by:kb "process/peak_rss_kb")
     (Obs.Rss.peak_kb ());
   write_json rows ~domains ~sequential_s ~parallel_s ~overlay ~flat_sweep ~batch ~churn
-    ~storage ~loadmap
+    ~storage ~loadmap ~record

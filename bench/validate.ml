@@ -316,6 +316,33 @@ let validate_bench json =
               if gini < 0.0 || gini > 1.0 then fail "%s.gini: outside [0, 1]" spath)
             [ "traversals"; "terminations"; "storage_reads"; "repairs" ])
         points);
+  (* ReCord plugin section: the same kernel-record shape as $.batch,
+     one record per digit base, plus the hop-pmf total-variation
+     distance between the chain prediction and the simulated histogram
+     — a probability-mass gap, so it must sit in [0, 1]. *)
+  let record = field "$" json "record" in
+  if as_int "$.record.bits" (field "$.record" record "bits") < 1 then
+    fail "$.record.bits: expected >= 1";
+  (match as_list "$.record.kernels" (field "$.record" record "kernels") with
+  | [] -> fail "$.record.kernels: empty (record bench did not run?)"
+  | kernels ->
+      List.iteri
+        (fun i r ->
+          let path = Printf.sprintf "$.record.kernels[%d]" i in
+          let g = as_string (path ^ ".geometry") (field path r "geometry") in
+          if String.length g < 7 || String.sub g 0 7 <> "record:" then
+            fail "%s.geometry: expected a record:* slug, found %S" path g;
+          List.iter
+            (fun key ->
+              let p = path ^ "." ^ key in
+              let v = as_number p (field path r key) in
+              check_finite p v;
+              if v <= 0.0 then fail "%s: expected > 0" p)
+            [ "scalar_routes_per_s"; "batch_routes_per_s"; "speedup" ])
+        kernels);
+  let tv = as_number "$.record.hop_tv" (field "$.record" record "hop_tv") in
+  check_finite "$.record.hop_tv" tv;
+  if tv < 0.0 || tv > 1.0 then fail "$.record.hop_tv: outside [0, 1]";
   let counters, histograms = validate_metrics "$.metrics" (field "$" json "metrics") in
   (* The smoke sweep always routes through the pool and the overlay
      cache: an empty metrics section means the instrumentation was

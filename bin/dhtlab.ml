@@ -10,7 +10,23 @@ let geometry_conv =
   Arg.conv (parse, Rcm.Geometry.pp)
 
 let geometry_arg =
-  let doc = "Routing geometry: tree, hypercube, xor, ring or symphony (system names work too)." in
+  (* Enumerated from the Geom registry so plugin geometries document
+     themselves; see `dhtlab geometries` for the full table. *)
+  let doc =
+    let names = String.concat ", " (Geom.names ()) in
+    let examples =
+      Geom.all ()
+      |> List.filter (fun g -> not g.Geom.builtin)
+      |> List.map (fun g -> g.Geom.example)
+    in
+    Printf.sprintf
+      "Routing geometry: %s (system names work too). Parameterised families take \
+       colon-separated key=value pairs%s. See $(b,dhtlab geometries) for the registry."
+      names
+      (match examples with
+      | [] -> ""
+      | es -> Printf.sprintf ", e.g. %s" (String.concat ", " es))
+  in
   Arg.(value & opt (some geometry_conv) None & info [ "g"; "geometry" ] ~docv:"GEOMETRY" ~doc)
 
 let bits_arg ~default =
@@ -290,7 +306,7 @@ let analyze geometry bits q csv full =
         ~title:(Printf.sprintf "Analytical routability, N=2^%d" bits)
         ~x_label:"q" ~x:qs
         (List.map
-           (fun g -> (Rcm.Geometry.name g, fun q -> Rcm.Model.routability g ~d:bits ~q))
+           (fun g -> (Rcm.Geometry.slug g, fun q -> Rcm.Model.routability g ~d:bits ~q))
            geometries)
     in
     print_series ~csv series
@@ -365,7 +381,7 @@ let json_arg =
 let note_sim_params ~subcommand ~geometries ~bits ~trials ~pairs ~seed ~qs =
   Obs.Manifest.note "subcommand" (Obs.Manifest.String subcommand);
   Obs.Manifest.note "geometries"
-    (Obs.Manifest.Strings (List.map Rcm.Geometry.name geometries));
+    (Obs.Manifest.Strings (List.map Rcm.Geometry.slug geometries));
   Obs.Manifest.note "bits" (Obs.Manifest.Int bits);
   Obs.Manifest.note "trials" (Obs.Manifest.Int trials);
   Obs.Manifest.note "pairs" (Obs.Manifest.Int pairs);
@@ -454,7 +470,13 @@ let figure_names =
   [
     "f6a"; "f6b"; "f7a"; "f7b"; "sym-knobs"; "suffix"; "fingers"; "rep-xor"; "rep-tree";
     "rep-ring"; "sparse"; "hops"; "blocks"; "base-tree"; "base-xor"; "dims"; "sym-bidir";
+    "record-hops"; "record-tradeoff";
   ]
+
+let record_geometry h =
+  match Rcm.Geometry.of_string (Printf.sprintf "record:h=%d" h) with
+  | Ok g -> g
+  | Error e -> Fmt.failwith "%s" e
 
 let figure_series ?pool ?backend name quick =
   let fig6_config =
@@ -519,6 +541,19 @@ let figure_series ?pool ?backend name quick =
         Experiments.Symphony_deployment.run
           (if quick then { Experiments.Symphony_deployment.default_config with bits = 10 }
            else Experiments.Symphony_deployment.default_config)
+    | "record-hops" ->
+        (* E13a: ReCord hop-count pmf, chain prediction vs simulation. *)
+        Experiments.Hop_distribution.run
+          (if quick then { Experiments.Hop_distribution.default_config with bits = 10 }
+           else Experiments.Hop_distribution.default_config)
+          (record_geometry 4)
+    | "record-tradeoff" ->
+        (* E13b: the degree / hop tradeoff along the ReCord base axis,
+           anchored by builtin xor (= record at h=2's draw-identical twin). *)
+        Experiments.Degree_hops.run
+          (if quick then Experiments.Degree_hops.quick_config
+           else Experiments.Degree_hops.default_config)
+          [ Rcm.Geometry.Xor; record_geometry 2; record_geometry 4; record_geometry 16 ]
   | other ->
       Fmt.failwith "unknown figure %S (expected one of %s)" other
         (String.concat ", " figure_names)
@@ -734,7 +769,7 @@ let churn geometry bits sessions session_dist gap gap_dist maintain k cache warm
     with_obs obs @@ fun () ->
     Obs.Manifest.note "subcommand" (Obs.Manifest.String "churn");
     Obs.Manifest.note "geometries"
-      (Obs.Manifest.Strings (List.map Rcm.Geometry.name geometries));
+      (Obs.Manifest.Strings (List.map Rcm.Geometry.slug geometries));
     Obs.Manifest.note "bits" (Obs.Manifest.Int bits);
     Obs.Manifest.note "sessions"
       (Obs.Manifest.Strings (List.map (Printf.sprintf "%g") sessions));
@@ -931,7 +966,7 @@ let storage geometry bits nodes keys reads zipf rs read_quorum write_quorum qs t
     with_obs obs @@ fun () ->
     Obs.Manifest.note "subcommand" (Obs.Manifest.String "storage");
     Obs.Manifest.note "geometries"
-      (Obs.Manifest.Strings (List.map Rcm.Geometry.name geometries));
+      (Obs.Manifest.Strings (List.map Rcm.Geometry.slug geometries));
     Obs.Manifest.note "bits" (Obs.Manifest.Int bits);
     Obs.Manifest.note "nodes" (Obs.Manifest.Int nodes);
     Obs.Manifest.note "keys" (Obs.Manifest.Int keys);
@@ -1161,7 +1196,7 @@ let write_heatmap ~prefix planes points =
             (fun i g ->
               Printf.fprintf oc "%s\"%s\" %d"
                 (if i > 0 then ", " else "")
-                (Rcm.Geometry.name g) i)
+                (Rcm.Geometry.slug g) i)
             geoms;
           output_string oc ")\n";
           Printf.fprintf oc
@@ -1234,7 +1269,7 @@ let hotspots geometry bits pairs qs nodes keys reads r storage_q zipf_ss trials
     Obs.Manifest.note "planes"
       (Obs.Manifest.Strings (List.map H.plane_tag planes));
     Obs.Manifest.note "geometries"
-      (Obs.Manifest.Strings (List.map Rcm.Geometry.name routing_geometries));
+      (Obs.Manifest.Strings (List.map Rcm.Geometry.slug routing_geometries));
     Obs.Manifest.note "bits" (Obs.Manifest.Int bits);
     Obs.Manifest.note "pairs" (Obs.Manifest.Int pairs);
     Obs.Manifest.note "qs"
@@ -1489,6 +1524,41 @@ let trace_cmd =
   let doc = "Analyse JSONL traces recorded with $(b,--trace-out)." in
   Cmd.group (Cmd.info "trace" ~doc) [ trace_report_cmd; trace_export_chrome_cmd ]
 
+(* --- geometries ------------------------------------------------------------ *)
+
+let geometries names_only =
+  if names_only then List.iter print_endline (Geom.names ())
+  else begin
+    Fmt.pr "%-12s %-22s %-16s %-14s %s@." "name" "example" "degree" "hops" "capabilities";
+    List.iter
+      (fun g ->
+        let caps =
+          List.filter_map
+            (fun (label, on) -> if on then Some label else None)
+            [
+              ("analysis", g.Geom.analysis); ("chain", g.Geom.chain);
+              ("batch-block", g.Geom.batch_block); ("sparse", g.Geom.sparse);
+              ("churn", g.Geom.churn); ("session-churn", g.Geom.session_churn);
+              ("builtin", g.Geom.builtin);
+            ]
+        in
+        Fmt.pr "%-12s %-22s %-16s %-14s %s@." (Geom.name g) g.Geom.example g.Geom.degree
+          g.Geom.hops (String.concat "," caps))
+      (Geom.all ())
+  end
+
+let geometries_cmd =
+  let doc =
+    "List the registered routing geometries: built-ins and plugins, with their \
+     example slugs, asymptotics and per-layer capabilities."
+  in
+  let names_only =
+    Arg.(value & flag
+         & info [ "names" ]
+             ~doc:"Print bare registry names only, one per line (for scripts).")
+  in
+  Cmd.v (Cmd.info "geometries" ~doc) Term.(const geometries $ names_only)
+
 (* --- main ----------------------------------------------------------------- *)
 
 let main_cmd =
@@ -1505,6 +1575,7 @@ let main_cmd =
       churn_cmd;
       storage_cmd;
       hotspots_cmd;
+      geometries_cmd;
       route_cmd;
       export_cmd;
       trace_cmd;

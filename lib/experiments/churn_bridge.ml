@@ -71,7 +71,7 @@ let pp_rows ppf rows =
   List.iter
     (fun row ->
       Fmt.pf ppf "%-10s %9.2f %8.2f %8.3f %8.4f %12.4f %12.4f %12.4f %8.4f@."
-        (Rcm.Geometry.name row.geometry)
+        (Rcm.Geometry.slug row.geometry)
         row.mean_downtime row.repair_interval row.report.Sim.Churn.mean_alive
         row.report.Sim.Churn.mean_stale row.report.Sim.Churn.mean_routability
         row.report.Sim.Churn.mean_prediction row.static_sim (bridge_error row))

@@ -76,7 +76,7 @@ let point_seeds cfg ~tasks =
 
 let churn_key cfg geometry ~session_mean ~seed =
   {
-    Sim.Checkpoint.c_geometry = Rcm.Geometry.name geometry;
+    Sim.Checkpoint.c_geometry = Rcm.Geometry.slug geometry;
     c_bits = cfg.bits;
     c_session = Sim.Lifetime.shape_to_string cfg.session_shape;
     c_session_mean = session_mean;
@@ -153,9 +153,9 @@ let run ?pool ?(geometries = default_geometries) ?(retries = 0) ?fault ?checkpoi
   let seeds = point_seeds cfg ~tasks:n in
   Obs.Progress.start ~label:"churn"
     ~groups:
-      (Array.to_list (Array.map (fun g -> (Rcm.Geometry.name g, per_geom)) geoms))
+      (Array.to_list (Array.map (fun g -> (Rcm.Geometry.slug g, per_geom)) geoms))
     ~total:n ();
-  let tick i = Obs.Progress.tick ~group:(Rcm.Geometry.name geoms.(i / per_geom)) () in
+  let tick i = Obs.Progress.tick ~group:(Rcm.Geometry.slug geoms.(i / per_geom)) () in
   let run_one i =
     let geometry = geoms.(i / per_geom) in
     let session_mean = means.(i mod per_geom) in
@@ -199,7 +199,7 @@ let run ?pool ?(geometries = default_geometries) ?(retries = 0) ?fault ?checkpoi
           failwith
             (Printf.sprintf "churn point %d (%s, session %g) failed after %d attempts: %s"
                i
-               (Rcm.Geometry.name geoms.(i / per_geom))
+               (Rcm.Geometry.slug geoms.(i / per_geom))
                means.(i mod per_geom) attempts error)
       | Exec.Pool.Done _ | Exec.Pool.Cancelled -> ())
     outcomes;
@@ -221,7 +221,7 @@ let pp_points ppf points =
   List.iter
     (fun p ->
       Fmt.pf ppf "%-10s %9g %10.5f %7.3f %7.3f %8.4f %12s %12.4f %9d@."
-        (Rcm.Geometry.name p.geometry)
+        (Rcm.Geometry.slug p.geometry)
         p.session_mean p.churn_rate p.availability p.mean_alive p.mean_stale
         (float_or_nan p.mean_routability "%12.4f")
         p.mean_prediction p.no_pair_measurements)
@@ -232,7 +232,7 @@ let csv_header =
 
 let to_csv_row cfg p =
   Printf.sprintf "%s,%d,%g,%.9g,%.6f,%.6f,%.6f,%.6f,%.6f,%s,%.6f,%d,%d"
-    (Rcm.Geometry.name p.geometry)
+    (Rcm.Geometry.slug p.geometry)
     cfg.bits p.session_mean p.churn_rate p.availability p.mean_alive p.mean_stale
     p.stale_near p.stale_shortcut
     (float_or_nan p.mean_routability "%.6f")
@@ -245,7 +245,7 @@ let to_json cfg p =
      %s, \"gap\": %S, \"churn_rate\": %s, \"availability\": %s, \"alive\": %s, \"stale\": \
      %s, \"stale_near\": %s, \"stale_shortcut\": %s, \"routability\": %s, \"prediction\": \
      %s, \"no_pair_measurements\": %d, \"events\": %d}"
-    (Rcm.Geometry.name p.geometry)
+    (Rcm.Geometry.slug p.geometry)
     cfg.bits (json_float p.session_mean)
     (Sim.Lifetime.shape_to_string cfg.session_shape)
     (json_float cfg.gap_mean)

@@ -35,7 +35,7 @@ let pp ppf report =
   List.iter
     (fun r ->
       Fmt.pf ppf "%-12s %-12s %-40s %-14.6g %b@."
-        (Rcm.Geometry.name r.geometry)
+        (Rcm.Geometry.slug r.geometry)
         (match r.paper with `Scalable -> "scalable" | `Unscalable -> "unscalable")
         (Fmt.str "%a" Rcm.Scalability.pp_verdict r.numeric)
         r.asymptotic_success r.agrees)

@@ -11,7 +11,7 @@ let run_geometry cfg geometry =
   Series.tabulate
     ~title:
       (Printf.sprintf "A1 connectivity vs routability: %s, N=2^%d"
-         (Rcm.Geometry.name geometry) cfg.bits)
+         (Rcm.Geometry.slug geometry) cfg.bits)
     ~x_label:"q" ~x:cfg.qs
     [
       ( "connectivity",
@@ -43,7 +43,7 @@ let run ?pool ?backend cfg geometry =
   Series.create
     ~title:
       (Printf.sprintf "A1 connectivity vs routability: %s, N=2^%d"
-         (Rcm.Geometry.name geometry) cfg.bits)
+         (Rcm.Geometry.slug geometry) cfg.bits)
     ~x_label:"q"
     ~x:(Array.of_list cfg.qs)
     [

@@ -40,7 +40,7 @@ let run cfg geometry =
     ~title:
       (Printf.sprintf
          "A6 (%s): independent vs correlated (block) failures, N=2^%d (routability)"
-         (Rcm.Geometry.name geometry) cfg.bits)
+         (Rcm.Geometry.slug geometry) cfg.bits)
     ~x_label:"q" ~x:cfg.qs
     [
       ("independent", simulate cfg geometry ~mode:`Independent);
@@ -56,14 +56,14 @@ let run_all cfg =
     (List.concat_map
        (fun g ->
          [
-           (Rcm.Geometry.name g ^ "(iid)", simulate cfg g ~mode:`Independent);
-           (Rcm.Geometry.name g ^ "(blk)", simulate cfg g ~mode:`Block);
+           (Rcm.Geometry.slug g ^ "(iid)", simulate cfg g ~mode:`Independent);
+           (Rcm.Geometry.slug g ^ "(blk)", simulate cfg g ~mode:`Block);
          ])
        Rcm.Geometry.all_default)
 
 (* Summary statistic: mean over the grid of (block - independent). *)
 let block_penalty series ~geometry =
-  let name = Rcm.Geometry.name geometry in
+  let name = Rcm.Geometry.slug geometry in
   match
     (Series.find_column series (name ^ "(iid)"), Series.find_column series (name ^ "(blk)"))
   with

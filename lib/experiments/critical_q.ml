@@ -50,6 +50,6 @@ let pp_rows ppf rows =
         | Some q when q >= 1.0 -> ">= 1"
         | Some q -> Printf.sprintf "%.4f" q
       in
-      Fmt.pf ppf "%-12s %6d %8.2f %12s@." (Rcm.Geometry.name row.geometry) row.d row.target
+      Fmt.pf ppf "%-12s %6d %8.2f %12s@." (Rcm.Geometry.slug row.geometry) row.d row.target
         value)
     rows

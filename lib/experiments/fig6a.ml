@@ -22,9 +22,9 @@ let estimate_config cfg geometry =
   Sim.Estimate.config ~trials:cfg.trials ~pairs_per_trial:cfg.pairs_per_trial ~seed:cfg.seed
     ~bits:cfg.bits ~q:0.0 geometry
 
-let analysis_label geometry = Rcm.Geometry.name geometry ^ "(ana)"
+let analysis_label geometry = Rcm.Geometry.slug geometry ^ "(ana)"
 
-let simulation_label geometry = Rcm.Geometry.name geometry ^ "(sim)"
+let simulation_label geometry = Rcm.Geometry.slug geometry ^ "(sim)"
 
 let analysis_column cfg geometry =
   (analysis_label geometry, fun q -> Rcm.Model.failed_paths_percent geometry ~d:cfg.bits ~q)

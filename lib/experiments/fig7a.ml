@@ -14,7 +14,7 @@ let run cfg =
     ~x_label:"q" ~x:cfg.qs
     (List.map
        (fun g ->
-         (Rcm.Geometry.name g, fun q -> Rcm.Model.failed_paths_percent g ~d:cfg.bits ~q))
+         (Rcm.Geometry.slug g, fun q -> Rcm.Model.failed_paths_percent g ~d:cfg.bits ~q))
        geometries)
 
 (* The qualitative claims the paper reads off this figure. *)

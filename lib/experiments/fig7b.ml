@@ -12,7 +12,7 @@ let run cfg =
     ~x_label:"d" ~x:(List.map float_of_int cfg.ds)
     (List.map
        (fun g ->
-         ( Rcm.Geometry.name g,
+         ( Rcm.Geometry.slug g,
            fun d -> Rcm.Model.routability g ~d:(int_of_float d) ~q:cfg.q ))
        geometries)
 

@@ -10,7 +10,9 @@ let predicted geometry ~d ~q =
   let spec = Rcm.Model.spec_of_geometry geometry in
   let mix = Array.make (4 * d) 0.0 in
   let total = ref 0.0 in
-  for h = 1 to d do
+  (* Phases run 1 .. max_phase: d for the five built-ins, d/group for
+     digit-grouped custom specs. *)
+  for h = 1 to spec.Rcm.Spec.max_phase ~d do
     let routing = Latency.chain_for geometry ~d ~q ~h in
     let p = Markov.Routing_chains.success_probability routing in
     if p > 0.0 then begin
@@ -62,7 +64,7 @@ let run cfg geometry =
   Series.create
     ~title:
       (Printf.sprintf "E9 (%s): delivered hop-count pmf at N=2^%d, q=%.2f — chain vs simulation"
-         (Rcm.Geometry.name geometry) cfg.bits cfg.q)
+         (Rcm.Geometry.slug geometry) cfg.bits cfg.q)
     ~x_label:"hops"
     ~x:(Array.init n float_of_int)
     [

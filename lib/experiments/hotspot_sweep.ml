@@ -202,7 +202,7 @@ let run ?pool ?(planes = [ Routing; Storage ])
   if n = 0 then invalid_arg "Hotspot_sweep.run: empty grid";
   let seeds = point_seeds cfg ~tasks:n in
   let group_of (plane, g, _) =
-    plane_tag plane ^ "/" ^ Rcm.Geometry.name g
+    plane_tag plane ^ "/" ^ Rcm.Geometry.slug g
   in
   let groups =
     (* Grid order is group-contiguous, so counting runs of equal names
@@ -250,7 +250,7 @@ let run ?pool ?(planes = [ Routing; Storage ])
                "hotspot point %d (%s plane, %s, axis %g) failed after %d \
                 attempts: %s"
                i (plane_tag plane)
-               (Rcm.Geometry.name geometry)
+               (Rcm.Geometry.slug geometry)
                axis attempts error)
       | Exec.Pool.Done _ | Exec.Pool.Cancelled -> ())
     outcomes;
@@ -285,7 +285,7 @@ let pp_points ppf points =
       let s = primary p in
       Fmt.pf ppf "%-8s %-10s %8g %13s %8d %8d %8d %10.3f %8.4f@."
         (plane_tag p.plane)
-        (Rcm.Geometry.name p.geometry)
+        (Rcm.Geometry.slug p.geometry)
         p.axis
         (Obs.Loadmap.kind_name (primary_kind p.plane))
         s.Obs.Loadmap_report.total s.active_nodes s.max s.congestion s.gini)
@@ -298,7 +298,7 @@ let to_csv_row cfg p =
   let s = primary p in
   Printf.sprintf "%s,%s,%d,%d,%g,%s,%d,%d,%d,%s,%s,%s,%d,%d,%d,%d"
     (plane_tag p.plane)
-    (Rcm.Geometry.name p.geometry)
+    (Rcm.Geometry.slug p.geometry)
     cfg.bits p.nodes p.axis
     (Obs.Loadmap.kind_name (primary_kind p.plane))
     s.Obs.Loadmap_report.total s.active_nodes s.max
@@ -322,7 +322,7 @@ let to_json cfg p =
      %s, \"kind\": %S, \"traversals\": %s, \"terminations\": %s, \
      \"storage_reads\": %s, \"repairs\": %s}"
     (plane_tag p.plane)
-    (Rcm.Geometry.name p.geometry)
+    (Rcm.Geometry.slug p.geometry)
     cfg.bits p.nodes (json_float p.axis)
     (Obs.Loadmap.kind_name (primary_kind p.plane))
     (summary_json p.traversals) (summary_json p.terminations)

@@ -11,6 +11,13 @@ let chain_for geometry ~d ~q ~h =
   | Rcm.Geometry.Ring -> Markov.Routing_chains.ring ~h ~q
   | Rcm.Geometry.Symphony { k_n; k_s } ->
       Markov.Routing_chains.symphony ~d ~phases:h ~q ~k_n ~k_s
+  | Rcm.Geometry.Custom _ as g -> (
+      match Rcm.Model.custom_chain g ~d ~q ~h with
+      | Some routing -> routing
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Latency.chain_for: %s has no registered routing chain"
+               (Rcm.Geometry.slug g)))
 
 (* E7: expected hop count of *delivered* messages, as the routing
    chains predict it — E_h[ hops | success ] weighted by n(h) p(h)
@@ -22,7 +29,9 @@ let predicted_hops geometry ~d ~q =
   let spec = Rcm.Model.spec_of_geometry geometry in
   let weighted = Numerics.Kahan.create () in
   let total = Numerics.Kahan.create () in
-  for h = 1 to d do
+  (* Phases run 1 .. max_phase; for the five built-ins that is d, while
+     digit-grouped custom specs stop at d/group. *)
+  for h = 1 to spec.Rcm.Spec.max_phase ~d do
     let routing = chain_for geometry ~d ~q ~h in
     let p = Markov.Routing_chains.success_probability routing in
     if p > 0.0 then begin
@@ -47,7 +56,7 @@ let run cfg geometry =
   Series.tabulate
     ~title:
       (Printf.sprintf "E7 (%s): mean hops of delivered messages, N=2^%d — chain vs simulation"
-         (Rcm.Geometry.name geometry) cfg.bits)
+         (Rcm.Geometry.slug geometry) cfg.bits)
     ~x_label:"q" ~x:cfg.qs
     [
       ("chain", fun q -> predicted_hops geometry ~d:cfg.bits ~q);
@@ -66,7 +75,7 @@ let run_all cfg =
     (List.concat_map
        (fun g ->
          [
-           (Rcm.Geometry.name g ^ "(chain)", fun q -> predicted_hops g ~d:cfg.bits ~q);
-           (Rcm.Geometry.name g ^ "(sim)", simulated_hops cfg g);
+           (Rcm.Geometry.slug g ^ "(chain)", fun q -> predicted_hops g ~d:cfg.bits ~q);
+           (Rcm.Geometry.slug g ^ "(sim)", simulated_hops cfg g);
          ])
        geometries)

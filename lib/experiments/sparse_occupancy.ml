@@ -84,7 +84,7 @@ let run ?pool cfg geometry =
     ~title:
       (Printf.sprintf
          "E6 (%s): sparse-space routability, %d nodes in growing id spaces"
-         (Rcm.Geometry.name geometry) cfg.nodes)
+         (Rcm.Geometry.slug geometry) cfg.nodes)
     ~x_label:"q" ~x:(Array.of_list cfg.qs)
     (Series.column
        ~label:(Printf.sprintf "ana(d=%d)" d_eff)

@@ -151,7 +151,7 @@ let storage_key cfg geometry ~quorum ~axis ~seed =
           1 )
   in
   {
-    Sim.Checkpoint.k_geometry = Rcm.Geometry.name geometry;
+    Sim.Checkpoint.k_geometry = Rcm.Geometry.slug geometry;
     k_bits = cfg.bits;
     k_nodes = cfg.nodes;
     k_keys = cfg.keys;
@@ -315,9 +315,9 @@ let run ?pool ?(geometries = default_geometries) ?(retries = 0) ?fault ?checkpoi
   in
   Obs.Progress.start ~label:"storage"
     ~groups:
-      (Array.to_list (Array.map (fun g -> (Rcm.Geometry.name g, per_geom)) geoms))
+      (Array.to_list (Array.map (fun g -> (Rcm.Geometry.slug g, per_geom)) geoms))
     ~total:n ();
-  let tick i = Obs.Progress.tick ~group:(Rcm.Geometry.name geoms.(i / per_geom)) () in
+  let tick i = Obs.Progress.tick ~group:(Rcm.Geometry.slug geoms.(i / per_geom)) () in
   let run_one i =
     let geometry, quorum, axis = coords i in
     let seed = seeds.(i) in
@@ -358,7 +358,7 @@ let run ?pool ?(geometries = default_geometries) ?(retries = 0) ?fault ?checkpoi
           failwith
             (Printf.sprintf
                "storage point %d (%s, r=%d, %s %g) failed after %d attempts: %s" i
-               (Rcm.Geometry.name geometry)
+               (Rcm.Geometry.slug geometry)
                quorum.Storage.Quorum.r (mode_tag cfg.mode) axis attempts error)
       | Exec.Pool.Done _ | Exec.Pool.Cancelled -> ())
     outcomes;
@@ -384,7 +384,7 @@ let pp_points ppf points =
         else float_of_int p.degraded_reads /. float_of_int p.attempted
       in
       Fmt.pf ppf "%-10s %3d %3d %3d %8g %8s %9.4f %9.4f %9s %8d %8d %8d@."
-        (Rcm.Geometry.name p.geometry)
+        (Rcm.Geometry.slug p.geometry)
         p.r p.rq p.wq p.axis
         (float_or_nan p.availability "%8.4f")
         p.survival p.analytic
@@ -398,7 +398,7 @@ let csv_header =
 let to_csv_row cfg p =
   Printf.sprintf
     "%s,%d,%d,%d,%s,%d,%d,%d,%g,%s,%d,%d,%d,%d,%d,%s,%.6f,%.6f,%.6f,%d,%d,%d,%d,%.6f,%d,%d"
-    (Rcm.Geometry.name p.geometry)
+    (Rcm.Geometry.slug p.geometry)
     cfg.bits cfg.nodes cfg.keys (mode_tag cfg.mode) p.r p.rq p.wq p.axis
     (float_or_nan p.churn_rate "%.9g")
     p.attempted p.quorum_reads p.degraded_reads p.failed_reads p.no_client
@@ -415,7 +415,7 @@ let to_json cfg p =
      %d, \"no_client\": %d, \"availability\": %s, \"survival\": %s, \"analytic\": %s, \
      \"alive\": %s, \"probe_routes\": %d, \"repair_routes\": %d, \"repair_transfers\": \
      %d, \"load_max\": %d, \"load_mean\": %s, \"load_p99\": %d, \"events\": %d}"
-    (Rcm.Geometry.name p.geometry)
+    (Rcm.Geometry.slug p.geometry)
     cfg.bits cfg.nodes cfg.keys (json_float cfg.zipf_s) (mode_tag cfg.mode) p.r p.rq
     p.wq (json_float p.axis) (json_float p.churn_rate) p.attempted p.quorum_reads
     p.degraded_reads p.failed_reads p.no_client

@@ -35,6 +35,6 @@ let pp_rows ppf rows =
       let routing =
         match row.routing_collapse with None -> "< 1e-6" | Some q -> Printf.sprintf "%.4f" q
       in
-      Fmt.pf ppf "%-12s %14s %16.4f %10.4f@." (Rcm.Geometry.name row.geometry) routing
+      Fmt.pf ppf "%-12s %14s %16.4f %10.4f@." (Rcm.Geometry.slug row.geometry) routing
         row.connectivity_collapse (margin row))
     rows

@@ -116,6 +116,20 @@ let build_symphony_contacts t rng ~k_n ~k_s =
           if i < k_n then (v + i + 1) mod n
           else (v + Prng.Splitmix.harmonic_int rng ~n:(n - 1)) mod n))
 
+(* Custom-family sparse contact builders, keyed by family name. The
+   builder sees the overlay with [ids] populated (contacts still
+   empty) and returns the per-node contact arrays; [missing] entries
+   are allowed and simply never match in the sparse routers. *)
+type custom_builder = t -> Prng.Splitmix.t -> (string * int) list -> int array array
+
+let custom_builders : (string, custom_builder) Hashtbl.t = Hashtbl.create 8
+
+let register_custom_builder ~family builder =
+  if Hashtbl.mem custom_builders family then
+    invalid_arg
+      (Printf.sprintf "Sparse.register_custom_builder: %S already registered" family);
+  Hashtbl.replace custom_builders family builder
+
 let build ?(rng = Prng.Splitmix.create ~seed:0x5ea5) ~bits ~nodes geometry =
   if bits < 1 || bits > 30 then invalid_arg "Sparse.build: bits outside 1..30";
   let ids = sample_ids rng ~bits ~count:nodes in
@@ -128,5 +142,12 @@ let build ?(rng = Prng.Splitmix.create ~seed:0x5ea5) ~bits ~nodes geometry =
     | Rcm.Geometry.Hypercube ->
         invalid_arg
           "Sparse.build: CAN's sparse form is a zone partition, not an id-subset overlay"
+    | Rcm.Geometry.Custom { family; params } -> (
+        match Hashtbl.find_opt custom_builders family with
+        | Some builder -> builder t rng params
+        | None ->
+            invalid_arg
+              (Printf.sprintf "Sparse.build: family %S has no registered sparse builder"
+                 family))
   in
   { t with contacts }

@@ -17,8 +17,20 @@ val missing : int
 
 val build :
   ?rng:Prng.Splitmix.t -> bits:int -> nodes:int -> Rcm.Geometry.t -> t
-(** @raise Invalid_argument for [Hypercube], node counts outside
-    2..2^bits, or bits outside 1..30. *)
+(** @raise Invalid_argument for [Hypercube], a custom geometry with no
+    registered sparse builder, node counts outside 2..2^bits, or bits
+    outside 1..30. *)
+
+type custom_builder = t -> Prng.Splitmix.t -> (string * int) list -> int array array
+(** A plugin family's sparse construction: called with the overlay's
+    ids populated (contacts empty — use the id/range accessors only)
+    and the family parameters; returns one contact-index array per
+    node, [missing] entries allowed. *)
+
+val register_custom_builder : family:string -> custom_builder -> unit
+(** Registers the sparse contact builder of a custom family. Call at
+    module-init time from the plugin library.
+    @raise Invalid_argument if the family is already registered. *)
 
 val bits : t -> int
 val geometry : t -> Rcm.Geometry.t

@@ -108,6 +108,27 @@ let ring_with_successors_entry ~bits ~size v i =
   if i < bits then (v + (1 lsl i)) land (size - 1)
   else (v + (i - bits) + 1) land (size - 1)
 
+(* Custom-family table builders, keyed by family name. A builder
+   returns the uniform degree plus the entry function [(v, i) ->
+   neighbour id] that [make] evaluates for v ascending then i
+   ascending on both backends — which is the whole bit-identity
+   mechanism: a plugin that draws from [rng] only inside its entry
+   function gets Classic/Flat equality for free. Registered at
+   module-init time from plugin libraries, before any build. *)
+type custom_builder =
+  space:Idspace.Space.t ->
+  rng:Prng.Splitmix.t ->
+  (string * int) list ->
+  int * (int -> int -> int)
+
+let custom_builders : (string, custom_builder) Hashtbl.t = Hashtbl.create 8
+
+let register_custom_builder ~family builder =
+  if Hashtbl.mem custom_builders family then
+    invalid_arg
+      (Printf.sprintf "Table.register_custom_builder: %S already registered" family);
+  Hashtbl.replace custom_builders family builder
+
 let make ~space ~geometry ~backend ~degree entry =
   let size = Idspace.Space.size space in
   let repr =
@@ -128,6 +149,12 @@ let build ?(rng = Prng.Splitmix.create ~seed:0x5eed) ?(backend = Classic) ~bits 
     | Rcm.Geometry.Symphony { k_n; k_s } ->
         if k_n + k_s >= size then invalid_arg "Table.build_symphony: degree exceeds ring size";
         (k_n + k_s, symphony_entry ~size rng ~k_n)
+    | Rcm.Geometry.Custom { family; params } -> (
+        match Hashtbl.find_opt custom_builders family with
+        | Some builder -> builder ~space ~rng params
+        | None ->
+            invalid_arg
+              (Printf.sprintf "Table.build: family %S has no registered table builder" family))
   in
   make ~space ~geometry ~backend ~degree entry
 

@@ -1,4 +1,4 @@
-(** Concrete neighbour tables for the five DHT geometries over a
+(** Concrete neighbour tables for the registered DHT geometries over a
     fully-populated [2^bits] identifier space (the simulation
     counterpart of the analytical model).
 
@@ -52,7 +52,29 @@ val build : ?rng:Prng.Splitmix.t -> ?backend:backend -> bits:int -> Rcm.Geometry
     symphony shortcuts) draw from [rng]; ring fingers are the classic
     deterministic Chord fingers at distance [2^i]. [backend] (default
     {!Classic}) selects the physical representation and does not affect
-    any observable value, including the post-build [rng] state. *)
+    any observable value, including the post-build [rng] state.
+    Custom geometries dispatch to their family's registered builder.
+    @raise Invalid_argument on a custom geometry whose family never
+    called {!register_custom_builder}. *)
+
+type custom_builder =
+  space:Idspace.Space.t ->
+  rng:Prng.Splitmix.t ->
+  (string * int) list ->
+  int * (int -> int -> int)
+(** A plugin family's table construction: given the identifier space,
+    the build PRNG and the family parameters, return the uniform
+    degree and the entry function [(v, i) -> neighbour id]. {!build}
+    evaluates entries for [v] ascending then [i] ascending on both
+    backends, so a builder that draws from [rng] only inside its entry
+    function (and draws the same number of times per entry regardless
+    of outcome) inherits Classic/Flat bit-identity — the same
+    mechanism the built-in randomized constructions use. *)
+
+val register_custom_builder : family:string -> custom_builder -> unit
+(** Registers the table builder of a custom family. Call at
+    module-init time from the plugin library.
+    @raise Invalid_argument if the family is already registered. *)
 
 val of_neighbors : bits:int -> Rcm.Geometry.t -> int array array -> t
 (** Wraps an externally managed neighbour matrix {e without copying}:

@@ -11,10 +11,21 @@ let pp_verdict ppf = function
       Fmt.pf ppf "scalable (sum Q = %.6g, lim p(h,q) = %.6g)" series_sum asymptotic_success
   | Unscalable { reason } -> Fmt.pf ppf "unscalable (%s)" reason
 
-(* Section 5: the paper's symbolic classification. *)
+(* Section 5: the paper's symbolic classification. Custom families
+   declare theirs (verdict + argument) when registering their analysis
+   with [Model.register_custom]. *)
+let custom_classification_exn context g =
+  match Model.custom_classification g with
+  | Some c -> c
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Scalability.%s: %s has no registered analysis" context
+           (Geometry.name g))
+
 let paper_classification = function
   | Geometry.Tree | Geometry.Symphony _ -> `Unscalable
   | Geometry.Hypercube | Geometry.Xor | Geometry.Ring -> `Scalable
+  | Geometry.Custom _ as g -> fst (custom_classification_exn "paper_classification" g)
 
 let paper_argument = function
   | Geometry.Tree -> "Q(m) = q is constant, so sum Q(m) diverges (term test)"
@@ -22,6 +33,7 @@ let paper_argument = function
   | Geometry.Xor -> "Q(m) involves only q^m and m q^m terms, so sum Q(m) converges"
   | Geometry.Ring -> "p(h,q) dominates the XOR expression, which converges"
   | Geometry.Symphony _ -> "Q is constant across phases, so sum Q(m) diverges"
+  | Geometry.Custom _ as g -> snd (custom_classification_exn "paper_argument" g)
 
 (* Theorem 1 (Knopp): prod (1 - Q(m)) > 0 iff sum Q(m) < infinity. We
    certify the series numerically and, when convergent, evaluate the

@@ -16,10 +16,15 @@ val is_scalable : verdict -> bool
 val pp_verdict : Format.formatter -> verdict -> unit
 
 val paper_classification : Geometry.t -> [ `Scalable | `Unscalable ]
-(** The paper's symbolic result (sections 5.1-5.5). *)
+(** The paper's symbolic result (sections 5.1-5.5); for a custom
+    geometry, the verdict its family declared when registering with
+    [Model.register_custom].
+    @raise Invalid_argument on an unregistered custom family. *)
 
 val paper_argument : Geometry.t -> string
-(** One-line restatement of the paper's convergence argument. *)
+(** One-line restatement of the (paper's or the family's declared)
+    convergence argument.
+    @raise Invalid_argument on an unregistered custom family. *)
 
 val classify_spec : ?d:int -> Spec.t -> q:float -> verdict
 (** Numeric classification of an arbitrary geometry description — the

@@ -242,7 +242,7 @@ let delivered_hops_rev_order s =
    a loop that never routed. *)
 let flush_metrics geometry s =
   if s.count > 0 && Obs.Metrics.enabled () then begin
-    let name = Rcm.Geometry.name geometry in
+    let name = Rcm.Geometry.slug geometry in
     List.iter
       (fun label -> ignore (Obs.Metrics.counter (Printf.sprintf "routing/%s/%s" name label)))
       Outcome.metric_labels;
@@ -346,6 +346,70 @@ let tally s n =
     else s.dropped <- s.dropped + 1
   done
 
+(* --- custom-family lanes --------------------------------------------------- *)
+
+(* How a custom family routes under the batch engine. [Scalar] (the
+   default when a family registers no lane) drives the family's
+   registered scalar router pair by pair, interleaving pair-sampling
+   draws with any forwarding draws — bit-identical to the scalar trial
+   loop for every router, including randomized ones, at scalar speed.
+   [Block] is the opt-in fast path: a driver with the same signature
+   as the built-in C lanes, valid only for rng-free routers (the block
+   runs after all pairs are sampled). The [int] argument in [bits]
+   position is lane-defined, exactly as the ring lane passes a
+   distance mask there — a plugin driver can pack extra static
+   parameters into it inside its closure. *)
+type block_router =
+  targets ->
+  words ->
+  offsets ->
+  int array ->
+  int array ->
+  int ->
+  buf ->
+  buf ->
+  int ->
+  int ->
+  buf ->
+  buf ->
+  unit
+
+type lane = Scalar | Block of block_router
+
+let custom_lanes : (string, (string * int) list -> lane) Hashtbl.t = Hashtbl.create 8
+
+let register_custom_lane ~family resolve =
+  if Hashtbl.mem custom_lanes family then
+    invalid_arg
+      (Printf.sprintf "Route_batch.register_custom_lane: %S already registered" family);
+  Hashtbl.replace custom_lanes family resolve
+
+let custom_lane ~family params =
+  match Hashtbl.find_opt custom_lanes family with
+  | Some resolve -> resolve params
+  | None -> Scalar
+
+let custom_router_exn ~family context =
+  match Router.find_custom family with
+  | Some router -> router
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Route_batch.%s: family %S has no registered router" context family)
+
+(* One pair through a family's scalar router, with the batch path's
+   loadmap accounting (bumps on the calling domain's slices, exactly
+   like the C drivers) and the packed result encoding. Metrics are NOT
+   recorded here — the caller flushes once per batch. *)
+let scalar_custom_pair (router : Router.custom_router) table ~rng ~alive ~trav ~term ~src
+    ~dst =
+  match router ~on_hop:(fun v -> bump trav v) table ~rng ~alive ~src ~dst with
+  | Outcome.Delivered { hops } ->
+      bump term dst;
+      delivered_result hops
+  | Outcome.Dropped { hops; stuck_at } ->
+      bump term stuck_at;
+      dropped_result stuck_at hops
+
 (* --- drivers -------------------------------------------------------------- *)
 
 let flat_of table context =
@@ -401,6 +465,20 @@ let route_many ?scratch table ~rng ~alive pairs =
         let src, dst = Array.unsafe_get pairs k in
         store s k (hypercube_pair offsets targets words ~bits ~rng ~trav ~term ~dst src 0)
       done
+  | Rcm.Geometry.Custom { family; params } -> (
+      match custom_lane ~family params with
+      | Scalar ->
+          let router = custom_router_exn ~family "route_many" in
+          for k = 0 to n - 1 do
+            let src, dst = Array.unsafe_get pairs k in
+            store s k (scalar_custom_pair router table ~rng ~alive ~trav ~term ~src ~dst)
+          done
+      | Block block ->
+          let srcs = Array.map fst pairs in
+          let dsts = Array.map snd pairs in
+          block targets words offsets srcs dsts n s.hops_buf s.stuck_buf bits
+            (Overlay.Flat.uniform_degree flat) trav term;
+          tally s n)
   | geometry ->
       let srcs = Array.make n 0 in
       let dsts = Array.make n 0 in
@@ -420,7 +498,7 @@ let route_many ?scratch table ~rng ~alive pairs =
       | Rcm.Geometry.Ring | Rcm.Geometry.Symphony _ ->
           route_block_ring targets words offsets srcs dsts n s.hops_buf s.stuck_buf
             ((1 lsl bits) - 1) deg trav term
-      | Rcm.Geometry.Hypercube -> assert false);
+      | Rcm.Geometry.Hypercube | Rcm.Geometry.Custom _ -> assert false);
       tally s n);
   flush_metrics (Overlay.Table.geometry table) s;
   s
@@ -456,6 +534,32 @@ let sample_and_route ?scratch table ~rng ~alive ~pool ~pairs =
         let dst = Array.unsafe_get pool (draw_distinct i) in
         store s k (hypercube_pair offsets targets words ~bits ~rng ~trav ~term ~dst src 0)
       done
+  | Rcm.Geometry.Custom { family; params } -> (
+      match custom_lane ~family params with
+      | Scalar ->
+          (* The default lane interleaves sampling and routing pair by
+             pair — the scalar trial loop's draw order for any router,
+             randomized ones included. *)
+          let router = custom_router_exn ~family "sample_and_route" in
+          for k = 0 to pairs - 1 do
+            let i = Prng.Splitmix.int rng npool in
+            let src = Array.unsafe_get pool i in
+            let dst = Array.unsafe_get pool (draw_distinct i) in
+            store s k (scalar_custom_pair router table ~rng ~alive ~trav ~term ~src ~dst)
+          done
+      | Block block ->
+          (* Block lanes declare themselves rng-free, so sampling every
+             pair first reproduces the scalar draw sequence. *)
+          let srcs = Array.make pairs 0 in
+          let dsts = Array.make pairs 0 in
+          for k = 0 to pairs - 1 do
+            let i = Prng.Splitmix.int rng npool in
+            Array.unsafe_set srcs k (Array.unsafe_get pool i);
+            Array.unsafe_set dsts k (Array.unsafe_get pool (draw_distinct i))
+          done;
+          block targets words offsets srcs dsts pairs s.hops_buf s.stuck_buf bits
+            (Overlay.Flat.uniform_degree flat) trav term;
+          tally s pairs)
   | geometry ->
       (* These geometries consume no randomness while routing, so the
          scalar draw sequence — sample pair k, route pair k — is
@@ -479,7 +583,7 @@ let sample_and_route ?scratch table ~rng ~alive ~pool ~pairs =
       | Rcm.Geometry.Ring | Rcm.Geometry.Symphony _ ->
           route_block_ring targets words offsets srcs dsts pairs s.hops_buf s.stuck_buf
             ((1 lsl bits) - 1) deg trav term
-      | Rcm.Geometry.Hypercube -> assert false);
+      | Rcm.Geometry.Hypercube | Rcm.Geometry.Custom _ -> assert false);
       tally s pairs);
   flush_metrics (Overlay.Table.geometry table) s;
   s

@@ -121,6 +121,51 @@ val raw_stuck : scratch -> (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.A
 (** Per-pair stuck node ids, [-1] for delivered pairs (same aliasing
     caveat as {!raw_hops}). *)
 
+(** {1 Custom-family lanes}
+
+    A custom geometry routes under the batch engine through its
+    family's {e lane}. Without registration the family gets the
+    {!Scalar} lane: its registered [Router] custom router is driven
+    pair by pair with pair-sampling and forwarding draws interleaved —
+    bit-identical to the scalar trial loop for {e any} router,
+    randomized ones included, with the batch path's per-batch metrics
+    flush and loadmap slice accounting. Registering a {!Block} lane
+    opts into the C-driver fast path. *)
+
+type block_router =
+  Overlay.Flat.targets ->
+  Overlay.Bitset.words ->
+  Overlay.Flat.offsets ->
+  int array ->
+  int array ->
+  int ->
+  (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t ->
+  (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t ->
+  int ->
+  int ->
+  (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t ->
+  (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t ->
+  unit
+(** A block driver with the built-in C lanes' calling convention:
+    [targets alive_words offsets srcs dsts n hops_out stuck_out bits
+    degree trav term]. It must route pair [k] with the scalar router's
+    candidate order (lane interleaving must be invisible in results),
+    write [stuck_out.(k) = -1] on delivery or the stuck node id
+    otherwise, and bump the [trav]/[term] loadmap slices at the scalar
+    counting points (skip when zero-length). The [bits] argument is
+    lane-defined — wrap the raw external in a closure to pack extra
+    static parameters into it (the built-in ring lane passes a
+    distance mask there). Block lanes are valid only for families
+    whose router draws no randomness while forwarding. *)
+
+type lane = Scalar | Block of block_router
+
+val register_custom_lane : family:string -> ((string * int) list -> lane) -> unit
+(** Registers how a family resolves its lane from its parameters.
+    Call at module-init time from the plugin library; families that
+    never call this default to {!Scalar}.
+    @raise Invalid_argument if the family is already registered. *)
+
 (** {1 Enabling}
 
     The simulation layers consult this switch to decide between the

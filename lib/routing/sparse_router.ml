@@ -74,6 +74,24 @@ let route_prefix ?(on_hop = ignore) ~mode overlay ~alive ~src ~dst =
   in
   step src 0
 
+(* Custom-family sparse routers, keyed by family name, wrapped by
+   [route] with the same loadmap accounting as the built-ins. *)
+type custom_router =
+  ?on_hop:(int -> unit) ->
+  Overlay.Sparse.t ->
+  alive:Overlay.Failure.t ->
+  src:int ->
+  dst:int ->
+  Outcome.t
+
+let custom_routers : (string, custom_router) Hashtbl.t = Hashtbl.create 8
+
+let register_custom ~family router =
+  if Hashtbl.mem custom_routers family then
+    invalid_arg
+      (Printf.sprintf "Sparse_router.register_custom: %S already registered" family);
+  Hashtbl.replace custom_routers family router
+
 let dispatch ?on_hop overlay ~alive ~src ~dst =
   match Overlay.Sparse.geometry overlay with
   | Rcm.Geometry.Ring | Rcm.Geometry.Symphony _ -> route_ring ?on_hop overlay ~alive ~src ~dst
@@ -81,6 +99,13 @@ let dispatch ?on_hop overlay ~alive ~src ~dst =
   | Rcm.Geometry.Xor -> route_prefix ?on_hop ~mode:`Xor overlay ~alive ~src ~dst
   | Rcm.Geometry.Hypercube ->
       invalid_arg "Sparse_router.route: no sparse hypercube overlay exists"
+  | Rcm.Geometry.Custom { family; _ } -> (
+      match Hashtbl.find_opt custom_routers family with
+      | Some router -> router ?on_hop overlay ~alive ~src ~dst
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Sparse_router.route: family %S has no registered sparse router"
+               family))
 
 (* Same per-node load accounting as Routing.Router: one traversal per
    accepted hop (the node hopped to), one termination where the walk

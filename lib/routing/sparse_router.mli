@@ -3,6 +3,25 @@
     Identical forwarding rules to the fully-populated routers, with
     distances measured on identifiers and empty bucket slots skipped. *)
 
+type custom_router =
+  ?on_hop:(int -> unit) ->
+  Overlay.Sparse.t ->
+  alive:Overlay.Failure.t ->
+  src:int ->
+  dst:int ->
+  Outcome.t
+(** A plugin family's raw forwarding walk over a sparse overlay. Same
+    contract as {!Router.custom_router} — uphold the routing
+    invariants, call [on_hop] per accepted hop, skip
+    [Overlay.Sparse.missing] slots, and record no telemetry ({!route}
+    layers the loadmap accounting on). *)
+
+val register_custom : family:string -> custom_router -> unit
+(** Registers the sparse-overlay router of a custom family (used by
+    the session-churn engine and storage layers). Call at module-init
+    time from the plugin library.
+    @raise Invalid_argument if the family is already registered. *)
+
 val route :
   ?on_hop:(int -> unit) ->
   Overlay.Sparse.t ->
@@ -11,4 +30,5 @@ val route :
   dst:int ->
   Outcome.t
 (** [src], [dst] and the hops reported to [on_hop] are node *indexes*.
-    @raise Invalid_argument on a hypercube overlay. *)
+    @raise Invalid_argument on a hypercube overlay, or on a custom
+    geometry whose family has no registered sparse router. *)

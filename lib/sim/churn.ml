@@ -20,8 +20,15 @@ let config ?(bits = 10) ?(mean_uptime = 8.0) ?(mean_downtime = 2.0) ?(repair_int
   if measurements < 1 then invalid_arg "Churn.config: need at least one measurement";
   (match geometry with
   | Rcm.Geometry.Xor | Rcm.Geometry.Ring | Rcm.Geometry.Symphony _ -> ()
+  | Rcm.Geometry.Custom { family; _ } ->
+      if not (Churn_profile.registered ~family) then
+        invalid_arg
+          (Printf.sprintf "Churn.config: family %S has no registered churn profile"
+             family)
   | Rcm.Geometry.Tree | Rcm.Geometry.Hypercube ->
-      invalid_arg "Churn.config: supported geometries are xor, ring and symphony");
+      invalid_arg
+        "Churn.config: supported geometries are xor, ring, symphony and custom \
+         families with a churn profile");
   {
     geometry;
     bits;
@@ -89,6 +96,10 @@ let refresh_entry cfg rng ~alive ~v ~slot ~current =
       else
         attempt_alive (fun () ->
             (v + Prng.Splitmix.harmonic_int rng ~n:(size - 1)) land (size - 1))
+  | Rcm.Geometry.Custom _ ->
+      let profile = Churn_profile.resolve_exn "Churn.refresh_entry" cfg.geometry ~bits in
+      if slot < profile.Churn_profile.near_slots then current
+      else attempt_alive (fun () -> profile.Churn_profile.redraw rng ~v ~slot)
   | Rcm.Geometry.Tree | Rcm.Geometry.Hypercube ->
       (* Rejected by [config]. *)
       assert false
@@ -142,18 +153,31 @@ let measure cfg rng ~alive ~table ~neighbors ~time =
       Some (float_of_int !delivered /. float_of_int cfg.pairs_per_measurement)
     end
   in
+  let profile =
+    match cfg.geometry with
+    | Rcm.Geometry.Custom _ ->
+        Some (Churn_profile.resolve_exn "Churn.measure" cfg.geometry ~bits:cfg.bits)
+    | _ -> None
+  in
   let near_slots =
-    match cfg.geometry with Rcm.Geometry.Symphony { k_n; _ } -> k_n | _ -> 0
+    match (cfg.geometry, profile) with
+    | Rcm.Geometry.Symphony { k_n; _ }, _ -> k_n
+    | _, Some p -> p.Churn_profile.near_slots
+    | _, None -> 0
   in
   let stale, stale_near, stale_shortcut = stale_fractions ~alive ~near_slots neighbors in
   (* For Symphony the two link classes age differently; the
-     heterogeneous form of Eq. 7 takes each class's measured staleness. *)
+     heterogeneous form of Eq. 7 takes each class's measured staleness.
+     Custom families bring their own churn-to-static bridge. *)
   let static_prediction =
     match cfg.geometry with
     | Rcm.Geometry.Symphony { k_n; k_s } ->
         Rcm.Engine.routability
           (Rcm.Symphony.spec_heterogeneous ~q_near:stale_near ~k_n ~k_s)
           ~d:cfg.bits ~q:stale_shortcut
+    | Rcm.Geometry.Custom _ ->
+        let p = Option.get profile in
+        p.Churn_profile.prediction ~bits:cfg.bits ~stale ~stale_near ~stale_shortcut
     | Rcm.Geometry.Tree | Rcm.Geometry.Hypercube | Rcm.Geometry.Xor | Rcm.Geometry.Ring ->
         Rcm.Model.routability cfg.geometry ~d:cfg.bits ~q:stale
   in

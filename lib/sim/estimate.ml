@@ -49,7 +49,7 @@ let table_for cfg ~backend cache build_seed =
         ~attrs:
           (if Obs.Trace.enabled () then
              [
-               ("geometry", Obs.Trace.String (Rcm.Geometry.name cfg.geometry));
+               ("geometry", Obs.Trace.String (Rcm.Geometry.slug cfg.geometry));
                ("bits", Obs.Trace.Int cfg.bits);
                ("backend", Obs.Trace.String (Overlay.Table.backend_name backend));
              ]
@@ -170,7 +170,7 @@ let run_trial cfg ~backend cache build_seed =
     Obs.Trace.event "estimate/trial"
       ~attrs:
         [
-          ("geometry", Obs.Trace.String (Rcm.Geometry.name cfg.geometry));
+          ("geometry", Obs.Trace.String (Rcm.Geometry.slug cfg.geometry));
           ("q", Obs.Trace.Float cfg.q);
           ("alive_fraction", Obs.Trace.Float alive_fraction);
           ("delivered", Obs.Trace.Int stats.t_delivered);
@@ -227,7 +227,7 @@ let collect cfg outcomes =
    integers stored as such). *)
 let key_of cfg ~trial =
   {
-    Checkpoint.geometry = Rcm.Geometry.name cfg.geometry;
+    Checkpoint.geometry = Rcm.Geometry.slug cfg.geometry;
     bits = cfg.bits;
     q = cfg.q;
     pairs = cfg.pairs_per_trial;
@@ -263,7 +263,7 @@ let run_sweep ?pool ?cache ?(backend = Overlay.Table.Classic) ?(supervise = fals
       ~attrs:
         (if Obs.Trace.enabled () then
            [
-             ("geometry", Obs.Trace.String (Rcm.Geometry.name cfg.geometry));
+             ("geometry", Obs.Trace.String (Rcm.Geometry.slug cfg.geometry));
              ("bits", Obs.Trace.Int cfg.bits);
              ("qs", Obs.Trace.Int (List.length qs));
              ("trials", Obs.Trace.Int cfg.trials);
@@ -283,7 +283,7 @@ let run_sweep ?pool ?cache ?(backend = Overlay.Table.Classic) ?(supervise = fals
        checkpoint), so the live line's count matches the sweep total. *)
     let group_names = Array.map (fun q -> Printf.sprintf "q=%g" q) qarr in
     Obs.Progress.start
-      ~label:(Rcm.Geometry.name cfg.geometry)
+      ~label:(Rcm.Geometry.slug cfg.geometry)
       ~groups:(Array.to_list (Array.map (fun g -> (g, cfg.trials)) group_names))
       ~total:n ();
     let tick k = Obs.Progress.tick ~group:group_names.(k / cfg.trials) () in
@@ -386,7 +386,7 @@ let csv_header =
 let to_csv_row r =
   let ci_field f = match r.ci with Some ci -> Printf.sprintf "%.6f" (f ci) | None -> "nan" in
   Printf.sprintf "%s,%d,%g,%d,%d,%d,%d,%s,%s,%s,%s"
-    (Rcm.Geometry.name r.config.geometry)
+    (Rcm.Geometry.slug r.config.geometry)
     r.config.bits r.config.q r.config.trials r.failed_trials r.delivered r.attempted
     (ci_field Stats.Binomial_ci.point)
     (ci_field Stats.Binomial_ci.lower)
@@ -401,7 +401,7 @@ let to_json r =
     "{\"geometry\": %S, \"bits\": %d, \"q\": %s, \"trials\": %d, \"failed_trials\": %d, \
      \"delivered\": %d, \"attempted\": %d, \"routability\": %s, \"ci_lower\": %s, \
      \"ci_upper\": %s, \"hops_mean\": %s}"
-    (Rcm.Geometry.name r.config.geometry)
+    (Rcm.Geometry.slug r.config.geometry)
     r.config.bits (json_float r.config.q) r.config.trials r.failed_trials r.delivered
     r.attempted
     (ci_field Stats.Binomial_ci.point)

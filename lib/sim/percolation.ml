@@ -102,7 +102,7 @@ let run ?pool ?cache ?(backend = Overlay.Table.Classic) ?(trials = 3) ?(pairs = 
   let seeds = trial_seeds ~seed ~trials in
   let group = Printf.sprintf "q=%g" q in
   Obs.Progress.start
-    ~label:(Rcm.Geometry.name geometry)
+    ~label:(Rcm.Geometry.slug geometry)
     ~groups:[ (group, trials) ] ~total:trials ();
   let all =
     Array.to_list

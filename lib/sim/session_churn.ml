@@ -26,6 +26,13 @@ let config ?(bits = 10) ?(session = Lifetime.exponential ~mean:8.0)
     invalid_arg "Session_churn.config: bad measurement schedule";
   if pairs_per_measurement < 1 then
     invalid_arg "Session_churn.config: need at least one pair per measurement";
+  (match geometry with
+  | Rcm.Geometry.Custom { family; _ } ->
+      if not (Churn_profile.registered ~family) then
+        invalid_arg
+          (Printf.sprintf
+             "Session_churn.config: family %S has no registered churn profile" family)
+  | _ -> ());
   {
     geometry;
     bits;
@@ -78,8 +85,6 @@ type event = Depart of int | Arrive of int | Maintain of int | Measure
 type tables =
   | Buckets of Overlay.Kbucket.t
   | Matrix of { neighbors : int array array; table : Overlay.Table.t }
-
-let is_symphony = function Rcm.Geometry.Symphony _ -> true | _ -> false
 
 (* Alive-preferring redraw of a symphony shortcut (bounded rejection,
    as in Churn.refresh_entry). *)
@@ -166,14 +171,21 @@ let measure cfg rng ~alive ~tables ~time =
         (s, s, s)
     | Matrix { neighbors; _ } ->
         let near_slots =
-          match cfg.geometry with Rcm.Geometry.Symphony { k_n; _ } -> k_n | _ -> 0
+          match cfg.geometry with
+          | Rcm.Geometry.Symphony { k_n; _ } -> k_n
+          | Rcm.Geometry.Custom _ ->
+              (Churn_profile.resolve_exn "Session_churn.measure" cfg.geometry
+                 ~bits:cfg.bits)
+                .Churn_profile.near_slots
+          | _ -> 0
         in
         matrix_staleness ~alive ~near_slots neighbors
   in
   (* The churn-to-static bridge: evaluate the closed-form r(N,q) at
      q = the instantaneous stale fraction just measured. Xor uses the
      k-bucket form; Symphony the heterogeneous Eq. 7 with per-class
-     staleness; the rest the paper's basic model. *)
+     staleness; custom families bring their own; the rest use the
+     paper's basic model. *)
   let static_prediction =
     match cfg.geometry with
     | Rcm.Geometry.Xor -> Rcm.Replication.routability_xor ~d:cfg.bits ~q:stale ~k:cfg.k
@@ -181,6 +193,9 @@ let measure cfg rng ~alive ~tables ~time =
         Rcm.Engine.routability
           (Rcm.Symphony.spec_heterogeneous ~q_near:stale_near ~k_n ~k_s)
           ~d:cfg.bits ~q:stale_shortcut
+    | Rcm.Geometry.Custom _ ->
+        let p = Churn_profile.resolve_exn "Session_churn.measure" cfg.geometry ~bits:cfg.bits in
+        p.Churn_profile.prediction ~bits:cfg.bits ~stale ~stale_near ~stale_shortcut
     | Rcm.Geometry.Tree | Rcm.Geometry.Hypercube | Rcm.Geometry.Ring ->
         Rcm.Model.routability cfg.geometry ~d:cfg.bits ~q:stale
   in
@@ -215,6 +230,14 @@ let rejoin_matrix cfg rng ~alive ~neighbors v =
       let row = neighbors.(v) in
       for slot = k_n to Array.length row - 1 do
         row.(slot) <- redraw_shortcut rng ~alive ~size v
+      done
+  | Rcm.Geometry.Custom _ ->
+      let profile =
+        Churn_profile.resolve_exn "Session_churn.rejoin" cfg.geometry ~bits:cfg.bits
+      in
+      let row = neighbors.(v) in
+      for slot = profile.Churn_profile.near_slots to Array.length row - 1 do
+        row.(slot) <- Churn_profile.redraw_alive profile rng ~alive ~v ~slot
       done
   | Rcm.Geometry.Tree | Rcm.Geometry.Hypercube | Rcm.Geometry.Ring
   | Rcm.Geometry.Xor ->
@@ -251,6 +274,16 @@ let maintain_node cfg rng ~alive ~tables ~refresh_level v =
             if not (Overlay.Failure.get alive row.(slot)) then
               row.(slot) <- redraw_shortcut rng ~alive ~size v
           done
+      | Rcm.Geometry.Custom _ ->
+          let profile =
+            Churn_profile.resolve_exn "Session_churn.maintain" cfg.geometry
+              ~bits:cfg.bits
+          in
+          let row = neighbors.(v) in
+          for slot = profile.Churn_profile.near_slots to Array.length row - 1 do
+            if not (Overlay.Failure.get alive row.(slot)) then
+              row.(slot) <- Churn_profile.redraw_alive profile rng ~alive ~v ~slot
+          done
       | _ -> ())
 
 let run cfg =
@@ -271,7 +304,14 @@ let run cfg =
   let alive = Overlay.Failure.none n in
   let refresh_level = Array.make n 0 in
   let queue = Event_queue.create () in
-  let maintained = is_symphony cfg.geometry || cfg.geometry = Rcm.Geometry.Xor in
+  let maintained =
+    match cfg.geometry with
+    | Rcm.Geometry.Symphony _ | Rcm.Geometry.Xor -> true
+    | Rcm.Geometry.Custom _ ->
+        (Churn_profile.resolve_exn "Session_churn.run" cfg.geometry ~bits:cfg.bits)
+          .Churn_profile.maintained
+    | _ -> false
+  in
   for v = 0 to n - 1 do
     Event_queue.add queue ~time:(Lifetime.draw cfg.session rng) (Depart v);
     if maintained then

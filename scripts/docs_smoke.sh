@@ -115,6 +115,21 @@ for backend in flat classic; do
   fi
 done
 
+# --- 6. every registered geometry is documented ----------------------------
+# The registry (builtins and plugins alike) is the ground truth: a
+# geometry that registers a descriptor must appear in the README
+# geometry table and in EXPERIMENTS.md, so plugging in a family
+# without documenting it fails CI.
+"$BIN" geometries --names >"$work/geometries.txt"
+[ -s "$work/geometries.txt" ] || err "dhtlab geometries --names returned nothing"
+while IFS= read -r geom; do
+  for doc in README.md EXPERIMENTS.md; do
+    if ! grep -qE "(^|[^a-z-])$geom([^a-z-]|$)" "$doc"; then
+      err "registered geometry '$geom' undocumented in $doc"
+    fi
+  done
+done <"$work/geometries.txt"
+
 if [ "$fail" -ne 0 ]; then
   echo "docs-smoke: FAILED" >&2
   exit 1

@@ -1,0 +1,69 @@
+#!/usr/bin/env sh
+# ReCord plugin smoke: prove the registry-path geometry end to end.
+#
+#   1. Registry: the plugin family must appear in `dhtlab geometries`
+#      (the same listing the docs-drift audit checks against).
+#   2. Identity: a record:h=4 simulate sweep must be byte-identical at
+#      one and several worker domains, and batch vs --no-batch — the
+#      same bit-identity contract the built-in geometries carry.
+#   3. Figures: record-hops and record-tradeoff must regenerate
+#      byte-identically across --jobs.
+#   4. Evidence: the bench JSON must carry a record section that passes
+#      schema validation (run `make bench-smoke` first).
+#
+# Usage: scripts/record_smoke.sh [path-to-dhtlab] [path-to-validate]
+# RECORD_WORK, when set, names the work directory to use (and keep) so
+# CI can upload it on failure. Exits non-zero on the first violation.
+
+set -eu
+
+DHTLAB=${1:-_build/default/bin/dhtlab.exe}
+VALIDATE=${2:-_build/default/bench/validate.exe}
+if [ -n "${RECORD_WORK:-}" ]; then
+    WORK=$RECORD_WORK
+    mkdir -p "$WORK"
+else
+    WORK=$(mktemp -d "${TMPDIR:-/tmp}/record_smoke.XXXXXX")
+    trap 'rm -rf "$WORK"' EXIT INT TERM
+fi
+
+fail() {
+    echo "record-smoke: FAIL: $1" >&2
+    exit 1
+}
+
+echo "record-smoke: 1/4 record family is registered"
+$DHTLAB geometries --names > "$WORK/names.txt"
+grep -qx record "$WORK/names.txt" || fail "record missing from dhtlab geometries --names"
+
+echo "record-smoke: 2/4 simulate byte-identity (jobs 1 vs 8, batch vs scalar)"
+ARGS="simulate -g record:h=4 -d 8 -q 0.25 --trials 2 --pairs 80 --seed 42 --overlay flat"
+$DHTLAB $ARGS --jobs 1 > "$WORK/sim.j1.txt"
+$DHTLAB $ARGS --jobs 8 > "$WORK/sim.j8.txt"
+diff "$WORK/sim.j1.txt" "$WORK/sim.j8.txt" \
+    || fail "simulate stdout differs between --jobs 1 and --jobs 8"
+$DHTLAB $ARGS --jobs 8 --no-batch > "$WORK/sim.scalar.txt"
+diff "$WORK/sim.j1.txt" "$WORK/sim.scalar.txt" \
+    || fail "batch and scalar stdout differ for record:h=4"
+grep -q "routability" "$WORK/sim.j1.txt" \
+    || fail "sweep output carries no routability line"
+
+echo "record-smoke: 3/4 record figures byte-identical across --jobs"
+for fig in record-hops record-tradeoff; do
+    $DHTLAB figure "$fig" --quick --jobs 1 > "$WORK/$fig.j1.txt"
+    $DHTLAB figure "$fig" --quick --jobs 8 > "$WORK/$fig.j8.txt"
+    diff "$WORK/$fig.j1.txt" "$WORK/$fig.j8.txt" \
+        || fail "figure $fig differs between --jobs 1 and --jobs 8"
+done
+grep -q "record:h=4" "$WORK/record-hops.j1.txt" \
+    || fail "record-hops output does not name record:h=4"
+grep -q "record:h=16" "$WORK/record-tradeoff.j1.txt" \
+    || fail "record-tradeoff output does not cover the base sweep"
+
+echo "record-smoke: 4/4 bench record section validates"
+BENCH_JSON=$(ls BENCH_*.json 2>/dev/null | head -n 1)
+[ -n "$BENCH_JSON" ] || fail "no BENCH_*.json (run make bench-smoke first)"
+$VALIDATE "$BENCH_JSON" || fail "bench JSON failed validation"
+grep -q '"record"' "$BENCH_JSON" || fail "bench JSON has no record section"
+
+echo "record-smoke: OK (ReCord registers, routes and regenerates byte-identically)"

@@ -5,14 +5,10 @@
    kernel whenever the overlay backend is flat. Also pins the packed
    Failure bitset against its bool-array ancestor. *)
 
-let all_geometries =
-  [
-    Rcm.Geometry.Tree;
-    Rcm.Geometry.Hypercube;
-    Rcm.Geometry.Xor;
-    Rcm.Geometry.Ring;
-    Rcm.Geometry.default_symphony;
-  ]
+(* Every registered geometry, built-ins and plugins alike — a plugin's
+   batch lane (Scalar or Block) joins the differential matrix just by
+   registering its descriptor. *)
+let all_geometries = List.map (fun d -> d.Geom.default) (Geom.all ())
 
 let outcome = Alcotest.testable Routing.Outcome.pp Routing.Outcome.equal
 
@@ -128,7 +124,7 @@ let survivor_pairs alive =
 let test_route_many_matches_scalar () =
   List.iter
     (fun geometry ->
-      let name = Rcm.Geometry.name geometry in
+      let name = Rcm.Geometry.slug geometry in
       let table = flat_table ~seed:42 ~bits:6 geometry in
       List.iteri
         (fun qi q ->
@@ -185,7 +181,7 @@ let test_route_many_matches_scalar () =
 let test_sample_and_route_matches_scalar () =
   List.iter
     (fun geometry ->
-      let name = Rcm.Geometry.name geometry in
+      let name = Rcm.Geometry.slug geometry in
       let table = flat_table ~seed:5 ~bits:7 geometry in
       List.iteri
         (fun qi q ->
@@ -378,7 +374,7 @@ let test_metrics_totals_equal () =
       in
       List.iter
         (fun geometry ->
-          let name = Rcm.Geometry.name geometry in
+          let name = Rcm.Geometry.slug geometry in
           let batch_counters, batch_hists = snapshot_of ~batch:true geometry in
           let scalar_counters, scalar_hists = snapshot_of ~batch:false geometry in
           Alcotest.(check (list (pair string int)))
@@ -449,7 +445,7 @@ let suite =
     Alcotest.test_case "bitset: bool-array agreement" `Quick test_bitset_bool_array_agreement;
     Alcotest.test_case "bitset: set/bounds" `Quick test_bitset_set_and_bounds;
     Alcotest.test_case "failure sample: draw order" `Quick test_sample_draw_order;
-    Alcotest.test_case "route_many = scalar (5 geometries x q)" `Quick
+    Alcotest.test_case "route_many = scalar (registry x q)" `Quick
       test_route_many_matches_scalar;
     Alcotest.test_case "sample_and_route = scalar trial loop" `Quick
       test_sample_and_route_matches_scalar;

@@ -419,7 +419,24 @@ let test_session_all_geometries () =
           | Some r -> check_in_unit ~msg:"routability" r
           | None -> ())
         report.Sim.Session_churn.measurements)
-    Rcm.Geometry.all_default
+    (* The registry drives the matrix: every descriptor that declares
+       the session-churn capability must survive the engine. *)
+    (Geom.all ()
+    |> List.filter (fun d -> d.Geom.session_churn)
+    |> List.map (fun d -> d.Geom.default))
+
+let test_churn_registry_geometries () =
+  (* The steady-state churn engine accepts exactly the descriptors that
+     declare the churn capability; each produces sane measurements. *)
+  Geom.all ()
+  |> List.filter (fun d -> d.Geom.churn)
+  |> List.iter (fun d ->
+         let geometry = d.Geom.default in
+         let slug = Rcm.Geometry.slug geometry in
+         let report = Sim.Churn.run (quick_config ~geometry ()) in
+         check_in_unit ~msg:(slug ^ " routability") report.Sim.Churn.mean_routability;
+         check_in_unit ~msg:(slug ^ " stale") report.Sim.Churn.mean_stale;
+         check_in_unit ~msg:(slug ^ " alive") report.Sim.Churn.mean_alive)
 
 let test_session_alive_tracks_availability () =
   let report = Sim.Session_churn.run (session_config ~geometry:Rcm.Geometry.Ring ()) in
@@ -624,6 +641,7 @@ let suite =
     ("session churn/availability rates", `Quick, test_session_rates);
     ("session reproducible", `Quick, test_session_reproducible);
     ("session all geometries", `Slow, test_session_all_geometries);
+    ("churn registry geometries", `Slow, test_churn_registry_geometries);
     ("session alive tracks availability", `Quick, test_session_alive_tracks_availability);
     ("session no-churn limit", `Quick, test_session_no_churn_limit);
     ("session maintenance heals xor", `Slow, test_session_maintenance_heals_xor);

@@ -4,14 +4,9 @@
    simulation results and byte-identical CLI output at every domain
    count — the contract that lets --overlay default to flat. *)
 
-let all_geometries =
-  [
-    Rcm.Geometry.Tree;
-    Rcm.Geometry.Hypercube;
-    Rcm.Geometry.Xor;
-    Rcm.Geometry.Ring;
-    Rcm.Geometry.default_symphony;
-  ]
+(* Every registered geometry, built-ins and plugins alike: a new
+   descriptor joins the backend-equivalence matrix just by registering. *)
+let all_geometries = List.map (fun d -> d.Geom.default) (Geom.all ())
 
 let check_tables_equal ~what classic flat =
   let n = Overlay.Table.node_count classic in
@@ -41,7 +36,7 @@ let check_tables_equal ~what classic flat =
 let test_build_equivalence () =
   List.iter
     (fun geometry ->
-      let what = Rcm.Geometry.name geometry in
+      let what = Rcm.Geometry.slug geometry in
       let rng_c = Prng.Splitmix.create ~seed:77 in
       let rng_f = Prng.Splitmix.create ~seed:77 in
       let classic = Overlay.Table.build ~rng:rng_c ~bits:6 geometry in
@@ -157,7 +152,7 @@ let test_cache_keys_backend () =
 let test_digraph_equivalence () =
   List.iter
     (fun geometry ->
-      let what = Rcm.Geometry.name geometry in
+      let what = Rcm.Geometry.slug geometry in
       let rng = Prng.Splitmix.create ~seed:12 in
       let classic = Overlay.Table.build ~rng ~bits:5 geometry in
       let flat = Overlay.Table.flatten classic in
@@ -195,7 +190,7 @@ let check_results_equal ~what (a : Sim.Estimate.result) (b : Sim.Estimate.result
 let test_estimate_bit_identical () =
   List.iter
     (fun geometry ->
-      let what = Rcm.Geometry.name geometry in
+      let what = Rcm.Geometry.slug geometry in
       let cfg =
         Sim.Estimate.config ~trials:2 ~pairs_per_trial:120 ~seed:11 ~bits:6 ~q:0.25 geometry
       in
@@ -213,7 +208,7 @@ let test_estimate_bit_identical () =
 let test_percolation_bit_identical () =
   List.iter
     (fun geometry ->
-      let what = Rcm.Geometry.name geometry in
+      let what = Rcm.Geometry.slug geometry in
       let run backend =
         Sim.Percolation.run ~backend ~trials:2 ~pairs:100 ~seed:8 ~bits:6 ~q:0.3 geometry
       in

@@ -24,6 +24,7 @@ let () =
       ("digits", Test_digits.suite);
       ("torus", Test_torus.suite);
       ("symphony-deployment", Test_symphony_deployment.suite);
+      ("geom", Test_geom.suite);
       ("flat", Test_flat.suite);
       ("batch", Test_batch.suite);
       ("storage", Test_storage.suite);

@@ -75,9 +75,13 @@ let test_placement_prefix_stable () =
       let small = Storage.Placement.candidates o ~key ~count:4 in
       let large = Storage.Placement.candidates o ~key ~count:12 in
       Alcotest.(check (array int))
-        (Rcm.Geometry.name geometry)
+        (Rcm.Geometry.slug geometry)
         small (Array.sub large 0 4))
-    [ Rcm.Geometry.Ring; Rcm.Geometry.default_symphony; Rcm.Geometry.Xor; Rcm.Geometry.Tree ]
+    (* Registry-driven: every descriptor with sparse-overlay support
+       must expose a prefix-stable placement enumeration. *)
+    (Geom.all ()
+    |> List.filter (fun d -> d.Geom.sparse)
+    |> List.map (fun d -> d.Geom.default))
 
 let test_placement_distinct_and_whole_overlay () =
   let o = build Rcm.Geometry.Xor ~nodes:32 in
@@ -342,6 +346,21 @@ let test_failure_sim_loads_accounted () =
     (float_of_int r.Storage.Failure_sim.load_p99 >= r.Storage.Failure_sim.load_mean);
   Alcotest.(check bool) "max >= p99" true
     (r.Storage.Failure_sim.load_max >= r.Storage.Failure_sim.load_p99)
+
+let test_failure_sim_registry () =
+  (* Registry-driven: every sparse-capable descriptor runs through the
+     replicated-storage failure sweep with sane outputs. *)
+  Geom.all ()
+  |> List.filter (fun d -> d.Geom.sparse)
+  |> List.iter (fun d ->
+         let geometry = d.Geom.default in
+         let slug = Rcm.Geometry.slug geometry in
+         let r = Storage.Failure_sim.run geometry (failure_config ()) ~q:0.2 ~seed:5 in
+         check_in_unit ~msg:(slug ^ " survival") r.Storage.Failure_sim.survival;
+         check_in_unit ~msg:(slug ^ " alive") r.Storage.Failure_sim.mean_alive;
+         match r.Storage.Failure_sim.availability with
+         | Some a -> check_in_unit ~msg:(slug ^ " availability") a
+         | None -> ())
 
 (* --- Churn_sim --------------------------------------------------------------- *)
 
@@ -663,6 +682,7 @@ let suite =
     ("failure sim q=0", `Quick, test_failure_sim_no_failures);
     ("failure sim q=1 honest", `Quick, test_failure_sim_total_failure_honest);
     ("failure sim load accounting", `Quick, test_failure_sim_loads_accounted);
+    ("failure sim registry geometries", `Slow, test_failure_sim_registry);
     ("churn sim deterministic", `Quick, test_churn_sim_deterministic);
     ("churn sim rates", `Quick, test_churn_sim_rates);
     ("churn sim no-churn limit", `Quick, test_churn_sim_no_churn_limit);
